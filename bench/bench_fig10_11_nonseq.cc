@@ -1,0 +1,74 @@
+// Figures 10 & 11: impact of the number of distinct non-sequential reads a
+// test query performs. Test queries are bucketized into bottom-25% / middle
+// / top-25% by their distinct non-sequential page count; F1 (Fig 10) and
+// speedup (Fig 11) are reported per bucket.
+#include "bench/common.h"
+
+namespace pythia::bench {
+namespace {
+
+void Run() {
+  auto dsb = Dsb();
+  auto imdb = Imdb();
+  TablePrinter f1_table({"workload", "non-seq bucket", "PYTHIA F1 med",
+                         "mean distinct non-seq"});
+  TablePrinter sp_table(
+      {"workload", "non-seq bucket", "PYTHIA speedup", "ORCL speedup"});
+
+  for (TemplateId id : {TemplateId::kDsb18, TemplateId::kDsb19,
+                        TemplateId::kDsb91, TemplateId::kImdb1a}) {
+    const bool is_dsb = IsDsbTemplate(id);
+    const Database& db = is_dsb ? *dsb : *imdb;
+    Workload workload =
+        MakeWorkload(db, id, is_dsb ? kNumQueries : kImdbNumQueries);
+    const PredictorOptions options =
+        is_dsb ? DefaultPredictor() : ImdbPredictor(db);
+    WorkloadModel model = CachedModel(
+        db, workload, options, std::string(TemplateName(id)) + "_default");
+
+    std::vector<double> nonseq_counts;
+    for (size_t ti : workload.test_indices) {
+      nonseq_counts.push_back(static_cast<double>(
+          workload.queries[ti].trace.DistinctNonSequential().size()));
+    }
+    const std::vector<int> buckets = QuartileBuckets(nonseq_counts);
+
+    SimEnvironment env(DefaultSim());
+    PythiaSystem system(&env);
+    system.AddWorkload(workload, std::move(model));
+    const std::vector<QueryEval> evals = EvaluateTestQueries(
+        &system, workload, {RunMode::kPythia, RunMode::kOracle});
+
+    for (int bucket = 0; bucket < 3; ++bucket) {
+      std::vector<double> f1, sp, orcl, counts;
+      for (size_t i = 0; i < evals.size(); ++i) {
+        if (buckets[i] != bucket) continue;
+        f1.push_back(evals[i].F1(RunMode::kPythia));
+        sp.push_back(evals[i].Speedup(RunMode::kPythia));
+        orcl.push_back(evals[i].Speedup(RunMode::kOracle));
+        counts.push_back(nonseq_counts[i]);
+      }
+      if (f1.empty()) continue;
+      f1_table.AddRow({TemplateName(id), BucketName(bucket),
+                       TablePrinter::Num(Summarize(f1).median, 3),
+                       TablePrinter::Num(Summarize(counts).mean, 0)});
+      sp_table.AddRow({TemplateName(id), BucketName(bucket),
+                       TablePrinter::Num(Summarize(sp).median, 2) + "x",
+                       TablePrinter::Num(Summarize(orcl).median, 2) + "x"});
+    }
+  }
+
+  std::printf("=== Figure 10: F1 by number of distinct non-sequential "
+              "reads ===\n");
+  f1_table.Print();
+  std::printf("\n=== Figure 11: speedup by number of distinct "
+              "non-sequential reads ===\n");
+  sp_table.Print();
+  std::printf("\nPaper shape: queries with more non-sequential reads are "
+              "both easier to predict and benefit more from prefetching.\n");
+}
+
+}  // namespace
+}  // namespace pythia::bench
+
+int main() { pythia::bench::Run(); }

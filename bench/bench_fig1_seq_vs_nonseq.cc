@@ -1,0 +1,64 @@
+// Figure 1: prefetching sequential vs non-sequential reads.
+//
+// An oracle provides the exact block-access sequence; one variant prefetches
+// only the sequentially-scanned blocks, the other only the non-sequential
+// ones. The paper's motivating result: prefetching sequential reads buys
+// almost nothing (the OS readahead already covers them), while prefetching
+// non-sequential reads yields the real speedup.
+#include "bench/common.h"
+
+namespace pythia::bench {
+namespace {
+
+// Distinct sequentially-accessed pages, in access order.
+std::vector<PageId> SequentialPages(const QueryTrace& trace) {
+  std::vector<PageId> out;
+  std::unordered_set<PageId> seen;
+  for (const PageAccess& a : trace.accesses) {
+    if (a.sequential && seen.insert(a.page).second) out.push_back(a.page);
+  }
+  return out;
+}
+
+void Run() {
+  auto db = Dsb();
+  TablePrinter table({"template", "prefetch sequential only",
+                      "prefetch non-sequential only"});
+  PrefetcherOptions prefetch;
+  prefetch.order = PrefetchOrder::kAccessOrder;  // oracle knows the order
+
+  for (TemplateId id :
+       {TemplateId::kDsb18, TemplateId::kDsb19, TemplateId::kDsb91}) {
+    Workload workload = MakeWorkload(*db, id);
+    SimEnvironment env(DefaultSim());
+    std::vector<double> seq_speedup, nonseq_speedup;
+    for (size_t ti : workload.test_indices) {
+      const QueryTrace& trace = workload.queries[ti].trace;
+      env.ColdRestart();
+      const SimTime base =
+          ReplayQuery(trace, {}, prefetch, &env).elapsed_us;
+      env.ColdRestart();
+      const SimTime seq_t =
+          ReplayQuery(trace, SequentialPages(trace), prefetch, &env)
+              .elapsed_us;
+      env.ColdRestart();
+      const SimTime nonseq_t =
+          ReplayQuery(trace, OraclePages(trace), prefetch, &env).elapsed_us;
+      seq_speedup.push_back(static_cast<double>(base) / seq_t);
+      nonseq_speedup.push_back(static_cast<double>(base) / nonseq_t);
+    }
+    table.AddRow({TemplateName(id), BoxCell(seq_speedup, 2) + "x",
+                  BoxCell(nonseq_speedup, 2) + "x"});
+  }
+  std::printf("=== Figure 1: oracle prefetch of sequential vs "
+              "non-sequential reads (speedup over DFLT) ===\n");
+  table.Print();
+  std::printf("\nPaper shape: non-sequential prefetching yields the "
+              "significant speedups; sequential prefetching is largely "
+              "covered by OS readahead already.\n");
+}
+
+}  // namespace
+}  // namespace pythia::bench
+
+int main() { pythia::bench::Run(); }

@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical kernels:
+// matrix multiply, B-tree lookups, buffer-pool fetches, plan serialization
+// and one-shot model inference. These are wall-clock kernels, not paper
+// figures; they document the cost structure behind the virtual-time model.
+#include <benchmark/benchmark.h>
+
+#include "bufmgr/buffer_pool.h"
+#include "core/model.h"
+#include "exec/serializer.h"
+#include "index/btree.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+#include "workload/database.h"
+#include "workload/templates.h"
+
+namespace pythia {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Pcg32 rng(1);
+  nn::Matrix a(n, n), b(n, n);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.UniformRange(-1, 1));
+    b.data()[i] = static_cast<float>(rng.UniformRange(-1, 1));
+  }
+  for (auto _ : state) {
+    nn::Matrix c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  Catalog catalog;
+  Relation* rel = catalog.CreateRelation("t", {"k"}, 50);
+  Pcg32 rng(2);
+  const Value domain = state.range(0);
+  for (Value i = 0; i < domain; ++i) {
+    rel->AppendRow({rng.UniformInt(0, domain)});
+  }
+  BTreeIndex index(&catalog, *rel, "k", 64);
+  for (auto _ : state) {
+    auto rids = index.Lookup(rng.UniformInt(0, domain), nullptr);
+    benchmark::DoNotOptimize(rids);
+  }
+}
+BENCHMARK(BM_BTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_BufferPoolFetchHit(benchmark::State& state) {
+  LatencyModel latency;
+  OsPageCache os(OsPageCache::Options{}, latency);
+  BufferPool pool(BufferPool::Options{.capacity_pages = 1024}, &os, latency);
+  for (uint32_t p = 0; p < 512; ++p) pool.FetchPage(PageId{1, p}, 0);
+  Pcg32 rng(3);
+  for (auto _ : state) {
+    auto r = pool.FetchPage(PageId{1, rng.UniformU32(512)}, 1000);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BufferPoolFetchHit);
+
+void BM_BufferPoolFetchEvict(benchmark::State& state) {
+  LatencyModel latency;
+  OsPageCache os(OsPageCache::Options{}, latency);
+  BufferPool pool(BufferPool::Options{.capacity_pages = 256}, &os, latency);
+  uint32_t p = 0;
+  for (auto _ : state) {
+    auto r = pool.FetchPage(PageId{1, p++}, p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BufferPoolFetchEvict);
+
+void BM_PlanSerialize(benchmark::State& state) {
+  auto db = BuildDsbDatabase(DsbConfig{5, 42});
+  Pcg32 rng(4);
+  QueryInstance q = SampleQuery(*db, TemplateId::kDsb18, &rng);
+  PlanSerializer serializer(&db->catalog);
+  for (auto _ : state) {
+    auto tokens = serializer.Serialize(*q.plan);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_PlanSerialize);
+
+void BM_ModelInference(benchmark::State& state) {
+  PythiaModelConfig config;
+  config.vocab_size = 256;
+  config.num_outputs = static_cast<size_t>(state.range(0));
+  PythiaModel model(config);
+  std::vector<int32_t> tokens;
+  Pcg32 rng(5);
+  for (int i = 0; i < 40; ++i) {
+    tokens.push_back(static_cast<int32_t>(rng.UniformU32(256)));
+  }
+  for (auto _ : state) {
+    auto pages = model.Predict(tokens);
+    benchmark::DoNotOptimize(pages);
+  }
+}
+BENCHMARK(BM_ModelInference)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ModelTrainStep(benchmark::State& state) {
+  PythiaModelConfig config;
+  config.vocab_size = 256;
+  config.num_outputs = 1024;
+  PythiaModel model(config);
+  std::vector<int32_t> tokens;
+  Pcg32 rng(6);
+  for (int i = 0; i < 40; ++i) {
+    tokens.push_back(static_cast<int32_t>(rng.UniformU32(256)));
+  }
+  const std::vector<uint32_t> positives = {5, 99, 512, 700};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.TrainStep(tokens, positives));
+  }
+}
+BENCHMARK(BM_ModelTrainStep);
+
+}  // namespace
+}  // namespace pythia
+
+BENCHMARK_MAIN();

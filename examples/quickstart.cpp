@@ -1,0 +1,83 @@
+// Quickstart: the complete Pythia pipeline on a small database in ~100
+// lines — build data, sample a workload, collect traces, train the
+// predictor, and compare default execution against learned prefetching.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/system.h"
+#include "util/metrics.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace pythia;
+
+  // 1. Build a DSB-like database (scale factor 20 keeps this example fast).
+  std::printf("Building database (SF=20)...\n");
+  auto db = BuildDsbDatabase(DsbConfig{.scale_factor = 20, .seed = 42});
+  std::printf("  %llu simulated pages across %zu objects\n\n",
+              static_cast<unsigned long long>(db->TotalPages()),
+              db->catalog.num_objects());
+
+  // 2. Generate a workload: 120 instances of the template-91 analogue,
+  //    executed once each to collect page-access traces (95/5 train/test).
+  std::printf("Generating workload (dsb_t91, 120 queries)...\n");
+  WorkloadOptions wopts;
+  wopts.num_queries = 120;
+  Result<Workload> workload =
+      GenerateWorkload(*db, TemplateId::kDsb91, wopts);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  %zu distinct query plans, %zu train / %zu test queries\n\n",
+              workload->DistinctPlans(), workload->train_indices.size(),
+              workload->test_indices.size());
+
+  // 3. Train Pythia: one multi-label classifier per non-sequentially
+  //    accessed database object.
+  std::printf("Training Pythia models...\n");
+  PredictorOptions popts;
+  popts.epochs = 12;
+  Result<WorkloadModel> model = WorkloadModel::Train(*db, *workload, popts);
+  if (!model.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  %zu models, %zu parameters, %.1f s\n\n",
+              model->report().num_models, model->report().total_parameters,
+              model->report().train_seconds);
+
+  // 4. Plug the trained models into the simulated buffer manager and run
+  //    each unseen test query cold, with and without Pythia.
+  SimOptions sim;
+  sim.buffer_pages = 768;
+  SimEnvironment env(sim);
+  PythiaSystem system(&env);
+  system.AddWorkload(*workload, std::move(*model));
+
+  TablePrinter table({"query", "F1", "DFLT (ms)", "PYTHIA (ms)", "speedup"});
+  PrefetcherOptions prefetch;
+  std::vector<double> speedups;
+  for (size_t ti : workload->test_indices) {
+    const WorkloadQuery& q = workload->queries[ti];
+    const QueryRunMetrics dflt =
+        system.RunQuery(q, RunMode::kDefault, prefetch);
+    const QueryRunMetrics pythia =
+        system.RunQuery(q, RunMode::kPythia, prefetch);
+    const double speedup =
+        static_cast<double>(dflt.elapsed_us) / pythia.elapsed_us;
+    speedups.push_back(speedup);
+    table.AddRow({"t91#" + std::to_string(ti),
+                  TablePrinter::Num(pythia.accuracy.f1, 3),
+                  TablePrinter::Num(dflt.elapsed_us / 1000.0, 1),
+                  TablePrinter::Num(pythia.elapsed_us / 1000.0, 1),
+                  TablePrinter::Num(speedup, 2) + "x"});
+  }
+  table.Print();
+  std::printf("\nMedian speedup from learned prefetching: %.2fx\n",
+              Summarize(speedups).median);
+  return 0;
+}

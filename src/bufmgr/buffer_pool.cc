@@ -1,0 +1,166 @@
+#include "bufmgr/buffer_pool.h"
+
+namespace pythia {
+
+BufferPool::BufferPool(const Options& options, OsPageCache* os_cache,
+                       const LatencyModel& latency)
+    : options_(options),
+      os_cache_(os_cache),
+      latency_(latency),
+      policy_(MakeReplacementPolicy(options.policy, options.capacity_pages)),
+      frames_(options.capacity_pages) {
+  free_list_.reserve(options.capacity_pages);
+  for (size_t i = options.capacity_pages; i > 0; --i) {
+    free_list_.push_back(i - 1);
+  }
+}
+
+bool BufferPool::Evictable(size_t frame, SimTime now) const {
+  const Frame& f = frames_[frame];
+  if (!f.valid || f.pin_count > 0) return false;
+  if (f.in_flight && f.arrival > now) return false;  // AIO still in progress
+  return true;
+}
+
+int64_t BufferPool::AllocateFrame(SimTime now) {
+  if (!free_list_.empty()) {
+    const size_t f = free_list_.back();
+    free_list_.pop_back();
+    return static_cast<int64_t>(f);
+  }
+  auto victim = policy_->PickVictim(
+      [this, now](size_t frame) { return Evictable(frame, now); });
+  if (!victim.has_value()) return -1;
+  const size_t f = *victim;
+  page_table_.erase(frames_[f].page);
+  policy_->OnRemove(f);
+  frames_[f] = Frame();
+  ++stats_.evictions;
+  return static_cast<int64_t>(f);
+}
+
+FetchResult BufferPool::FetchPage(PageId page, SimTime now) {
+  ++stats_.fetches;
+  FetchResult result;
+  auto it = page_table_.find(page);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.in_flight && f.arrival > now) {
+      // Block until the async read lands.
+      result.prefetch_wait_us = f.arrival - now;
+      stats_.prefetch_wait_us += result.prefetch_wait_us;
+    }
+    f.in_flight = false;
+    result.latency_us = result.prefetch_wait_us + latency_.buffer_hit_us;
+    result.source = AccessSource::kBufferHit;
+    result.served_by_prefetch = f.installed_by_prefetch;
+    ++stats_.buffer_hits;
+    if (f.installed_by_prefetch) ++stats_.prefetch_hits;
+    policy_->OnAccess(it->second);
+    return result;
+  }
+
+  // Miss: read through the OS.
+  OsReadResult os = os_cache_->Read(page);
+  result.latency_us = os.latency_us;
+  result.source = os.source;
+  switch (os.source) {
+    case AccessSource::kOsCache: ++stats_.os_cache_copies; break;
+    case AccessSource::kDiskSequential: ++stats_.disk_seq_reads; break;
+    case AccessSource::kDiskRandom: ++stats_.disk_random_reads; break;
+    case AccessSource::kBufferHit: break;  // unreachable from OS read
+  }
+
+  const int64_t frame = AllocateFrame(now);
+  if (frame < 0) {
+    // Every frame pinned or in flight: serve the read without caching it,
+    // like a strategy ring falling back to a one-off read.
+    ++stats_.uncached_reads;
+    return result;
+  }
+  Frame& f = frames_[static_cast<size_t>(frame)];
+  f.page = page;
+  f.valid = true;
+  f.in_flight = false;
+  f.installed_by_prefetch = false;
+  f.pin_count = 0;
+  page_table_[page] = static_cast<size_t>(frame);
+  policy_->OnInsert(static_cast<size_t>(frame));
+  return result;
+}
+
+Status BufferPool::StartPrefetch(PageId page, SimTime completion, bool pin,
+                                 SimTime now) {
+  auto it = page_table_.find(page);
+  if (it != page_table_.end()) {
+    // Already buffered: just bump its usage (and pin if requested).
+    Frame& f = frames_[it->second];
+    if (pin) ++f.pin_count;
+    policy_->OnAccess(it->second);
+    return Status::OK();
+  }
+  const int64_t frame = AllocateFrame(now);
+  if (frame < 0) {
+    ++stats_.prefetches_rejected;
+    return Status::ResourceExhausted("buffer pool full: prefetch skipped");
+  }
+  Frame& f = frames_[static_cast<size_t>(frame)];
+  f.page = page;
+  f.valid = true;
+  f.in_flight = true;
+  f.installed_by_prefetch = true;
+  f.pin_count = pin ? 1 : 0;
+  f.arrival = completion;
+  page_table_[page] = static_cast<size_t>(frame);
+  policy_->OnInsert(static_cast<size_t>(frame));
+  ++stats_.prefetches_started;
+  return Status::OK();
+}
+
+void BufferPool::Pin(PageId page) {
+  auto it = page_table_.find(page);
+  if (it != page_table_.end()) ++frames_[it->second].pin_count;
+}
+
+void BufferPool::Unpin(PageId page) {
+  auto it = page_table_.find(page);
+  if (it != page_table_.end() && frames_[it->second].pin_count > 0) {
+    --frames_[it->second].pin_count;
+  }
+}
+
+bool BufferPool::Contains(PageId page) const {
+  return page_table_.count(page) > 0;
+}
+
+bool BufferPool::IsPinned(PageId page) const {
+  auto it = page_table_.find(page);
+  return it != page_table_.end() && frames_[it->second].pin_count > 0;
+}
+
+bool BufferPool::IsInFlight(PageId page, SimTime now) const {
+  auto it = page_table_.find(page);
+  if (it == page_table_.end()) return false;
+  const Frame& f = frames_[it->second];
+  return f.in_flight && f.arrival > now;
+}
+
+size_t BufferPool::pinned_frames() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.valid && f.pin_count > 0) ++n;
+  }
+  return n;
+}
+
+void BufferPool::Reset() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].valid) policy_->OnRemove(i);
+    frames_[i] = Frame();
+  }
+  page_table_.clear();
+  free_list_.clear();
+  for (size_t i = frames_.size(); i > 0; --i) free_list_.push_back(i - 1);
+}
+
+}  // namespace pythia

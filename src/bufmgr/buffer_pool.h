@@ -1,0 +1,123 @@
+// The simulated RDBMS buffer pool.
+//
+// Mirrors the Postgres buffer manager as the paper uses it:
+//  - synchronous reads (`FetchPage`) always go through the pool: buffer hit,
+//    OS-cache memory copy, or disk read, with the corresponding virtual-time
+//    latency;
+//  - asynchronous prefetches (`StartPrefetch`) install an in-flight frame
+//    whose contents "arrive" at a scheduled completion time — a later fetch
+//    before that time waits for the remaining in-flight duration, exactly
+//    like blocking on an AIO in progress;
+//  - pages can be pinned (the readahead-window pinning of Section 4) and
+//    pinned or in-flight frames are never evicted;
+//  - replacement among evictable frames is delegated to a pluggable policy
+//    (Clock by default, LRU/MRU for Figure 12e).
+#ifndef PYTHIA_BUFMGR_BUFFER_POOL_H_
+#define PYTHIA_BUFMGR_BUFFER_POOL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bufmgr/replacement.h"
+#include "storage/latency_model.h"
+#include "storage/os_cache.h"
+#include "storage/page_id.h"
+#include "storage/sim_clock.h"
+#include "util/status.h"
+
+namespace pythia {
+
+struct FetchResult {
+  SimTime latency_us = 0;
+  AccessSource source = AccessSource::kBufferHit;
+  // Portion of latency spent waiting for an in-flight prefetch to land.
+  SimTime prefetch_wait_us = 0;
+  bool served_by_prefetch = false;
+};
+
+struct BufferPoolStats {
+  uint64_t fetches = 0;
+  uint64_t buffer_hits = 0;
+  uint64_t prefetch_hits = 0;       // hits on frames installed by prefetch
+  uint64_t os_cache_copies = 0;
+  uint64_t disk_seq_reads = 0;
+  uint64_t disk_random_reads = 0;
+  uint64_t evictions = 0;
+  uint64_t uncached_reads = 0;      // no evictable frame: read bypassed pool
+  uint64_t prefetches_started = 0;
+  uint64_t prefetches_rejected = 0; // pool full of unevictable frames
+  SimTime prefetch_wait_us = 0;
+};
+
+class BufferPool {
+ public:
+  struct Options {
+    size_t capacity_pages = 4096;
+    ReplacementPolicyKind policy = ReplacementPolicyKind::kClock;
+  };
+
+  // `os_cache` must outlive the pool.
+  BufferPool(const Options& options, OsPageCache* os_cache,
+             const LatencyModel& latency);
+
+  // Synchronous read of `page` at virtual time `now`.
+  FetchResult FetchPage(PageId page, SimTime now);
+
+  // Installs an in-flight frame for `page` whose I/O completes at
+  // `completion`. If the page is already buffered this is a cheap no-op that
+  // bumps its usage count (and pins it if `pin`), per Section 3.3 design
+  // consideration 4. Fails with ResourceExhausted when every frame is
+  // pinned or in flight.
+  Status StartPrefetch(PageId page, SimTime completion, bool pin,
+                       SimTime now);
+
+  // Pin/unpin for the prefetcher's readahead window. Unpin of an unknown
+  // page is a no-op (it may have been evicted or never prefetched).
+  void Pin(PageId page);
+  void Unpin(PageId page);
+
+  bool Contains(PageId page) const;
+  bool IsPinned(PageId page) const;
+  // True if the page has an in-flight frame that lands after `now`.
+  bool IsInFlight(PageId page, SimTime now) const;
+
+  size_t capacity() const { return options_.capacity_pages; }
+  size_t used_frames() const { return page_table_.size(); }
+  size_t pinned_frames() const;
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+  // Empties the pool (Postgres restart between experiment runs).
+  void Reset();
+
+ private:
+  struct Frame {
+    PageId page;
+    bool valid = false;
+    bool in_flight = false;
+    bool installed_by_prefetch = false;
+    uint32_t pin_count = 0;
+    SimTime arrival = 0;
+  };
+
+  // Finds a frame for a new page: a free one, or one evicted by the policy.
+  // Returns -1 if nothing is evictable at `now`.
+  int64_t AllocateFrame(SimTime now);
+  bool Evictable(size_t frame, SimTime now) const;
+
+  Options options_;
+  OsPageCache* os_cache_;
+  LatencyModel latency_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_list_;
+  std::unordered_map<PageId, size_t> page_table_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_BUFMGR_BUFFER_POOL_H_

@@ -1,0 +1,102 @@
+#include "bufmgr/replacement.h"
+
+namespace pythia {
+
+const char* ReplacementPolicyName(ReplacementPolicyKind kind) {
+  switch (kind) {
+    case ReplacementPolicyKind::kClock: return "Clock";
+    case ReplacementPolicyKind::kLru: return "LRU";
+    case ReplacementPolicyKind::kMru: return "MRU";
+  }
+  return "Unknown";
+}
+
+ClockPolicy::ClockPolicy(size_t capacity)
+    : usage_(capacity, 0), present_(capacity, false), capacity_(capacity) {}
+
+void ClockPolicy::OnInsert(size_t frame) {
+  present_[frame] = true;
+  usage_[frame] = 1;
+}
+
+void ClockPolicy::OnAccess(size_t frame) {
+  if (usage_[frame] < kMaxUsage) ++usage_[frame];
+}
+
+void ClockPolicy::OnRemove(size_t frame) {
+  present_[frame] = false;
+  usage_[frame] = 0;
+}
+
+std::optional<size_t> ClockPolicy::PickVictim(
+    const std::function<bool(size_t)>& evictable) {
+  if (capacity_ == 0) return std::nullopt;
+  // Each full sweep decrements every present frame once, so after at most
+  // kMaxUsage + 1 sweeps either a victim surfaced or nothing is evictable.
+  const size_t max_steps = capacity_ * (kMaxUsage + 2);
+  bool any_evictable = false;
+  for (size_t step = 0; step < max_steps; ++step) {
+    const size_t f = hand_;
+    hand_ = (hand_ + 1) % capacity_;
+    if (!present_[f] || !evictable(f)) continue;
+    any_evictable = true;
+    if (usage_[f] == 0) return f;
+    --usage_[f];
+  }
+  if (!any_evictable) return std::nullopt;
+  // All evictable frames had sticky usage counts; fall back to the first
+  // evictable frame from the hand.
+  for (size_t step = 0; step < capacity_; ++step) {
+    const size_t f = (hand_ + step) % capacity_;
+    if (present_[f] && evictable(f)) return f;
+  }
+  return std::nullopt;
+}
+
+void RecencyPolicy::OnInsert(size_t frame) {
+  OnRemove(frame);
+  order_.push_front(frame);
+  where_[frame] = order_.begin();
+}
+
+void RecencyPolicy::OnAccess(size_t frame) {
+  auto it = where_.find(frame);
+  if (it == where_.end()) return;
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+void RecencyPolicy::OnRemove(size_t frame) {
+  auto it = where_.find(frame);
+  if (it == where_.end()) return;
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+std::optional<size_t> RecencyPolicy::PickVictim(
+    const std::function<bool(size_t)>& evictable) {
+  if (evict_most_recent_) {
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (evictable(*it)) return *it;
+    }
+  } else {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      if (evictable(*it)) return *it;
+    }
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(
+    ReplacementPolicyKind kind, size_t capacity) {
+  switch (kind) {
+    case ReplacementPolicyKind::kClock:
+      return std::make_unique<ClockPolicy>(capacity);
+    case ReplacementPolicyKind::kLru:
+      return std::make_unique<RecencyPolicy>(/*evict_most_recent=*/false);
+    case ReplacementPolicyKind::kMru:
+      return std::make_unique<RecencyPolicy>(/*evict_most_recent=*/true);
+  }
+  return nullptr;
+}
+
+}  // namespace pythia

@@ -1,0 +1,91 @@
+// Buffer replacement policies. Postgres ships Clock (clock-sweep with usage
+// counts); the paper adds LRU and MRU implementations to study how Pythia
+// interacts with replacement (Figure 12e). Policies operate on frame
+// indices; the buffer pool tells them which frames are currently evictable.
+#ifndef PYTHIA_BUFMGR_REPLACEMENT_H_
+#define PYTHIA_BUFMGR_REPLACEMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pythia {
+
+enum class ReplacementPolicyKind { kClock, kLru, kMru };
+
+const char* ReplacementPolicyName(ReplacementPolicyKind kind);
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  // Frame lifecycle notifications from the buffer pool.
+  virtual void OnInsert(size_t frame) = 0;
+  virtual void OnAccess(size_t frame) = 0;
+  virtual void OnRemove(size_t frame) = 0;
+
+  // Picks a victim among frames for which `evictable(frame)` is true, or
+  // nullopt if none qualifies. Must not return a frame that was never
+  // inserted (or was removed).
+  virtual std::optional<size_t> PickVictim(
+      const std::function<bool(size_t)>& evictable) = 0;
+
+  virtual ReplacementPolicyKind kind() const = 0;
+};
+
+// Clock sweep with per-frame usage counts capped at 5, mirroring Postgres's
+// buffer strategy (usage_count saturates at BM_MAX_USAGE_COUNT = 5).
+class ClockPolicy : public ReplacementPolicy {
+ public:
+  explicit ClockPolicy(size_t capacity);
+  void OnInsert(size_t frame) override;
+  void OnAccess(size_t frame) override;
+  void OnRemove(size_t frame) override;
+  std::optional<size_t> PickVictim(
+      const std::function<bool(size_t)>& evictable) override;
+  ReplacementPolicyKind kind() const override {
+    return ReplacementPolicyKind::kClock;
+  }
+
+ private:
+  static constexpr uint8_t kMaxUsage = 5;
+  std::vector<uint8_t> usage_;
+  std::vector<bool> present_;
+  size_t hand_ = 0;
+  size_t capacity_;
+};
+
+// Recency-list policy covering both LRU (evict least recent) and MRU (evict
+// most recent).
+class RecencyPolicy : public ReplacementPolicy {
+ public:
+  explicit RecencyPolicy(bool evict_most_recent)
+      : evict_most_recent_(evict_most_recent) {}
+  void OnInsert(size_t frame) override;
+  void OnAccess(size_t frame) override;
+  void OnRemove(size_t frame) override;
+  std::optional<size_t> PickVictim(
+      const std::function<bool(size_t)>& evictable) override;
+  ReplacementPolicyKind kind() const override {
+    return evict_most_recent_ ? ReplacementPolicyKind::kMru
+                              : ReplacementPolicyKind::kLru;
+  }
+
+ private:
+  bool evict_most_recent_;
+  // Most recently used at the front.
+  std::list<size_t> order_;
+  std::unordered_map<size_t, std::list<size_t>::iterator> where_;
+};
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(
+    ReplacementPolicyKind kind, size_t capacity);
+
+}  // namespace pythia
+
+#endif  // PYTHIA_BUFMGR_REPLACEMENT_H_

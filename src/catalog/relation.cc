@@ -1,0 +1,68 @@
+#include "catalog/relation.h"
+
+#include <memory>
+
+namespace pythia {
+
+Relation::Relation(std::string name, ObjectId object_id,
+                   std::vector<std::string> column_names,
+                   uint32_t rows_per_page)
+    : name_(std::move(name)),
+      object_id_(object_id),
+      column_names_(std::move(column_names)),
+      rows_per_page_(rows_per_page),
+      columns_(column_names_.size()) {}
+
+int Relation::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Relation::AppendRow(const std::vector<Value>& row) {
+  for (size_t i = 0; i < columns_.size(); ++i) columns_[i].push_back(row[i]);
+  ++num_rows_;
+}
+
+Relation* Catalog::CreateRelation(const std::string& name,
+                                  std::vector<std::string> column_names,
+                                  uint32_t rows_per_page) {
+  const ObjectId id = RegisterObject(name);
+  auto rel = std::make_unique<Relation>(name, id, std::move(column_names),
+                                        rows_per_page);
+  Relation* ptr = rel.get();
+  relations_.push_back(std::move(rel));
+  by_name_[name] = ptr;
+  return ptr;
+}
+
+Relation* Catalog::GetRelation(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const Relation* Catalog::GetRelation(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+ObjectId Catalog::RegisterObject(const std::string& name) {
+  object_names_.push_back(name);
+  object_pages_.push_back(0);
+  return static_cast<ObjectId>(object_names_.size() - 1);
+}
+
+const std::string& Catalog::ObjectName(ObjectId id) const {
+  return object_names_[id];
+}
+
+void Catalog::SetObjectPages(ObjectId id, uint32_t pages) {
+  object_pages_[id] = pages;
+}
+
+uint32_t Catalog::ObjectPages(ObjectId id) const {
+  return object_pages_[id];
+}
+
+}  // namespace pythia

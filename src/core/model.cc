@@ -1,0 +1,86 @@
+#include "core/model.h"
+
+namespace pythia {
+
+PythiaModel::PythiaModel(const PythiaModelConfig& config)
+    : config_(config),
+      rng_(config.seed, /*stream=*/0x9e1),
+      embedding_("emb", config.vocab_size, config.embed_dim, &rng_),
+      pos_encoding_(config.embed_dim),
+      encoder_("enc",
+               nn::TransformerConfig{config.embed_dim, config.num_heads,
+                                     config.ffn_dim, config.num_layers,
+                                     /*causal=*/false},
+               &rng_),
+      decoder1_("dec1", config.embed_dim, config.decoder_hidden, &rng_),
+      decoder2_("dec2", config.decoder_hidden, config.num_outputs, &rng_) {}
+
+nn::Matrix PythiaModel::Forward(const std::vector<int32_t>& tokens) {
+  last_seq_len_ = tokens.size();
+  nn::Matrix x = pos_encoding_.Forward(embedding_.Forward(tokens));
+  nn::Matrix encoded = encoder_.Forward(x);
+  // The last token's embedding is the query representation (Section 3.3).
+  nn::Matrix query_repr(1, config_.embed_dim);
+  const float* last = encoded.row(encoded.rows() - 1);
+  for (size_t c = 0; c < config_.embed_dim; ++c) {
+    query_repr.at(0, c) = last[c];
+  }
+  return decoder2_.Forward(relu_.Forward(decoder1_.Forward(query_repr)));
+}
+
+double PythiaModel::TrainStep(const std::vector<int32_t>& tokens,
+                              const std::vector<uint32_t>& positive_outputs) {
+  nn::Matrix logits = Forward(tokens);
+  nn::Matrix targets(1, config_.num_outputs);
+  for (uint32_t p : positive_outputs) {
+    if (p < config_.num_outputs) targets.at(0, p) = 1.0f;
+  }
+  nn::LossResult loss =
+      nn::BceWithLogits(logits, targets, config_.pos_weight);
+
+  // Backward through the decoder.
+  nn::Matrix grad_repr =
+      decoder1_.Backward(relu_.Backward(decoder2_.Backward(loss.grad)));
+  // Scatter the query-representation gradient back to the last token
+  // position of the encoder output.
+  nn::Matrix grad_encoded(last_seq_len_, config_.embed_dim);
+  float* last = grad_encoded.row(last_seq_len_ - 1);
+  for (size_t c = 0; c < config_.embed_dim; ++c) {
+    last[c] = grad_repr.at(0, c);
+  }
+  nn::Matrix grad_x = encoder_.Backward(grad_encoded);
+  embedding_.Backward(grad_x);  // positional encoding is additive: identity
+  return loss.loss;
+}
+
+std::vector<uint32_t> PythiaModel::Predict(const std::vector<int32_t>& tokens,
+                                           float threshold) {
+  nn::Matrix logits = Forward(tokens);
+  std::vector<uint32_t> out;
+  // sigmoid(x) >= t  <=>  x >= log(t / (1-t)); avoids per-page exp calls.
+  const float logit_threshold =
+      std::log(threshold / (1.0f - threshold));
+  for (size_t i = 0; i < config_.num_outputs; ++i) {
+    if (logits.at(0, i) >= logit_threshold) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+nn::ParamList PythiaModel::Params() {
+  nn::ParamList params;
+  nn::AppendParams(&params, embedding_.Params());
+  nn::AppendParams(&params, encoder_.Params());
+  nn::AppendParams(&params, decoder1_.Params());
+  nn::AppendParams(&params, decoder2_.Params());
+  return params;
+}
+
+size_t PythiaModel::NumParameters() {
+  size_t total = 0;
+  for (const nn::Param* p : Params()) total += p->value.size();
+  return total;
+}
+
+}  // namespace pythia

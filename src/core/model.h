@@ -1,0 +1,75 @@
+// Pythia's hybrid predictive model (Figure 3 of the paper): a transformer
+// encoder produces a query embedding from the serialized plan; a feedforward
+// decoder turns that embedding into multi-label page-access logits, trained
+// end-to-end with BCE-with-logits.
+//
+// Paper defaults: 100-dim embeddings, 2 encoder layers with 10 heads,
+// decoder hidden size 800. This implementation uses the same architecture
+// at a configurable (default smaller) width, sized to the simulated
+// database.
+#ifndef PYTHIA_CORE_MODEL_H_
+#define PYTHIA_CORE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace pythia {
+
+struct PythiaModelConfig {
+  size_t vocab_size = 0;     // set from the training vocabulary
+  size_t num_outputs = 0;    // pages of the target database object (segment)
+  size_t embed_dim = 32;
+  size_t num_heads = 4;
+  size_t ffn_dim = 128;
+  size_t num_layers = 2;
+  size_t decoder_hidden = 128;
+  float pos_weight = 8.0f;   // BCE positive-class weight (labels are sparse)
+  uint64_t seed = 99;
+};
+
+class PythiaModel {
+ public:
+  explicit PythiaModel(const PythiaModelConfig& config);
+
+  // Forward pass: logits over the output pages, shape (1 x num_outputs).
+  nn::Matrix Forward(const std::vector<int32_t>& tokens);
+
+  // One training sample: forward, BCE-with-logits against the positive page
+  // indices, backward, gradient accumulation. Returns the loss. The caller
+  // owns the optimizer step (so minibatches are possible).
+  double TrainStep(const std::vector<int32_t>& tokens,
+                   const std::vector<uint32_t>& positive_outputs);
+
+  // Output indices whose sigmoid probability is >= threshold.
+  std::vector<uint32_t> Predict(const std::vector<int32_t>& tokens,
+                                float threshold = 0.5f);
+
+  nn::ParamList Params();
+  const PythiaModelConfig& config() const { return config_; }
+
+  // Number of trainable scalars (reported by Table-1-style diagnostics).
+  size_t NumParameters();
+
+ private:
+  PythiaModelConfig config_;
+  Pcg32 rng_;
+  nn::Embedding embedding_;
+  nn::PositionalEncoding pos_encoding_;
+  nn::TransformerEncoder encoder_;
+  nn::Linear decoder1_;
+  nn::Relu relu_;
+  nn::Linear decoder2_;
+  size_t last_seq_len_ = 0;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_CORE_MODEL_H_

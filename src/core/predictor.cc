@@ -1,0 +1,560 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <numeric>
+#include <thread>
+
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace pythia {
+
+namespace {
+
+// Maps an index object back to its base table's object id, or the object
+// itself if it is a base table. Used to group table+index into one combined
+// model for the Figure 12d ablation.
+ObjectId BaseObjectOf(const Database& db, ObjectId object) {
+  for (const auto& index : db.indexes.all()) {
+    if (index->object_id() == object) {
+      const Relation* rel = db.catalog.GetRelation(index->relation_name());
+      return rel->object_id();
+    }
+  }
+  return object;
+}
+
+}  // namespace
+
+Result<WorkloadModel> WorkloadModel::Train(const Database& db,
+                                           const Workload& workload,
+                                           const PredictorOptions& options) {
+  const auto start_time = std::chrono::steady_clock::now();
+  WorkloadModel wm;
+  wm.template_id_ = workload.template_id;
+  wm.options_ = options;
+
+  // Training subset (Figure 12b scales this down).
+  std::vector<size_t> train = workload.train_indices;
+  if (options.train_fraction < 1.0) {
+    Pcg32 rng(options.seed, /*stream=*/0xf12b);
+    rng.Shuffle(&train);
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(train.size() * options.train_fraction));
+    train.resize(keep);
+  }
+  if (train.empty()) {
+    return Status::InvalidArgument("workload has no training queries");
+  }
+
+  // Build the vocabulary and workload profile from training queries only.
+  for (size_t qi : train) {
+    const WorkloadQuery& q = workload.queries[qi];
+    wm.vocab_.Add(q.tokens);
+    for (const std::string& t : q.tokens) wm.token_profile_.insert(t);
+    wm.structure_profile_.insert(q.structure_key);
+  }
+
+  // Label sets per training query.
+  std::vector<ObjectPageSets> labels(train.size());
+  std::map<ObjectId, std::map<uint32_t, uint32_t>> page_freq;
+  for (size_t i = 0; i < train.size(); ++i) {
+    labels[i] = ProcessTrace(workload.queries[train[i]].trace,
+                             options.removal);
+    for (const auto& [object, pages] : labels[i]) {
+      for (uint32_t p : pages) ++page_freq[object][p];
+    }
+  }
+
+  // Objects to model: everything accessed non-sequentially during training,
+  // optionally restricted.
+  std::vector<ObjectId> objects;
+  for (const auto& [object, freq] : page_freq) {
+    if (!options.restrict_objects.empty() &&
+        std::find(options.restrict_objects.begin(),
+                  options.restrict_objects.end(),
+                  object) == options.restrict_objects.end()) {
+      continue;
+    }
+    objects.push_back(object);
+  }
+  if (objects.empty()) {
+    return Status::FailedPrecondition(
+        "no non-sequentially accessed objects to model");
+  }
+  wm.modeled_objects_ = objects;
+
+  // Build model units: output index -> PageId maps.
+  std::vector<std::vector<PageId>> unit_outputs;
+  if (options.top_k_pages > 0) {
+    // One unit per object over its k most frequent pages.
+    for (ObjectId object : objects) {
+      std::vector<std::pair<uint32_t, uint32_t>> freq(
+          page_freq[object].begin(), page_freq[object].end());
+      std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+      });
+      if (freq.size() > options.top_k_pages) {
+        freq.resize(options.top_k_pages);
+      }
+      std::vector<PageId> outputs;
+      for (const auto& [page, count] : freq) {
+        outputs.push_back(PageId{object, page});
+      }
+      std::sort(outputs.begin(), outputs.end());
+      unit_outputs.push_back(std::move(outputs));
+    }
+  } else if (options.combined_index_table_model) {
+    // Group objects by base table; one unit per group.
+    std::map<ObjectId, std::vector<ObjectId>> groups;
+    for (ObjectId object : objects) {
+      groups[BaseObjectOf(db, object)].push_back(object);
+    }
+    for (const auto& [base, members] : groups) {
+      std::vector<PageId> outputs;
+      for (ObjectId object : members) {
+        const uint32_t pages = db.catalog.ObjectPages(object);
+        for (uint32_t p = 0; p < pages; ++p) {
+          outputs.push_back(PageId{object, p});
+        }
+      }
+      unit_outputs.push_back(std::move(outputs));
+    }
+  } else {
+    // Default: one unit per object, split into partitions of at most
+    // max_pages_per_model pages.
+    for (ObjectId object : objects) {
+      const uint32_t pages = db.catalog.ObjectPages(object);
+      for (uint32_t lo = 0; lo < pages; lo += options.max_pages_per_model) {
+        const uint32_t hi = std::min<uint32_t>(
+            pages, lo + static_cast<uint32_t>(options.max_pages_per_model));
+        std::vector<PageId> outputs;
+        outputs.reserve(hi - lo);
+        for (uint32_t p = lo; p < hi; ++p) {
+          outputs.push_back(PageId{object, p});
+        }
+        unit_outputs.push_back(std::move(outputs));
+      }
+      if (pages == 0) {
+        return Status::Internal("object with zero pages in catalog");
+      }
+    }
+  }
+
+  // Encode training inputs once.
+  std::vector<std::vector<int32_t>> encoded(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    encoded[i] = wm.vocab_.Encode(workload.queries[train[i]].tokens);
+  }
+
+  // Train units in parallel.
+  wm.units_.resize(unit_outputs.size());
+  std::vector<double> final_losses(unit_outputs.size(), 0.0);
+  std::atomic<size_t> next_unit{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t u = next_unit.fetch_add(1);
+      if (u >= unit_outputs.size()) return;
+      const std::vector<PageId>& outputs = unit_outputs[u];
+
+      // Per-query positive output indices for this unit.
+      std::unordered_map<PageId, uint32_t> to_output;
+      to_output.reserve(outputs.size());
+      for (uint32_t i = 0; i < outputs.size(); ++i) {
+        to_output[outputs[i]] = i;
+      }
+      std::vector<std::vector<uint32_t>> positives(train.size());
+      for (size_t i = 0; i < train.size(); ++i) {
+        for (const auto& [object, pages] : labels[i]) {
+          for (uint32_t p : pages) {
+            auto it = to_output.find(PageId{object, p});
+            if (it != to_output.end()) positives[i].push_back(it->second);
+          }
+        }
+      }
+
+      PythiaModelConfig config;
+      config.vocab_size = wm.vocab_.size();
+      config.num_outputs = outputs.size();
+      config.embed_dim = options.embed_dim;
+      config.num_heads = options.num_heads;
+      config.ffn_dim = options.ffn_dim;
+      config.num_layers = options.num_layers;
+      config.decoder_hidden = options.decoder_hidden;
+      config.pos_weight = options.pos_weight;
+      config.seed = options.seed + 31 * u;
+
+      Unit& unit = wm.units_[u];
+      unit.model = std::make_unique<PythiaModel>(config);
+      unit.output_pages = outputs;
+
+      nn::Adam::Options adam;
+      adam.lr = options.lr;
+      nn::Adam optimizer(unit.model->Params(), adam);
+
+      Pcg32 rng(options.seed + 1000 + u, /*stream=*/0x7a1);
+      std::vector<size_t> order(train.size());
+      std::iota(order.begin(), order.end(), 0u);
+      const size_t batch = std::max<size_t>(1, options.batch_size);
+      double last_epoch_loss = 0.0;
+      for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        rng.Shuffle(&order);
+        double epoch_loss = 0.0;
+        size_t in_batch = 0;
+        for (size_t i : order) {
+          epoch_loss += unit.model->TrainStep(encoded[i], positives[i]);
+          if (++in_batch == batch) {
+            optimizer.ScaleGrads(1.0f / in_batch);
+            optimizer.ClipGradNorm(options.grad_clip);
+            optimizer.Step();
+            in_batch = 0;
+          }
+        }
+        if (in_batch > 0) {
+          optimizer.ScaleGrads(1.0f / in_batch);
+          optimizer.ClipGradNorm(options.grad_clip);
+          optimizer.Step();
+        }
+        last_epoch_loss = epoch_loss / order.size();
+      }
+      final_losses[u] = last_epoch_loss;
+    }
+  };
+
+  size_t num_threads = options.num_threads > 0
+                           ? options.num_threads
+                           : std::thread::hardware_concurrency();
+  num_threads = std::max<size_t>(1, std::min(num_threads,
+                                             unit_outputs.size()));
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t + 1 < num_threads; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
+
+  // Report.
+  wm.report_.num_models = wm.units_.size();
+  for (Unit& unit : wm.units_) {
+    wm.report_.total_parameters += unit.model->NumParameters();
+  }
+  wm.report_.mean_final_loss =
+      std::accumulate(final_losses.begin(), final_losses.end(), 0.0) /
+      final_losses.size();
+  wm.report_.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return wm;
+}
+
+std::unordered_set<PageId> WorkloadModel::Predict(
+    const std::vector<std::string>& tokens) {
+  const std::vector<int32_t> encoded = vocab_.Encode(tokens);
+  std::unordered_set<PageId> out;
+  for (Unit& unit : units_) {
+    for (uint32_t idx : unit.model->Predict(encoded, options_.threshold)) {
+      out.insert(unit.output_pages[idx]);
+    }
+  }
+  return out;
+}
+
+std::unordered_set<PageId> WorkloadModel::RestrictToModeled(
+    const ObjectPageSets& sets) const {
+  std::unordered_set<PageId> out;
+  for (const auto& [object, pages] : sets) {
+    if (std::find(modeled_objects_.begin(), modeled_objects_.end(), object) ==
+        modeled_objects_.end()) {
+      continue;
+    }
+    for (uint32_t p : pages) out.insert(PageId{object, p});
+  }
+  return out;
+}
+
+double WorkloadModel::MatchScore(const std::vector<std::string>& tokens,
+                                 const std::string& structure_key) const {
+  if (structure_profile_.count(structure_key) > 0) return 1.0;
+  if (tokens.empty()) return 0.0;
+  size_t covered = 0;
+  for (const std::string& t : tokens) covered += token_profile_.count(t);
+  return static_cast<double>(covered) / tokens.size();
+}
+
+
+// ---------------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kModelMagic = 0x5059574d;  // "PYWM"
+constexpr uint32_t kModelVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+bool WriteString(std::FILE* f, const std::string& s) {
+  const uint32_t len = static_cast<uint32_t>(s.size());
+  return WritePod(f, len) && std::fwrite(s.data(), 1, len, f) == len;
+}
+
+bool ReadString(std::FILE* f, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadPod(f, &len)) return false;
+  s->resize(len);
+  return std::fread(s->data(), 1, len, f) == len;
+}
+
+// FNV-1a over raw bytes, for configuration fingerprints.
+uint64_t FnvMix(uint64_t h, const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+uint64_t FnvPod(uint64_t h, const T& v) {
+  return FnvMix(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+uint64_t WorkloadModel::Fingerprint(const PredictorOptions& options,
+                                    const Workload& workload,
+                                    uint64_t db_pages) {
+  uint64_t h = 14695981039346656037ULL;
+  h = FnvPod(h, kModelVersion);
+  h = FnvPod(h, options.embed_dim);
+  h = FnvPod(h, options.num_heads);
+  h = FnvPod(h, options.ffn_dim);
+  h = FnvPod(h, options.num_layers);
+  h = FnvPod(h, options.decoder_hidden);
+  h = FnvPod(h, options.pos_weight);
+  h = FnvPod(h, options.threshold);
+  h = FnvPod(h, options.epochs);
+  h = FnvPod(h, options.batch_size);
+  h = FnvPod(h, options.lr);
+  h = FnvPod(h, options.grad_clip);
+  h = FnvPod(h, options.train_fraction);
+  h = FnvPod(h, options.seed);
+  h = FnvPod(h, options.removal);
+  h = FnvPod(h, options.max_pages_per_model);
+  h = FnvPod(h, options.combined_index_table_model);
+  h = FnvPod(h, options.top_k_pages);
+  for (ObjectId o : options.restrict_objects) h = FnvPod(h, o);
+  h = FnvPod(h, workload.template_id);
+  h = FnvPod(h, workload.queries.size());
+  h = FnvPod(h, workload.train_indices.size());
+  h = FnvPod(h, db_pages);
+  return h;
+}
+
+Status WorkloadModel::Save(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  bool ok = WritePod(f.get(), kModelMagic) &&
+            WritePod(f.get(), kModelVersion) &&
+            WritePod(f.get(), fingerprint_) &&
+            WritePod(f.get(), static_cast<uint32_t>(template_id_));
+  // Architecture/config needed to rebuild units.
+  ok = ok && WritePod(f.get(), options_.embed_dim) &&
+       WritePod(f.get(), options_.num_heads) &&
+       WritePod(f.get(), options_.ffn_dim) &&
+       WritePod(f.get(), options_.num_layers) &&
+       WritePod(f.get(), options_.decoder_hidden) &&
+       WritePod(f.get(), options_.pos_weight) &&
+       WritePod(f.get(), options_.threshold) &&
+       WritePod(f.get(), options_.seed) &&
+       WritePod(f.get(), static_cast<uint32_t>(options_.removal));
+  // Report.
+  ok = ok && WritePod(f.get(), report_.train_seconds) &&
+       WritePod(f.get(), static_cast<uint64_t>(report_.num_models)) &&
+       WritePod(f.get(), static_cast<uint64_t>(report_.total_parameters)) &&
+       WritePod(f.get(), report_.mean_final_loss);
+  if (!ok) return Status::IoError("write failed: " + path);
+
+  // Modeled objects.
+  if (!WritePod(f.get(), static_cast<uint32_t>(modeled_objects_.size()))) {
+    return Status::IoError("write failed: " + path);
+  }
+  for (ObjectId o : modeled_objects_) {
+    if (!WritePod(f.get(), o)) return Status::IoError("write failed");
+  }
+
+  // Vocabulary in id order.
+  if (!WritePod(f.get(), static_cast<uint32_t>(vocab_.size()))) {
+    return Status::IoError("write failed: " + path);
+  }
+  for (size_t i = 0; i < vocab_.size(); ++i) {
+    if (!WriteString(f.get(), vocab_.Token(static_cast<int32_t>(i)))) {
+      return Status::IoError("write failed: " + path);
+    }
+  }
+
+  // Profiles.
+  auto write_set = [&](const std::unordered_set<std::string>& set) {
+    if (!WritePod(f.get(), static_cast<uint32_t>(set.size()))) return false;
+    for (const std::string& s : set) {
+      if (!WriteString(f.get(), s)) return false;
+    }
+    return true;
+  };
+  if (!write_set(token_profile_) || !write_set(structure_profile_)) {
+    return Status::IoError("write failed: " + path);
+  }
+
+  // Units.
+  if (!WritePod(f.get(), static_cast<uint32_t>(units_.size()))) {
+    return Status::IoError("write failed: " + path);
+  }
+  for (size_t u = 0; u < units_.size(); ++u) {
+    Unit& unit = units_[u];
+    if (!WritePod(f.get(), static_cast<uint32_t>(unit.output_pages.size()))) {
+      return Status::IoError("write failed: " + path);
+    }
+    for (const PageId& p : unit.output_pages) {
+      const uint64_t packed = p.Pack();
+      if (!WritePod(f.get(), packed)) return Status::IoError("write failed");
+    }
+    Status s = nn::WriteParams(f.get(), unit.model->Params());
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("no cached model at: " + path);
+  uint32_t magic = 0, version = 0, template_id = 0, removal = 0;
+  WorkloadModel wm;
+  bool ok = ReadPod(f.get(), &magic) && magic == kModelMagic &&
+            ReadPod(f.get(), &version) && version == kModelVersion &&
+            ReadPod(f.get(), &wm.fingerprint_) &&
+            ReadPod(f.get(), &template_id);
+  ok = ok && ReadPod(f.get(), &wm.options_.embed_dim) &&
+       ReadPod(f.get(), &wm.options_.num_heads) &&
+       ReadPod(f.get(), &wm.options_.ffn_dim) &&
+       ReadPod(f.get(), &wm.options_.num_layers) &&
+       ReadPod(f.get(), &wm.options_.decoder_hidden) &&
+       ReadPod(f.get(), &wm.options_.pos_weight) &&
+       ReadPod(f.get(), &wm.options_.threshold) &&
+       ReadPod(f.get(), &wm.options_.seed) && ReadPod(f.get(), &removal);
+  uint64_t num_models = 0, total_params = 0;
+  ok = ok && ReadPod(f.get(), &wm.report_.train_seconds) &&
+       ReadPod(f.get(), &num_models) && ReadPod(f.get(), &total_params) &&
+       ReadPod(f.get(), &wm.report_.mean_final_loss);
+  if (!ok) return Status::IoError("corrupt model file: " + path);
+  wm.template_id_ = static_cast<TemplateId>(template_id);
+  wm.options_.removal = static_cast<SequentialRemoval>(removal);
+  wm.report_.num_models = num_models;
+  wm.report_.total_parameters = total_params;
+
+  uint32_t count = 0;
+  if (!ReadPod(f.get(), &count)) return Status::IoError("corrupt: " + path);
+  for (uint32_t i = 0; i < count; ++i) {
+    ObjectId o = 0;
+    if (!ReadPod(f.get(), &o)) return Status::IoError("corrupt: " + path);
+    wm.modeled_objects_.push_back(o);
+  }
+
+  if (!ReadPod(f.get(), &count)) return Status::IoError("corrupt: " + path);
+  std::vector<std::string> tokens;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string s;
+    if (!ReadString(f.get(), &s)) return Status::IoError("corrupt: " + path);
+    tokens.push_back(std::move(s));
+  }
+  wm.vocab_.Add(tokens);  // [UNK] is id 0 in both
+  if (wm.vocab_.size() != count) {
+    return Status::Internal("vocabulary reconstruction mismatch");
+  }
+
+  auto read_set = [&](std::unordered_set<std::string>* set) {
+    uint32_t n = 0;
+    if (!ReadPod(f.get(), &n)) return false;
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string s;
+      if (!ReadString(f.get(), &s)) return false;
+      set->insert(std::move(s));
+    }
+    return true;
+  };
+  if (!read_set(&wm.token_profile_) || !read_set(&wm.structure_profile_)) {
+    return Status::IoError("corrupt: " + path);
+  }
+
+  uint32_t num_units = 0;
+  if (!ReadPod(f.get(), &num_units)) return Status::IoError("corrupt");
+  wm.units_.resize(num_units);
+  for (uint32_t u = 0; u < num_units; ++u) {
+    Unit& unit = wm.units_[u];
+    uint32_t num_outputs = 0;
+    if (!ReadPod(f.get(), &num_outputs)) return Status::IoError("corrupt");
+    unit.output_pages.reserve(num_outputs);
+    for (uint32_t i = 0; i < num_outputs; ++i) {
+      uint64_t packed = 0;
+      if (!ReadPod(f.get(), &packed)) return Status::IoError("corrupt");
+      unit.output_pages.push_back(PageId::Unpack(packed));
+    }
+    PythiaModelConfig config;
+    config.vocab_size = wm.vocab_.size();
+    config.num_outputs = num_outputs;
+    config.embed_dim = wm.options_.embed_dim;
+    config.num_heads = wm.options_.num_heads;
+    config.ffn_dim = wm.options_.ffn_dim;
+    config.num_layers = wm.options_.num_layers;
+    config.decoder_hidden = wm.options_.decoder_hidden;
+    config.pos_weight = wm.options_.pos_weight;
+    config.seed = wm.options_.seed + 31 * u;
+    unit.model = std::make_unique<PythiaModel>(config);
+    Status s = nn::ReadParams(f.get(), unit.model->Params());
+    if (!s.ok()) return s;
+  }
+  return wm;
+}
+
+Result<WorkloadModel> GetOrTrainWorkloadModel(const std::string& cache_path,
+                                              const Database& db,
+                                              const Workload& workload,
+                                              const PredictorOptions& options) {
+  const uint64_t want =
+      WorkloadModel::Fingerprint(options, workload, db.TotalPages());
+  Result<WorkloadModel> cached = WorkloadModel::Load(cache_path);
+  if (cached.ok() && cached->fingerprint() == want) {
+    // Threshold may be swept without retraining: adopt the requested one.
+    cached->set_threshold(options.threshold);
+    return cached;
+  }
+  Result<WorkloadModel> fresh = WorkloadModel::Train(db, workload, options);
+  if (!fresh.ok()) return fresh;
+  fresh->set_fingerprint(want);
+  Status s = fresh->Save(cache_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "warning: could not cache model to %s: %s\n",
+                 cache_path.c_str(), s.ToString().c_str());
+  }
+  return fresh;
+}
+
+}  // namespace pythia

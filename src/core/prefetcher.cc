@@ -1,0 +1,84 @@
+#include "core/prefetcher.h"
+
+#include <algorithm>
+
+namespace pythia {
+
+PrefetchSession::PrefetchSession(std::vector<PageId> pages,
+                                 const PrefetcherOptions& options,
+                                 BufferPool* pool, OsPageCache* os_cache,
+                                 IoScheduler* io,
+                                 const LatencyModel& latency)
+    : queue_(std::move(pages)),
+      options_(options),
+      pool_(pool),
+      os_cache_(os_cache),
+      io_(io),
+      latency_(latency) {
+  if (options_.order == PrefetchOrder::kFileOffset) {
+    std::sort(queue_.begin(), queue_.end());
+    queue_.erase(std::unique(queue_.begin(), queue_.end()), queue_.end());
+  }
+  // Leave headroom in the pool so the executor always has evictable frames:
+  // prefetch at most 3/4 of the buffer capacity for one query.
+  budget_ = options_.max_prefetch_pages > 0
+                ? options_.max_prefetch_pages
+                : pool_->capacity() * 3 / 4;
+  if (queue_.size() > budget_) {
+    stats_.skipped_budget = queue_.size() - budget_;
+    queue_.resize(budget_);
+  }
+}
+
+void PrefetchSession::Pump(SimTime now) {
+  if (finished_ || now < options_.start_delay_us) return;
+  while (next_ < queue_.size() &&
+         outstanding_.size() < options_.readahead_window) {
+    const PageId page = queue_[next_];
+    if (pool_->Contains(page)) {
+      // Already buffered (maybe the query itself read it first): nothing
+      // happens except a usage-count bump and a pin (Section 3.3, design
+      // consideration 4).
+      Status s = pool_->StartPrefetch(page, now, /*pin=*/true, now);
+      if (s.ok()) {
+        ++stats_.already_buffered;
+        outstanding_.insert(page);
+      }
+      ++next_;
+      continue;
+    }
+    // The async read passes through the OS: issuing in offset order makes
+    // many of these sequential follow-ons or OS-cache copies.
+    const OsReadResult os = os_cache_->Read(page);
+    const SimTime completion = io_->Schedule(now, os.latency_us);
+    Status s = pool_->StartPrefetch(page, completion, /*pin=*/true, now);
+    if (!s.ok()) {
+      // Pool has no evictable frame: stop pumping for now; retry on the
+      // next Pump when pins may have been released.
+      ++stats_.rejected_by_pool;
+      return;
+    }
+    outstanding_.insert(page);
+    ++stats_.issued;
+    ++next_;
+  }
+}
+
+void PrefetchSession::OnFetch(PageId page, SimTime now) {
+  if (finished_) return;
+  auto it = outstanding_.find(page);
+  if (it == outstanding_.end()) return;
+  outstanding_.erase(it);
+  pool_->Unpin(page);
+  ++stats_.consumed;
+  Pump(now);
+}
+
+void PrefetchSession::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (const PageId& page : outstanding_) pool_->Unpin(page);
+  outstanding_.clear();
+}
+
+}  // namespace pythia

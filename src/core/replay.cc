@@ -1,0 +1,154 @@
+#include "core/replay.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pythia {
+
+namespace {
+
+BufferPoolStats StatsDelta(const BufferPoolStats& after,
+                           const BufferPoolStats& before) {
+  BufferPoolStats d;
+  d.fetches = after.fetches - before.fetches;
+  d.buffer_hits = after.buffer_hits - before.buffer_hits;
+  d.prefetch_hits = after.prefetch_hits - before.prefetch_hits;
+  d.os_cache_copies = after.os_cache_copies - before.os_cache_copies;
+  d.disk_seq_reads = after.disk_seq_reads - before.disk_seq_reads;
+  d.disk_random_reads = after.disk_random_reads - before.disk_random_reads;
+  d.evictions = after.evictions - before.evictions;
+  d.uncached_reads = after.uncached_reads - before.uncached_reads;
+  d.prefetches_started = after.prefetches_started - before.prefetches_started;
+  d.prefetches_rejected =
+      after.prefetches_rejected - before.prefetches_rejected;
+  d.prefetch_wait_us = after.prefetch_wait_us - before.prefetch_wait_us;
+  return d;
+}
+
+}  // namespace
+
+SimEnvironment::SimEnvironment(const SimOptions& options)
+    : options_(options) {
+  OsPageCache::Options os_options;
+  os_options.capacity_pages = options.os_cache_pages;
+  os_options.readahead_pages = options.os_readahead_pages;
+  os_cache_ = std::make_unique<OsPageCache>(os_options, options.latency);
+
+  BufferPool::Options pool_options;
+  pool_options.capacity_pages = options.buffer_pages;
+  pool_options.policy = options.policy;
+  pool_ = std::make_unique<BufferPool>(pool_options, os_cache_.get(),
+                                       options.latency);
+  io_ = std::make_unique<IoScheduler>(options.io_channels);
+}
+
+void SimEnvironment::ColdRestart() {
+  pool_->Reset();
+  pool_->ResetStats();
+  os_cache_->DropCaches();
+  io_->Reset();
+}
+
+ReplayResult ReplayQuery(const QueryTrace& trace,
+                         const std::vector<PageId>& prefetch_pages,
+                         const PrefetcherOptions& prefetch_options,
+                         SimEnvironment* env) {
+  ReplayResult result;
+  const BufferPoolStats before = env->pool().stats();
+  const LatencyModel& latency = env->options().latency;
+
+  std::unique_ptr<PrefetchSession> session;
+  if (!prefetch_pages.empty()) {
+    session = std::make_unique<PrefetchSession>(
+        prefetch_pages, prefetch_options, &env->pool(), &env->os_cache(),
+        &env->io(), latency);
+  }
+
+  SimTime now = 0;
+  for (const PageAccess& access : trace.accesses) {
+    now += static_cast<SimTime>(access.cpu_tuples_before) *
+           latency.cpu_per_tuple_us;
+    if (session != nullptr) session->Pump(now);
+    const FetchResult fetch = env->pool().FetchPage(access.page, now);
+    now += fetch.latency_us;
+    if (session != nullptr) session->OnFetch(access.page, now);
+  }
+  if (session != nullptr) {
+    session->Finish();
+    result.prefetch_stats = session->stats();
+  }
+  result.elapsed_us = now;
+  result.pool_stats = StatsDelta(env->pool().stats(), before);
+  return result;
+}
+
+ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
+                                  SimEnvironment* env) {
+  const LatencyModel& latency = env->options().latency;
+  const size_t n = queries.size();
+
+  struct QueryState {
+    SimTime clock = 0;
+    size_t next_access = 0;
+    std::unique_ptr<PrefetchSession> session;
+    bool done = false;
+  };
+  std::vector<QueryState> states(n);
+  ConcurrentResult result;
+  result.start_us.resize(n);
+  result.end_us.resize(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    states[i].clock = queries[i].arrival_us;
+    result.start_us[i] = queries[i].arrival_us;
+    if (!queries[i].prefetch_pages.empty()) {
+      // The session's start delay is relative to the query's own start.
+      PrefetcherOptions opts = queries[i].prefetch_options;
+      opts.start_delay_us += queries[i].arrival_us;
+      states[i].session = std::make_unique<PrefetchSession>(
+          queries[i].prefetch_pages, opts, &env->pool(), &env->os_cache(),
+          &env->io(), latency);
+    }
+    if (queries[i].trace->accesses.empty()) {
+      states[i].done = true;
+      result.end_us[i] = states[i].clock;
+    }
+  }
+
+  // Event loop: always advance the query with the smallest local clock.
+  for (;;) {
+    size_t pick = n;
+    SimTime best = std::numeric_limits<SimTime>::max();
+    for (size_t i = 0; i < n; ++i) {
+      if (!states[i].done && states[i].clock < best) {
+        best = states[i].clock;
+        pick = i;
+      }
+    }
+    if (pick == n) break;
+
+    QueryState& st = states[pick];
+    const PageAccess& access =
+        queries[pick].trace->accesses[st.next_access];
+    st.clock += static_cast<SimTime>(access.cpu_tuples_before) *
+                latency.cpu_per_tuple_us;
+    if (st.session != nullptr) st.session->Pump(st.clock);
+    const FetchResult fetch = env->pool().FetchPage(access.page, st.clock);
+    st.clock += fetch.latency_us;
+    if (st.session != nullptr) st.session->OnFetch(access.page, st.clock);
+
+    if (++st.next_access >= queries[pick].trace->accesses.size()) {
+      st.done = true;
+      if (st.session != nullptr) st.session->Finish();
+      result.end_us[pick] = st.clock;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    result.makespan_us = std::max(result.makespan_us, result.end_us[i]);
+    result.total_query_us += result.end_us[i] - result.start_us[i];
+  }
+  return result;
+}
+
+}  // namespace pythia

@@ -1,0 +1,92 @@
+// Deterministic timing simulation: replays recorded query traces against
+// the buffer pool / OS cache / async I/O channels under a chosen prefetch
+// strategy, in virtual time.
+//
+// The paper measures speedup as time(default Postgres) / time(variant),
+// restarting Postgres and dropping OS caches between runs for cold-cache
+// behaviour (Section 5.1). `SimEnvironment::ColdRestart()` reproduces that
+// protocol; the multi-query simulator (Section 5.4) keeps caches warm
+// across a batch instead.
+#ifndef PYTHIA_CORE_REPLAY_H_
+#define PYTHIA_CORE_REPLAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "bufmgr/buffer_pool.h"
+#include "core/prefetcher.h"
+#include "exec/trace.h"
+#include "storage/io_scheduler.h"
+#include "storage/latency_model.h"
+#include "storage/os_cache.h"
+
+namespace pythia {
+
+struct SimOptions {
+  LatencyModel latency;
+  size_t buffer_pages = 1024;  // ~1% of a SF-100 database, like the paper
+  ReplacementPolicyKind policy = ReplacementPolicyKind::kClock;
+  size_t os_cache_pages = 4096;
+  uint32_t os_readahead_pages = 32;
+  size_t io_channels = 8;
+};
+
+class SimEnvironment {
+ public:
+  explicit SimEnvironment(const SimOptions& options);
+
+  // Postgres restart + `drop_caches`: empties the buffer pool, the OS page
+  // cache and the I/O channel timelines.
+  void ColdRestart();
+
+  OsPageCache& os_cache() { return *os_cache_; }
+  BufferPool& pool() { return *pool_; }
+  IoScheduler& io() { return *io_; }
+  const SimOptions& options() const { return options_; }
+
+ private:
+  SimOptions options_;
+  std::unique_ptr<OsPageCache> os_cache_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<IoScheduler> io_;
+};
+
+struct ReplayResult {
+  SimTime elapsed_us = 0;
+  BufferPoolStats pool_stats;      // delta for this replay
+  PrefetchSessionStats prefetch_stats;
+};
+
+// Replays one query. `prefetch_pages` empty means no prefetching (DFLT).
+// Does not reset the environment — callers decide between cold and warm
+// runs.
+ReplayResult ReplayQuery(const QueryTrace& trace,
+                         const std::vector<PageId>& prefetch_pages,
+                         const PrefetcherOptions& prefetch_options,
+                         SimEnvironment* env);
+
+// One query of a concurrent batch.
+struct ConcurrentQuery {
+  const QueryTrace* trace = nullptr;
+  std::vector<PageId> prefetch_pages;  // empty = no prefetch for this query
+  SimTime arrival_us = 0;
+  PrefetcherOptions prefetch_options;
+};
+
+struct ConcurrentResult {
+  std::vector<SimTime> start_us;
+  std::vector<SimTime> end_us;
+  SimTime makespan_us = 0;      // last end
+  SimTime total_query_us = 0;   // sum of per-query elapsed times
+};
+
+// Event-driven interleaved replay of several queries sharing the buffer
+// pool, OS cache and I/O channels (Section 5.4). Queries run "in parallel":
+// each advances its own virtual clock; shared state is updated in global
+// time order.
+ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
+                                  SimEnvironment* env);
+
+}  // namespace pythia
+
+#endif  // PYTHIA_CORE_REPLAY_H_

@@ -1,0 +1,84 @@
+// Sequence-prediction baseline for Figure 9.
+//
+// The paper compares Pythia against transformer next-block predictors (a
+// HuggingFace Longformer) that, given the past K block accesses, predict the
+// next one — trained on raw traces or on deduplicated traces, with context
+// windows of 32 and 64. The conclusion it reproduces: similar prediction
+// quality on the pages it sees, but training and (autoregressive, one
+// inference per block) prediction are orders of magnitude more expensive
+// than Pythia's single-shot classification.
+//
+// This implementation is a causal transformer over a block-id vocabulary.
+// Evaluation is teacher-forced: for every position of the test trace the
+// model predicts the next block from the true previous K; predictions are
+// collected into a set and scored (F1) against the actual set, and the
+// measured wall-clock per-block inference cost is reported.
+#ifndef PYTHIA_CORE_SEQ_BASELINE_H_
+#define PYTHIA_CORE_SEQ_BASELINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/trace_processor.h"
+#include "nn/layers.h"
+#include "nn/transformer.h"
+#include "util/metrics.h"
+#include "workload/generator.h"
+
+namespace pythia {
+
+struct SeqBaselineConfig {
+  size_t context_window = 32;
+  bool dedup_input = true;    // train on deduplicated traces (second variant)
+  size_t embed_dim = 32;
+  size_t num_heads = 4;
+  size_t ffn_dim = 128;
+  size_t num_layers = 2;
+  int epochs = 2;
+  float lr = 1e-3f;
+  size_t max_seq_len = 512;          // truncate long traces for training
+  size_t max_train_sequences = 60;   // subsample the training set
+  uint64_t seed = 23;
+};
+
+struct SeqEvalResult {
+  PrecisionRecall accuracy;
+  double next_block_hit_rate = 0.0;  // exact next-block accuracy
+  double infer_seconds = 0.0;        // wall clock for this query
+  size_t blocks_predicted = 0;
+};
+
+class SequenceTransformerBaseline {
+ public:
+  // Trains on the workload's training traces (non-sequential accesses of
+  // all objects). Wall-clock training time is recorded in train_seconds().
+  SequenceTransformerBaseline(const Workload& workload,
+                              const SeqBaselineConfig& config);
+
+  // Teacher-forced evaluation on one test trace (autoregressive cost: one
+  // forward pass per predicted block).
+  SeqEvalResult Evaluate(const QueryTrace& trace);
+
+  double train_seconds() const { return train_seconds_; }
+  size_t vocab_size() const { return classes_.size(); }
+
+ private:
+  // Block-id sequence of a trace under the configured variant.
+  std::vector<int32_t> EncodeTrace(const QueryTrace& trace) const;
+
+  SeqBaselineConfig config_;
+  // PageId -> class id (0 = unknown/OOV).
+  std::unordered_map<PageId, int32_t> class_of_;
+  std::vector<PageId> classes_;  // class id -> page
+
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::PositionalEncoding> pos_encoding_;
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  std::unique_ptr<nn::Linear> head_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_CORE_SEQ_BASELINE_H_

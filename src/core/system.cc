@@ -1,0 +1,119 @@
+#include "core/system.h"
+
+#include <algorithm>
+
+namespace pythia {
+
+const char* RunModeName(RunMode mode) {
+  switch (mode) {
+    case RunMode::kDefault: return "DFLT";
+    case RunMode::kPythia: return "PYTHIA";
+    case RunMode::kOracle: return "ORCL";
+    case RunMode::kNearestNeighbor: return "NN";
+  }
+  return "Unknown";
+}
+
+void PythiaSystem::AddWorkload(const Workload& workload,
+                               WorkloadModel&& model) {
+  auto nn = std::make_unique<NearestNeighborBaseline>(
+      workload, model.modeled_objects(), model.options().removal);
+  entries_.push_back(
+      std::make_unique<Entry>(std::move(model), std::move(nn)));
+}
+
+WorkloadModel* PythiaSystem::MatchWorkload(const WorkloadQuery& query) {
+  WorkloadModel* best = nullptr;
+  double best_score = match_threshold_;
+  for (const auto& entry : entries_) {
+    const double score =
+        entry->model.MatchScore(query.tokens, query.structure_key);
+    if (score >= best_score) {
+      best_score = score;
+      best = &entry->model;
+    }
+  }
+  return best;
+}
+
+std::vector<PageId> PythiaSystem::PrefetchPlan(const WorkloadQuery& query,
+                                               RunMode mode,
+                                               QueryRunMetrics* metrics) {
+  switch (mode) {
+    case RunMode::kDefault:
+      return {};
+    case RunMode::kOracle: {
+      // Perfect prediction by definition.
+      std::vector<PageId> pages = OraclePages(query.trace);
+      if (metrics != nullptr) {
+        metrics->engaged = true;
+        metrics->accuracy.precision = 1.0;
+        metrics->accuracy.recall = 1.0;
+        metrics->accuracy.f1 = 1.0;
+        metrics->predicted_pages = pages.size();
+      }
+      return pages;
+    }
+    case RunMode::kPythia: {
+      WorkloadModel* model = MatchWorkload(query);
+      if (model == nullptr) return {};
+      std::unordered_set<PageId> predicted = model->Predict(query.tokens);
+      const std::unordered_set<PageId> truth = model->RestrictToModeled(
+          ProcessTrace(query.trace, model->options().removal));
+      if (metrics != nullptr) {
+        metrics->engaged = true;
+        metrics->accuracy = ComputeSetMetrics(predicted, truth);
+        metrics->predicted_pages = predicted.size();
+      }
+      std::vector<PageId> pages(predicted.begin(), predicted.end());
+      std::sort(pages.begin(), pages.end());
+      return pages;
+    }
+    case RunMode::kNearestNeighbor: {
+      // NN is tied to the workload the query belongs to; fall back to the
+      // first entry if matching fails (it is an idealized baseline).
+      Entry* entry = nullptr;
+      WorkloadModel* model = MatchWorkload(query);
+      for (const auto& e : entries_) {
+        if (&e->model == model) entry = e.get();
+      }
+      if (entry == nullptr && !entries_.empty()) entry = entries_[0].get();
+      if (entry == nullptr) return {};
+      const std::unordered_set<PageId> truth =
+          entry->nn->GroundTruth(query.trace);
+      const std::unordered_set<PageId>& predicted =
+          entry->nn->Predict(truth);
+      if (metrics != nullptr) {
+        metrics->engaged = true;
+        metrics->accuracy = ComputeSetMetrics(predicted, truth);
+        metrics->predicted_pages = predicted.size();
+      }
+      std::vector<PageId> pages(predicted.begin(), predicted.end());
+      std::sort(pages.begin(), pages.end());
+      return pages;
+    }
+  }
+  return {};
+}
+
+QueryRunMetrics PythiaSystem::RunQuery(
+    const WorkloadQuery& query, RunMode mode,
+    const PrefetcherOptions& prefetch_options, bool cold) {
+  QueryRunMetrics metrics;
+  std::vector<PageId> pages = PrefetchPlan(query, mode, &metrics);
+
+  PrefetcherOptions options = prefetch_options;
+  if (mode == RunMode::kOracle) {
+    // The oracle knows the exact access sequence; issue in that order.
+    options.order = PrefetchOrder::kAccessOrder;
+  }
+  if (cold) env_->ColdRestart();
+  const ReplayResult replay =
+      ReplayQuery(query.trace, pages, options, env_);
+  metrics.elapsed_us = replay.elapsed_us;
+  metrics.pool_stats = replay.pool_stats;
+  metrics.prefetch_stats = replay.prefetch_stats;
+  return metrics;
+}
+
+}  // namespace pythia

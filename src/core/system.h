@@ -1,0 +1,83 @@
+// PythiaSystem: the inference-time integration of predictor + prefetcher +
+// buffer manager (Algorithm 3 and Section 4).
+//
+// When a query is scheduled, the system checks whether it belongs to a
+// workload Pythia has trained models for; if so it predicts the query's
+// non-sequential pages and hands them to an asynchronous prefetch session,
+// otherwise the query runs exactly as it would without Pythia.
+#ifndef PYTHIA_CORE_SYSTEM_H_
+#define PYTHIA_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/predictor.h"
+#include "core/replay.h"
+#include "util/metrics.h"
+
+namespace pythia {
+
+enum class RunMode {
+  kDefault,          // DFLT: plain buffer manager, no prefetch
+  kPythia,           // learned prediction + prefetch
+  kOracle,           // ORCL: exact access sequence prefetched
+  kNearestNeighbor,  // NN: most similar training query's pages prefetched
+};
+
+const char* RunModeName(RunMode mode);
+
+struct QueryRunMetrics {
+  SimTime elapsed_us = 0;
+  bool engaged = false;          // Pythia matched a workload and prefetched
+  PrecisionRecall accuracy;      // prediction vs restricted ground truth
+  size_t predicted_pages = 0;
+  BufferPoolStats pool_stats;
+  PrefetchSessionStats prefetch_stats;
+};
+
+class PythiaSystem {
+ public:
+  // `env` must outlive the system.
+  explicit PythiaSystem(SimEnvironment* env) : env_(env) {}
+
+  // Registers a trained workload model (and builds its NN baseline store
+  // from the same workload).
+  void AddWorkload(const Workload& workload, WorkloadModel&& model);
+
+  // Runs one query under `mode`. `cold` restarts the buffer pool and drops
+  // OS caches first (the paper's single-query protocol).
+  QueryRunMetrics RunQuery(const WorkloadQuery& query, RunMode mode,
+                           const PrefetcherOptions& prefetch_options,
+                           bool cold = true);
+
+  // Prefetch page list a given mode would issue for `query` (empty when the
+  // mode does not engage). Exposed for the concurrent-query benches, which
+  // assemble ConcurrentQuery specs themselves.
+  std::vector<PageId> PrefetchPlan(const WorkloadQuery& query, RunMode mode,
+                                   QueryRunMetrics* metrics);
+
+  // Algorithm 3 line 3: the workload this query belongs to, or nullptr.
+  WorkloadModel* MatchWorkload(const WorkloadQuery& query);
+
+  SimEnvironment* env() { return env_; }
+  double match_threshold() const { return match_threshold_; }
+  void set_match_threshold(double t) { match_threshold_ = t; }
+
+ private:
+  struct Entry {
+    Entry(WorkloadModel&& m, std::unique_ptr<NearestNeighborBaseline> n)
+        : model(std::move(m)), nn(std::move(n)) {}
+    WorkloadModel model;
+    std::unique_ptr<NearestNeighborBaseline> nn;
+  };
+
+  SimEnvironment* env_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  double match_threshold_ = 0.9;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_CORE_SYSTEM_H_

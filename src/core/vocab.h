@@ -1,0 +1,53 @@
+// Token vocabulary for serialized query plans. Built from the training
+// workload; unseen tokens map to a reserved [UNK] id so inference never
+// fails on out-of-vocabulary predicate values.
+#ifndef PYTHIA_CORE_VOCAB_H_
+#define PYTHIA_CORE_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pythia {
+
+class Vocab {
+ public:
+  static constexpr int32_t kUnkId = 0;
+
+  Vocab() { ids_["[UNK]"] = kUnkId; tokens_.push_back("[UNK]"); }
+
+  // Adds every token of `tokens` not yet present.
+  void Add(const std::vector<std::string>& tokens) {
+    for (const std::string& t : tokens) {
+      if (ids_.emplace(t, static_cast<int32_t>(tokens_.size())).second) {
+        tokens_.push_back(t);
+      }
+    }
+  }
+
+  int32_t Id(const std::string& token) const {
+    auto it = ids_.find(token);
+    return it == ids_.end() ? kUnkId : it->second;
+  }
+
+  std::vector<int32_t> Encode(const std::vector<std::string>& tokens) const {
+    std::vector<int32_t> out;
+    out.reserve(tokens.size());
+    for (const std::string& t : tokens) out.push_back(Id(t));
+    return out;
+  }
+
+  const std::string& Token(int32_t id) const {
+    return tokens_[static_cast<size_t>(id)];
+  }
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_CORE_VOCAB_H_

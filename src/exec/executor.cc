@@ -1,0 +1,289 @@
+#include "exec/executor.h"
+
+#include <unordered_map>
+
+namespace pythia {
+
+int Executor::FindColumn(const Schema& schema, const std::string& name) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Executor::BindFilters(
+    const std::vector<Predicate>& filters, const Schema& schema,
+    std::vector<std::pair<size_t, Predicate>>* bound) {
+  for (const Predicate& p : filters) {
+    const int idx = FindColumn(schema, p.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown filter column: " + p.column);
+    }
+    bound->emplace_back(static_cast<size_t>(idx), p);
+  }
+  return Status::OK();
+}
+
+bool Executor::PassesFilters(
+    const Row& row, const std::vector<std::pair<size_t, Predicate>>& bound) {
+  for (const auto& [idx, p] : bound) {
+    const Value v = row[idx];
+    if (v < p.lo || v > p.hi) return false;
+  }
+  return true;
+}
+
+Result<QueryResult> Executor::Execute(const PlanNode& root,
+                                      TraceRecorder* trace) {
+  QueryResult result;
+  Schema schema;
+  if (root.type == PlanNodeType::kAggregate) {
+    uint64_t count = 0;
+    Status s = Run(*root.children[0], trace, &schema,
+                   [&count](const Row&) { ++count; });
+    if (!s.ok()) return s;
+    result.rows_returned = 1;
+    result.aggregate = static_cast<Value>(count);
+  } else {
+    uint64_t count = 0;
+    Status s =
+        Run(root, trace, &schema, [&count](const Row&) { ++count; });
+    if (!s.ok()) return s;
+    result.rows_returned = count;
+    result.aggregate = static_cast<Value>(count);
+  }
+  trace->SetRowsReturned(result.rows_returned);
+  return result;
+}
+
+Status Executor::Run(const PlanNode& node, TraceRecorder* trace,
+                     Schema* schema, const RowHandler& handler) {
+  switch (node.type) {
+    case PlanNodeType::kSeqScan:
+      return RunSeqScan(node, trace, schema, handler);
+    case PlanNodeType::kIndexScan:
+      return RunIndexScan(node, trace, schema, handler);
+    case PlanNodeType::kNestedLoopJoin:
+      return RunNestedLoopJoin(node, trace, schema, handler);
+    case PlanNodeType::kHashJoin:
+      return RunHashJoin(node, trace, schema, handler);
+    case PlanNodeType::kAggregate:
+      return Status::InvalidArgument("Aggregate must be the plan root");
+  }
+  return Status::Internal("unhandled plan node type");
+}
+
+Status Executor::RunSeqScan(const PlanNode& node, TraceRecorder* trace,
+                            Schema* schema, const RowHandler& handler) {
+  const Relation* rel = catalog_->GetRelation(node.relation);
+  if (rel == nullptr) {
+    return Status::NotFound("unknown relation: " + node.relation);
+  }
+  *schema = rel->column_names();
+  std::vector<std::pair<size_t, Predicate>> bound;
+  Status s = BindFilters(node.filters, *schema, &bound);
+  if (!s.ok()) return s;
+
+  Row row(rel->num_columns());
+  for (uint32_t page = 0; page < rel->num_pages(); ++page) {
+    trace->Record(PageId{rel->object_id(), page}, /*sequential=*/true);
+    const RowId end = rel->EndRowOfPage(page);
+    for (RowId r = rel->FirstRowOfPage(page); r < end; ++r) {
+      trace->AddCpuWork(1);
+      for (size_t c = 0; c < rel->num_columns(); ++c) row[c] = rel->Get(r, c);
+      if (PassesFilters(row, bound)) handler(row);
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::RunIndexScan(const PlanNode& node, TraceRecorder* trace,
+                              Schema* schema, const RowHandler& handler) {
+  const Relation* rel = catalog_->GetRelation(node.relation);
+  if (rel == nullptr) {
+    return Status::NotFound("unknown relation: " + node.relation);
+  }
+  const BTreeIndex* index = indexes_->Get(node.index);
+  if (index == nullptr) {
+    return Status::NotFound("unknown index: " + node.index);
+  }
+  *schema = rel->column_names();
+
+  // The predicate on the indexed column drives the B-tree range scan; the
+  // rest are residual filters on fetched rows.
+  Value lo = 0, hi = 0;
+  bool have_range = false;
+  std::vector<Predicate> residual;
+  for (const Predicate& p : node.filters) {
+    if (!have_range && p.column == index->column()) {
+      lo = p.lo;
+      hi = p.hi;
+      have_range = true;
+    } else {
+      residual.push_back(p);
+    }
+  }
+  if (!have_range) {
+    return Status::InvalidArgument(
+        "standalone IndexScan on " + node.index +
+        " requires a predicate on its indexed column");
+  }
+  std::vector<std::pair<size_t, Predicate>> bound;
+  Status s = BindFilters(residual, *schema, &bound);
+  if (!s.ok()) return s;
+
+  std::vector<PageId> index_pages;
+  std::vector<RowId> rids = index->RangeLookup(lo, hi, &index_pages);
+  for (PageId p : index_pages) trace->Record(p, /*sequential=*/false);
+
+  Row row(rel->num_columns());
+  for (RowId r : rids) {
+    trace->Record(rel->PageOfRow(r), /*sequential=*/false);
+    trace->AddCpuWork(1);
+    for (size_t c = 0; c < rel->num_columns(); ++c) row[c] = rel->Get(r, c);
+    if (PassesFilters(row, bound)) handler(row);
+  }
+  return Status::OK();
+}
+
+Status Executor::RunNestedLoopJoin(const PlanNode& node, TraceRecorder* trace,
+                                   Schema* schema,
+                                   const RowHandler& handler) {
+  const PlanNode& inner = *node.children[1];
+  if (inner.type != PlanNodeType::kIndexScan) {
+    return Status::InvalidArgument(
+        "NestedLoopJoin inner child must be an IndexScan");
+  }
+  const Relation* inner_rel = catalog_->GetRelation(inner.relation);
+  if (inner_rel == nullptr) {
+    return Status::NotFound("unknown relation: " + inner.relation);
+  }
+  const BTreeIndex* index = indexes_->Get(inner.index);
+  if (index == nullptr) {
+    return Status::NotFound("unknown index: " + inner.index);
+  }
+  if (index->column() != node.inner_key) {
+    return Status::InvalidArgument("index " + inner.index +
+                                   " does not cover join key " +
+                                   node.inner_key);
+  }
+
+  const Schema& inner_schema = inner_rel->column_names();
+  std::vector<std::pair<size_t, Predicate>> inner_bound;
+  Status s = BindFilters(inner.filters, inner_schema, &inner_bound);
+  if (!s.ok()) return s;
+
+  Result<Schema> outer_schema_result = ComputeSchema(*node.children[0]);
+  if (!outer_schema_result.ok()) return outer_schema_result.status();
+  const Schema& outer_schema = *outer_schema_result;
+  const int outer_key_idx = FindColumn(outer_schema, node.outer_key);
+  if (outer_key_idx < 0) {
+    return Status::InvalidArgument("unknown outer join key: " +
+                                   node.outer_key);
+  }
+
+  Row joined;
+  Row inner_row(inner_rel->num_columns());
+  Schema child_schema;
+  Status run_status = Run(
+      *node.children[0], trace, &child_schema,
+      [&](const Row& outer_row) {
+        const Value key = outer_row[static_cast<size_t>(outer_key_idx)];
+        std::vector<PageId> index_pages;
+        std::vector<RowId> rids = index->Lookup(key, &index_pages);
+        for (PageId p : index_pages) trace->Record(p, /*sequential=*/false);
+        for (RowId r : rids) {
+          trace->Record(inner_rel->PageOfRow(r), /*sequential=*/false);
+          trace->AddCpuWork(1);
+          for (size_t c = 0; c < inner_rel->num_columns(); ++c) {
+            inner_row[c] = inner_rel->Get(r, c);
+          }
+          if (!PassesFilters(inner_row, inner_bound)) continue;
+          joined = outer_row;
+          joined.insert(joined.end(), inner_row.begin(), inner_row.end());
+          handler(joined);
+        }
+      });
+  if (!run_status.ok()) return run_status;
+
+  *schema = outer_schema;
+  schema->insert(schema->end(), inner_schema.begin(), inner_schema.end());
+  return Status::OK();
+}
+
+Status Executor::RunHashJoin(const PlanNode& node, TraceRecorder* trace,
+                             Schema* schema, const RowHandler& handler) {
+  Result<Schema> inner_schema_result = ComputeSchema(*node.children[1]);
+  if (!inner_schema_result.ok()) return inner_schema_result.status();
+  const Schema& inner_schema = *inner_schema_result;
+  const int inner_key_idx = FindColumn(inner_schema, node.inner_key);
+  if (inner_key_idx < 0) {
+    return Status::InvalidArgument("unknown inner join key: " +
+                                   node.inner_key);
+  }
+  Result<Schema> outer_schema_result = ComputeSchema(*node.children[0]);
+  if (!outer_schema_result.ok()) return outer_schema_result.status();
+  const Schema& outer_schema = *outer_schema_result;
+  const int outer_key_idx = FindColumn(outer_schema, node.outer_key);
+  if (outer_key_idx < 0) {
+    return Status::InvalidArgument("unknown outer join key: " +
+                                   node.outer_key);
+  }
+
+  // Build phase: materialize the (filtered) inner side into a hash table.
+  std::unordered_multimap<Value, Row> table;
+  Schema child_schema;
+  Status s = Run(*node.children[1], trace, &child_schema,
+                 [&](const Row& row) {
+                   table.emplace(row[static_cast<size_t>(inner_key_idx)],
+                                 row);
+                 });
+  if (!s.ok()) return s;
+
+  // Probe phase.
+  Row joined;
+  s = Run(*node.children[0], trace, &child_schema,
+          [&](const Row& outer_row) {
+            auto [begin, end] = table.equal_range(
+                outer_row[static_cast<size_t>(outer_key_idx)]);
+            for (auto it = begin; it != end; ++it) {
+              joined = outer_row;
+              joined.insert(joined.end(), it->second.begin(),
+                            it->second.end());
+              handler(joined);
+            }
+          });
+  if (!s.ok()) return s;
+
+  *schema = outer_schema;
+  schema->insert(schema->end(), inner_schema.begin(), inner_schema.end());
+  return Status::OK();
+}
+
+Result<Schema> Executor::ComputeSchema(const PlanNode& node) const {
+  switch (node.type) {
+    case PlanNodeType::kSeqScan:
+    case PlanNodeType::kIndexScan: {
+      const Relation* rel = catalog_->GetRelation(node.relation);
+      if (rel == nullptr) {
+        return Status::NotFound("unknown relation: " + node.relation);
+      }
+      return rel->column_names();
+    }
+    case PlanNodeType::kNestedLoopJoin:
+    case PlanNodeType::kHashJoin: {
+      Result<Schema> outer = ComputeSchema(*node.children[0]);
+      if (!outer.ok()) return outer.status();
+      Result<Schema> inner = ComputeSchema(*node.children[1]);
+      if (!inner.ok()) return inner.status();
+      Schema out = std::move(*outer);
+      out.insert(out.end(), inner->begin(), inner->end());
+      return out;
+    }
+    case PlanNodeType::kAggregate:
+      return Schema{"count"};
+  }
+  return Status::Internal("unhandled plan node type");
+}
+
+}  // namespace pythia

@@ -1,0 +1,82 @@
+// Push-based (pipelined) plan executor.
+//
+// Execution order matches a Postgres pipeline: the fact-table sequential
+// scan drives the plan, and each qualifying outer row immediately probes the
+// inner side of its joins. This matters because the *interleaving* of
+// sequential fact-page reads and random dimension-page reads is what the
+// trace records and the timing simulator replays.
+//
+// Rows are flat vectors of int64 values; each node derives its output
+// schema (a list of globally-unique column names) from its inputs.
+#ifndef PYTHIA_EXEC_EXECUTOR_H_
+#define PYTHIA_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "exec/plan.h"
+#include "exec/trace.h"
+#include "index/index_registry.h"
+#include "util/status.h"
+
+namespace pythia {
+
+using Row = std::vector<Value>;
+using Schema = std::vector<std::string>;
+
+struct QueryResult {
+  uint64_t rows_returned = 0;
+  Value aggregate = 0;  // COUNT(*) when the root is an Aggregate
+};
+
+class Executor {
+ public:
+  // `catalog` and `indexes` must outlive the executor.
+  Executor(const Catalog* catalog, const IndexRegistry* indexes)
+      : catalog_(catalog), indexes_(indexes) {}
+
+  // Runs the plan, recording page requests and CPU work into `trace`
+  // (required). Returns the result summary or an error for malformed plans
+  // (unknown relation/index/column).
+  Result<QueryResult> Execute(const PlanNode& root, TraceRecorder* trace);
+
+  // Output schema of `node`, derived statically from the catalog (scans
+  // emit their relation's columns, joins concatenate outer then inner).
+  Result<Schema> ComputeSchema(const PlanNode& node) const;
+
+ private:
+  using RowHandler = std::function<void(const Row&)>;
+
+  // Recursively runs `node`, invoking `handler` for every output row and
+  // storing the node's output schema in `schema`.
+  Status Run(const PlanNode& node, TraceRecorder* trace, Schema* schema,
+             const RowHandler& handler);
+
+  Status RunSeqScan(const PlanNode& node, TraceRecorder* trace,
+                    Schema* schema, const RowHandler& handler);
+  Status RunIndexScan(const PlanNode& node, TraceRecorder* trace,
+                      Schema* schema, const RowHandler& handler);
+  Status RunNestedLoopJoin(const PlanNode& node, TraceRecorder* trace,
+                           Schema* schema, const RowHandler& handler);
+  Status RunHashJoin(const PlanNode& node, TraceRecorder* trace,
+                     Schema* schema, const RowHandler& handler);
+
+  // Resolves predicate columns to indices in `schema`; returns an error for
+  // unknown columns.
+  static Status BindFilters(const std::vector<Predicate>& filters,
+                            const Schema& schema,
+                            std::vector<std::pair<size_t, Predicate>>* bound);
+  static bool PassesFilters(
+      const Row& row,
+      const std::vector<std::pair<size_t, Predicate>>& bound);
+  static int FindColumn(const Schema& schema, const std::string& name);
+
+  const Catalog* catalog_;
+  const IndexRegistry* indexes_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_EXEC_EXECUTOR_H_

@@ -1,0 +1,122 @@
+#include "exec/serializer.h"
+
+#include <algorithm>
+
+namespace pythia {
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::vector<std::string> PlanSerializer::Serialize(
+    const PlanNode& root) const {
+  std::vector<std::string> out;
+  SerializeNode(root, /*with_values=*/true, &out);
+  return out;
+}
+
+std::string PlanSerializer::StructureKey(const PlanNode& root) const {
+  std::vector<std::string> out;
+  SerializeNode(root, /*with_values=*/false, &out);
+  return JoinTokens(out);
+}
+
+std::string PlanSerializer::ValueToken(const std::string& relation,
+                                       const std::string& column,
+                                       Value v) const {
+  const std::string key = relation + "." + column;
+  auto it = range_cache_.find(key);
+  if (it == range_cache_.end()) {
+    const Relation* rel = catalog_->GetRelation(relation);
+    Value lo = 0, hi = 0;
+    if (rel != nullptr) {
+      const int col = rel->ColumnIndex(column);
+      if (col >= 0 && !rel->Column(static_cast<size_t>(col)).empty()) {
+        const auto& vals = rel->Column(static_cast<size_t>(col));
+        auto [mn, mx] = std::minmax_element(vals.begin(), vals.end());
+        lo = *mn;
+        hi = *mx;
+      }
+    }
+    it = range_cache_.emplace(key, std::make_pair(lo, hi)).first;
+  }
+  const auto [lo, hi] = it->second;
+  const Value span = hi - lo + 1;
+  // Small domains keep exact values; large domains quantize, clamping
+  // out-of-domain literals to the boundary buckets.
+  if (span <= value_buckets_) {
+    const Value clamped = std::clamp(v, lo, hi);
+    return column + ":v" + std::to_string(clamped - lo);
+  }
+  Value bucket = (std::clamp(v, lo, hi) - lo) * value_buckets_ / span;
+  return column + ":b" + std::to_string(bucket);
+}
+
+std::string PlanSerializer::CoarseValueToken(const std::string& relation,
+                                             const std::string& column,
+                                             Value v) const {
+  // Reuses the cached domain from ValueToken (must be called after it).
+  const auto [lo, hi] = range_cache_.at(relation + "." + column);
+  const Value span = hi - lo + 1;
+  const int coarse = std::max(2, value_buckets_ / 8);
+  if (span <= coarse) return std::string();  // exact token already emitted
+  Value bucket = (std::clamp(v, lo, hi) - lo) * coarse / span;
+  return column + ":c" + std::to_string(bucket);
+}
+
+void PlanSerializer::SerializeNode(const PlanNode& node, bool with_values,
+                                   std::vector<std::string>* out) const {
+  switch (node.type) {
+    case PlanNodeType::kSeqScan:
+    case PlanNodeType::kIndexScan: {
+      out->push_back(node.type == PlanNodeType::kSeqScan ? "[RELN_SEQ]"
+                                                         : "[RELN_IDX]");
+      out->push_back(node.relation);
+      if (node.type == PlanNodeType::kIndexScan) out->push_back(node.index);
+      for (const Predicate& p : node.filters) {
+        auto emit_value = [&](Value v) {
+          if (!with_values) return;
+          out->push_back(ValueToken(node.relation, p.column, v));
+          const std::string coarse =
+              CoarseValueToken(node.relation, p.column, v);
+          if (!coarse.empty()) out->push_back(coarse);
+        };
+        if (p.lo == p.hi) {
+          out->push_back("[PRED]");
+          out->push_back(p.column);
+          out->push_back("=");
+          emit_value(p.lo);
+        } else {
+          out->push_back("[PRED]");
+          out->push_back(p.column);
+          out->push_back(">=");
+          emit_value(p.lo);
+          out->push_back("[PRED]");
+          out->push_back(p.column);
+          out->push_back("<=");
+          emit_value(p.hi);
+        }
+      }
+      break;
+    }
+    case PlanNodeType::kNestedLoopJoin:
+      out->push_back("[NLJ]");
+      break;
+    case PlanNodeType::kHashJoin:
+      out->push_back("[HJ]");
+      break;
+    case PlanNodeType::kAggregate:
+      out->push_back("[AGG]");
+      break;
+  }
+  for (const auto& child : node.children) {
+    SerializeNode(*child, with_values, out);
+  }
+}
+
+}  // namespace pythia

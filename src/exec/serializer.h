@@ -1,0 +1,67 @@
+// Query-plan serialization (Algorithm 2 in the paper).
+//
+// A preorder traversal of the plan tree emits one token stream: special
+// tokens for join/aggregate operators ([NLJ], [HJ], [AGG]), scan tokens
+// ([RELN_SEQ]/[RELN_IDX]) followed by the database object names, and
+// [PRED] column op value tokens for every filter predicate.
+//
+// Predicate values are the one place the paper leaves open: a raw literal
+// would be out-of-vocabulary for almost every unseen query. We tokenize
+// values into per-column quantized buckets over the column's domain
+// (default 32 buckets; small domains keep exact values), so test queries
+// with nearby parameters map to nearby — often identical — tokens. This is
+// the repository's documented design decision for making page prediction
+// learnable across the billions of possible query instances.
+#ifndef PYTHIA_EXEC_SERIALIZER_H_
+#define PYTHIA_EXEC_SERIALIZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "exec/plan.h"
+
+namespace pythia {
+
+class PlanSerializer {
+ public:
+  explicit PlanSerializer(const Catalog* catalog, int value_buckets = 128)
+      : catalog_(catalog), value_buckets_(value_buckets) {}
+
+  // Full serialization: structure + bucketized predicate values. This is
+  // the model input.
+  std::vector<std::string> Serialize(const PlanNode& root) const;
+
+  // Structure-only serialization (predicate values dropped). Two query
+  // instances with the same structure string have "the same query plan" in
+  // the sense of Table 1's distinct-plan counts.
+  std::string StructureKey(const PlanNode& root) const;
+
+ private:
+  void SerializeNode(const PlanNode& node, bool with_values,
+                     std::vector<std::string>* out) const;
+  // Fine-grained quantized value token ("col:b<k>"), or exact for small
+  // domains ("col:v<k>").
+  std::string ValueToken(const std::string& relation,
+                         const std::string& column, Value v) const;
+  // Coarse companion token ("col:c<k>", 1/8 the resolution) emitted next to
+  // the fine one so the model can generalize across nearby fine buckets.
+  // Empty for small domains. Must be called after ValueToken for the same
+  // column (it reuses the cached domain).
+  std::string CoarseValueToken(const std::string& relation,
+                               const std::string& column, Value v) const;
+
+  const Catalog* catalog_;
+  int value_buckets_;
+  // Cached per-column (min, max) domains, keyed "relation.column".
+  mutable std::unordered_map<std::string, std::pair<Value, Value>>
+      range_cache_;
+};
+
+// Joins tokens with single spaces (diagnostics, structure keys).
+std::string JoinTokens(const std::vector<std::string>& tokens);
+
+}  // namespace pythia
+
+#endif  // PYTHIA_EXEC_SERIALIZER_H_

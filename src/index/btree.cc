@@ -1,0 +1,132 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pythia {
+
+BTreeIndex::BTreeIndex(Catalog* catalog, const Relation& relation,
+                       const std::string& column, uint32_t fanout)
+    : name_(relation.name() + "_" + column + "_idx"),
+      relation_name_(relation.name()),
+      column_(column) {
+  object_id_ = catalog->RegisterObject(name_);
+
+  // Sort (key, rid) entries by key, ties by rid for determinism.
+  const int col = relation.ColumnIndex(column);
+  const auto& values = relation.Column(static_cast<size_t>(col));
+  std::vector<RowId> order(values.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    return values[a] < values[b];
+  });
+
+  // Build leaves.
+  std::vector<uint32_t> level;
+  for (size_t start = 0; start < order.size(); start += fanout) {
+    Node leaf;
+    leaf.is_leaf = true;
+    const size_t end = std::min(order.size(), start + fanout);
+    for (size_t i = start; i < end; ++i) {
+      leaf.keys.push_back(values[order[i]]);
+      leaf.rids.push_back(order[i]);
+    }
+    nodes_.push_back(std::move(leaf));
+    level.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+  }
+  if (level.empty()) {
+    Node empty_leaf;
+    empty_leaf.is_leaf = true;
+    nodes_.push_back(std::move(empty_leaf));
+    level.push_back(0);
+  }
+  for (size_t i = 0; i + 1 < level.size(); ++i) {
+    nodes_[level[i]].next_leaf = static_cast<int32_t>(level[i + 1]);
+  }
+
+  // Build internal levels bottom-up until a single root remains. An
+  // internal node over children c0..ck stores separators s1..sk where si is
+  // the smallest key under ci.
+  while (level.size() > 1) {
+    std::vector<uint32_t> parent_level;
+    for (size_t start = 0; start < level.size(); start += fanout) {
+      Node internal;
+      const size_t end = std::min(level.size(), start + fanout);
+      for (size_t i = start; i < end; ++i) {
+        internal.children.push_back(level[i]);
+        if (i > start) {
+          const Node& child = nodes_[level[i]];
+          internal.keys.push_back(child.is_leaf ? child.keys.front()
+                                                : LowestKeyUnder(level[i]));
+        }
+      }
+      nodes_.push_back(std::move(internal));
+      parent_level.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+    }
+    level = std::move(parent_level);
+    ++height_;
+  }
+  root_ = level.front();
+  catalog->SetObjectPages(object_id_, num_pages());
+}
+
+// Smallest key stored in the subtree rooted at `node`. Only called during
+// build, where all descendants already exist.
+Value BTreeIndex::LowestKeyUnder(uint32_t node) const {
+  const Node* n = &nodes_[node];
+  while (!n->is_leaf) n = &nodes_[n->children.front()];
+  return n->keys.front();
+}
+
+void BTreeIndex::RecordAccess(uint32_t node,
+                              std::vector<PageId>* accessed) const {
+  if (accessed != nullptr) accessed->push_back(PageId{object_id_, node});
+}
+
+uint32_t BTreeIndex::DescendToLeaf(Value key,
+                                   std::vector<PageId>* accessed) const {
+  uint32_t node = root_;
+  RecordAccess(node, accessed);
+  while (!nodes_[node].is_leaf) {
+    const Node& n = nodes_[node];
+    // keys[i] is the smallest key under children[i+1]. Descend to the
+    // *leftmost* child that can contain `key`: with duplicate keys, a run
+    // equal to a separator can start in the child left of it, so the
+    // separator comparison must be lower_bound, not upper_bound.
+    const size_t pos = static_cast<size_t>(
+        std::lower_bound(n.keys.begin(), n.keys.end(), key) -
+        n.keys.begin());
+    node = n.children[pos];
+    RecordAccess(node, accessed);
+  }
+  return node;
+}
+
+std::vector<RowId> BTreeIndex::Lookup(Value key,
+                                      std::vector<PageId>* accessed) const {
+  return RangeLookup(key, key, accessed);
+}
+
+std::vector<RowId> BTreeIndex::RangeLookup(
+    Value lo, Value hi, std::vector<PageId>* accessed) const {
+  std::vector<RowId> result;
+  if (lo > hi || nodes_.empty()) return result;
+  uint32_t leaf = DescendToLeaf(lo, accessed);
+  while (true) {
+    const Node& n = nodes_[leaf];
+    const size_t start = static_cast<size_t>(
+        std::lower_bound(n.keys.begin(), n.keys.end(), lo) - n.keys.begin());
+    for (size_t i = start; i < n.keys.size(); ++i) {
+      if (n.keys[i] > hi) return result;
+      result.push_back(n.rids[i]);
+    }
+    if (n.next_leaf < 0) return result;
+    // The range continues on the right sibling only if this leaf was fully
+    // consumed to its end.
+    if (!n.keys.empty() && n.keys.back() > hi) return result;
+    leaf = static_cast<uint32_t>(n.next_leaf);
+    RecordAccess(leaf, accessed);
+  }
+}
+
+}  // namespace pythia

@@ -1,0 +1,72 @@
+// Bulk-loaded B-tree index over one column of a relation.
+//
+// One node occupies exactly one index page, so a root-to-leaf traversal
+// issues one page request per level — reproducing the paper's observation
+// that "two sibling leaf nodes share the same path from the root node and
+// hence this path sequence will be repeated in the trace" (Section 3.3,
+// Trace Construction). Duplicate keys are supported (secondary indexes like
+// cast_info.movie_id map one key to many rows).
+#ifndef PYTHIA_INDEX_BTREE_H_
+#define PYTHIA_INDEX_BTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "storage/page_id.h"
+
+namespace pythia {
+
+class BTreeIndex {
+ public:
+  // Builds the index on `relation.column`; registers an object named
+  // "<relation>_<column>_idx" in the catalog. `fanout` is the max number of
+  // entries per node (scaled down from the ~300 of an 8 KB Postgres page so
+  // small simulated tables still get multi-level trees).
+  BTreeIndex(Catalog* catalog, const Relation& relation,
+             const std::string& column, uint32_t fanout = 64);
+
+  const std::string& name() const { return name_; }
+  ObjectId object_id() const { return object_id_; }
+  const std::string& column() const { return column_; }
+  const std::string& relation_name() const { return relation_name_; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint32_t height() const { return height_; }
+
+  // Returns row ids with column == key. If `accessed` is non-null, appends
+  // the index pages visited (root to leaf, plus right-sibling leaves for
+  // duplicate runs).
+  std::vector<RowId> Lookup(Value key, std::vector<PageId>* accessed) const;
+
+  // Returns row ids with lo <= column <= hi, in key order.
+  std::vector<RowId> RangeLookup(Value lo, Value hi,
+                                 std::vector<PageId>* accessed) const;
+
+ private:
+  struct Node {
+    bool is_leaf = false;
+    std::vector<Value> keys;        // leaf: entry keys; internal: separators
+    std::vector<RowId> rids;        // leaf only, parallel to keys
+    std::vector<uint32_t> children; // internal only: child node/page numbers
+    int32_t next_leaf = -1;         // leaf chain for range scans
+  };
+
+  // Descends to the leaf that may contain the first entry >= key; records
+  // visited pages.
+  uint32_t DescendToLeaf(Value key, std::vector<PageId>* accessed) const;
+  // Smallest key in the subtree rooted at `node` (build-time helper).
+  Value LowestKeyUnder(uint32_t node) const;
+  void RecordAccess(uint32_t node, std::vector<PageId>* accessed) const;
+
+  std::string name_;
+  std::string relation_name_;
+  std::string column_;
+  ObjectId object_id_;
+  uint32_t root_ = 0;
+  uint32_t height_ = 1;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_INDEX_BTREE_H_

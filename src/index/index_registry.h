@@ -1,0 +1,52 @@
+// Name-keyed registry of B-tree indexes. Owns the indexes; the executor
+// resolves plan index names through it, and the planner asks which indexes
+// exist on a relation.
+#ifndef PYTHIA_INDEX_INDEX_REGISTRY_H_
+#define PYTHIA_INDEX_INDEX_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/btree.h"
+
+namespace pythia {
+
+class IndexRegistry {
+ public:
+  BTreeIndex* Add(std::unique_ptr<BTreeIndex> index) {
+    BTreeIndex* ptr = index.get();
+    by_name_[ptr->name()] = ptr;
+    indexes_.push_back(std::move(index));
+    return ptr;
+  }
+
+  BTreeIndex* Get(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : it->second;
+  }
+
+  // Index on (relation, column) if one exists, else nullptr.
+  BTreeIndex* Find(const std::string& relation,
+                   const std::string& column) const {
+    for (const auto& idx : indexes_) {
+      if (idx->relation_name() == relation && idx->column() == column) {
+        return idx.get();
+      }
+    }
+    return nullptr;
+  }
+
+  const std::vector<std::unique_ptr<BTreeIndex>>& all() const {
+    return indexes_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<BTreeIndex>> indexes_;
+  std::unordered_map<std::string, BTreeIndex*> by_name_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_INDEX_INDEX_REGISTRY_H_

@@ -1,0 +1,119 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <limits>
+
+namespace pythia::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name,
+                                               size_t model_dim,
+                                               size_t num_heads, bool causal,
+                                               Pcg32* rng)
+    : model_dim_(model_dim),
+      num_heads_(num_heads),
+      head_dim_(model_dim / num_heads),
+      causal_(causal),
+      q_proj_(name + ".q", model_dim, model_dim, rng),
+      k_proj_(name + ".k", model_dim, model_dim, rng),
+      v_proj_(name + ".v", model_dim, model_dim, rng),
+      out_proj_(name + ".o", model_dim, model_dim, rng) {}
+
+Matrix MultiHeadSelfAttention::SliceHead(const Matrix& m, size_t head) const {
+  Matrix out(m.rows(), head_dim_);
+  const size_t off = head * head_dim_;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* src = m.row(r) + off;
+    float* dst = out.row(r);
+    for (size_t c = 0; c < head_dim_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+void MultiHeadSelfAttention::AccumulateHead(Matrix* m, const Matrix& part,
+                                            size_t head) const {
+  const size_t off = head * head_dim_;
+  for (size_t r = 0; r < part.rows(); ++r) {
+    float* dst = m->row(r) + off;
+    const float* src = part.row(r);
+    for (size_t c = 0; c < head_dim_; ++c) dst[c] += src[c];
+  }
+}
+
+Matrix MultiHeadSelfAttention::Forward(const Matrix& x) {
+  const size_t t = x.rows();
+  q_ = q_proj_.Forward(x);
+  k_ = k_proj_.Forward(x);
+  v_ = v_proj_.Forward(x);
+
+  attn_probs_.assign(num_heads_, Matrix());
+  Matrix concat(t, model_dim_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  for (size_t h = 0; h < num_heads_; ++h) {
+    Matrix qh = SliceHead(q_, h);
+    Matrix kh = SliceHead(k_, h);
+    Matrix vh = SliceHead(v_, h);
+    Matrix scores = MatMulBT(qh, kh);
+    scores *= scale;
+    if (causal_) {
+      // Future positions must not influence the prediction at position r.
+      for (size_t r = 0; r < t; ++r) {
+        float* srow = scores.row(r);
+        for (size_t c = r + 1; c < t; ++c) {
+          srow[c] = -std::numeric_limits<float>::infinity();
+        }
+      }
+    }
+    attn_probs_[h] = SoftmaxRows(scores);
+    Matrix oh = MatMul(attn_probs_[h], vh);
+    AccumulateHead(&concat, oh, h);
+  }
+  return out_proj_.Forward(concat);
+}
+
+Matrix MultiHeadSelfAttention::Backward(const Matrix& grad_out) {
+  const size_t t = grad_out.rows();
+  Matrix grad_concat = out_proj_.Backward(grad_out);
+
+  Matrix grad_q(t, model_dim_);
+  Matrix grad_k(t, model_dim_);
+  Matrix grad_v(t, model_dim_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  for (size_t h = 0; h < num_heads_; ++h) {
+    Matrix grad_oh = SliceHead(grad_concat, h);
+    Matrix qh = SliceHead(q_, h);
+    Matrix kh = SliceHead(k_, h);
+    Matrix vh = SliceHead(v_, h);
+    const Matrix& probs = attn_probs_[h];
+
+    // oh = probs * vh
+    Matrix grad_probs = MatMulBT(grad_oh, vh);
+    Matrix grad_vh = MatMulAT(probs, grad_oh);
+    // probs = softmax(scores); masked entries have prob 0, so their score
+    // gradient is naturally 0 through the softmax backward.
+    Matrix grad_scores = SoftmaxRowsBackward(probs, grad_probs);
+    grad_scores *= scale;
+    // scores = qh * kh^T
+    Matrix grad_qh = MatMul(grad_scores, kh);
+    Matrix grad_kh = MatMulAT(grad_scores, qh);
+
+    AccumulateHead(&grad_q, grad_qh, h);
+    AccumulateHead(&grad_k, grad_kh, h);
+    AccumulateHead(&grad_v, grad_vh, h);
+  }
+
+  Matrix grad_x = q_proj_.Backward(grad_q);
+  grad_x += k_proj_.Backward(grad_k);
+  grad_x += v_proj_.Backward(grad_v);
+  return grad_x;
+}
+
+ParamList MultiHeadSelfAttention::Params() {
+  ParamList out;
+  AppendParams(&out, q_proj_.Params());
+  AppendParams(&out, k_proj_.Params());
+  AppendParams(&out, v_proj_.Params());
+  AppendParams(&out, out_proj_.Params());
+  return out;
+}
+
+}  // namespace pythia::nn

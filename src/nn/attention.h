@@ -1,0 +1,55 @@
+// Multi-head self-attention with optional causal masking.
+//
+// Used in two places: the Pythia plan encoder (bidirectional) and the
+// sequence-prediction baseline of Figure 9 (causal). Operates on one
+// sequence at a time: input is a (T x model_dim) matrix.
+#ifndef PYTHIA_NN_ATTENTION_H_
+#define PYTHIA_NN_ATTENTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/param.h"
+
+namespace pythia::nn {
+
+class MultiHeadSelfAttention {
+ public:
+  // Precondition: model_dim % num_heads == 0.
+  MultiHeadSelfAttention(std::string name, size_t model_dim, size_t num_heads,
+                         bool causal, Pcg32* rng);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+
+  ParamList Params();
+
+  size_t num_heads() const { return num_heads_; }
+
+ private:
+  // Extracts columns [head*head_dim, (head+1)*head_dim) of `m`.
+  Matrix SliceHead(const Matrix& m, size_t head) const;
+  // Adds `part` into the head-th column block of `m`.
+  void AccumulateHead(Matrix* m, const Matrix& part, size_t head) const;
+
+  size_t model_dim_;
+  size_t num_heads_;
+  size_t head_dim_;
+  bool causal_;
+
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear out_proj_;
+
+  // Forward caches.
+  Matrix q_, k_, v_;                 // (T x model_dim) each
+  std::vector<Matrix> attn_probs_;   // per head, (T x T)
+};
+
+}  // namespace pythia::nn
+
+#endif  // PYTHIA_NN_ATTENTION_H_

@@ -1,0 +1,146 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace pythia::nn {
+
+Embedding::Embedding(std::string name, size_t vocab_size, size_t dim,
+                     Pcg32* rng)
+    : table_(std::move(name), vocab_size, dim) {
+  table_.InitNormal(rng, 0.02);
+}
+
+Matrix Embedding::Forward(const std::vector<int32_t>& token_ids) {
+  last_ids_ = token_ids;
+  Matrix out(token_ids.size(), dim());
+  for (size_t t = 0; t < token_ids.size(); ++t) {
+    const float* src = table_.value.row(static_cast<size_t>(token_ids[t]));
+    float* dst = out.row(t);
+    for (size_t c = 0; c < dim(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+void Embedding::Backward(const Matrix& grad_out) {
+  for (size_t t = 0; t < last_ids_.size(); ++t) {
+    float* dst = table_.grad.row(static_cast<size_t>(last_ids_[t]));
+    const float* src = grad_out.row(t);
+    for (size_t c = 0; c < dim(); ++c) dst[c] += src[c];
+  }
+}
+
+Linear::Linear(std::string name, size_t in_dim, size_t out_dim, Pcg32* rng)
+    : weight_(name + ".w", in_dim, out_dim), bias_(name + ".b", 1, out_dim) {
+  weight_.InitXavier(rng);
+}
+
+Matrix Linear::Forward(const Matrix& x) {
+  last_input_ = x;
+  Matrix out = MatMul(x, weight_.value);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* o = out.row(r);
+    const float* b = bias_.value.row(0);
+    for (size_t c = 0; c < out.cols(); ++c) o[c] += b[c];
+  }
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& grad_out) {
+  // dW = x^T g ; db = column-sum(g) ; dx = g W^T.
+  weight_.grad += MatMulAT(last_input_, grad_out);
+  for (size_t r = 0; r < grad_out.rows(); ++r) {
+    const float* g = grad_out.row(r);
+    float* b = bias_.grad.row(0);
+    for (size_t c = 0; c < grad_out.cols(); ++c) b[c] += g[c];
+  }
+  return MatMulBT(grad_out, weight_.value);
+}
+
+LayerNorm::LayerNorm(std::string name, size_t dim)
+    : gamma_(name + ".gamma", 1, dim), beta_(name + ".beta", 1, dim) {
+  gamma_.value.Fill(1.0f);
+}
+
+Matrix LayerNorm::Forward(const Matrix& x) {
+  const size_t dim = x.cols();
+  Matrix out(x.rows(), dim);
+  last_normed_ = Matrix(x.rows(), dim);
+  last_inv_std_.assign(x.rows(), 0.0f);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* in = x.row(r);
+    float mean = 0.0f;
+    for (size_t c = 0; c < dim; ++c) mean += in[c];
+    mean /= dim;
+    float var = 0.0f;
+    for (size_t c = 0; c < dim; ++c) {
+      const float d = in[c] - mean;
+      var += d * d;
+    }
+    var /= dim;
+    const float inv_std = 1.0f / std::sqrt(var + kEps);
+    last_inv_std_[r] = inv_std;
+    float* normed = last_normed_.row(r);
+    float* o = out.row(r);
+    const float* g = gamma_.value.row(0);
+    const float* b = beta_.value.row(0);
+    for (size_t c = 0; c < dim; ++c) {
+      normed[c] = (in[c] - mean) * inv_std;
+      o[c] = normed[c] * g[c] + b[c];
+    }
+  }
+  return out;
+}
+
+Matrix LayerNorm::Backward(const Matrix& grad_out) {
+  const size_t dim = grad_out.cols();
+  Matrix out(grad_out.rows(), dim);
+  const float* g = gamma_.value.row(0);
+  for (size_t r = 0; r < grad_out.rows(); ++r) {
+    const float* go = grad_out.row(r);
+    const float* normed = last_normed_.row(r);
+    float* gg = gamma_.grad.row(0);
+    float* gb = beta_.grad.row(0);
+    // d gamma / d beta accumulate across rows.
+    for (size_t c = 0; c < dim; ++c) {
+      gg[c] += go[c] * normed[c];
+      gb[c] += go[c];
+    }
+    // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat))
+    // where dxhat = go * gamma.
+    float mean_dxhat = 0.0f;
+    float mean_dxhat_xhat = 0.0f;
+    for (size_t c = 0; c < dim; ++c) {
+      const float dxhat = go[c] * g[c];
+      mean_dxhat += dxhat;
+      mean_dxhat_xhat += dxhat * normed[c];
+    }
+    mean_dxhat /= dim;
+    mean_dxhat_xhat /= dim;
+    float* o = out.row(r);
+    const float inv_std = last_inv_std_[r];
+    for (size_t c = 0; c < dim; ++c) {
+      const float dxhat = go[c] * g[c];
+      o[c] = inv_std * (dxhat - mean_dxhat - normed[c] * mean_dxhat_xhat);
+    }
+  }
+  return out;
+}
+
+Matrix Relu::Forward(const Matrix& x) {
+  last_input_ = x;
+  Matrix out = x;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+  }
+  return out;
+}
+
+Matrix Relu::Backward(const Matrix& grad_out) {
+  Matrix out = grad_out;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (last_input_.data()[i] <= 0.0f) out.data()[i] = 0.0f;
+  }
+  return out;
+}
+
+}  // namespace pythia::nn

@@ -1,0 +1,85 @@
+// Basic neural network layers with manual forward/backward passes.
+//
+// Each layer caches whatever it needs from the forward pass; `Backward`
+// accumulates into parameter gradients (so minibatch accumulation is just
+// repeated Forward/Backward before one optimizer step) and returns the
+// gradient with respect to the layer input. Layers are used for one sample
+// at a time: the leading matrix dimension is the token/sequence position.
+#ifndef PYTHIA_NN_LAYERS_H_
+#define PYTHIA_NN_LAYERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/param.h"
+
+namespace pythia::nn {
+
+// Token embedding table: maps a sequence of token ids to a (T x dim) matrix.
+class Embedding {
+ public:
+  Embedding(std::string name, size_t vocab_size, size_t dim, Pcg32* rng);
+
+  Matrix Forward(const std::vector<int32_t>& token_ids);
+  void Backward(const Matrix& grad_out);
+
+  ParamList Params() { return {&table_}; }
+  size_t dim() const { return table_.value.cols(); }
+  size_t vocab_size() const { return table_.value.rows(); }
+
+ private:
+  Param table_;
+  std::vector<int32_t> last_ids_;
+};
+
+// Fully connected layer: y = x W + b.
+class Linear {
+ public:
+  Linear(std::string name, size_t in_dim, size_t out_dim, Pcg32* rng);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+
+  ParamList Params() { return {&weight_, &bias_}; }
+  size_t in_dim() const { return weight_.value.rows(); }
+  size_t out_dim() const { return weight_.value.cols(); }
+
+ private:
+  Param weight_;  // (in x out)
+  Param bias_;    // (1 x out)
+  Matrix last_input_;
+};
+
+// Layer normalization over the feature (column) dimension of each row.
+class LayerNorm {
+ public:
+  LayerNorm(std::string name, size_t dim);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+
+  ParamList Params() { return {&gamma_, &beta_}; }
+
+ private:
+  static constexpr float kEps = 1e-5f;
+  Param gamma_;  // (1 x dim), init 1
+  Param beta_;   // (1 x dim), init 0
+  Matrix last_normed_;       // (x - mean) / std, reused in backward
+  std::vector<float> last_inv_std_;
+};
+
+// Rectified linear unit. Stateless apart from the forward mask.
+class Relu {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+
+ private:
+  Matrix last_input_;
+};
+
+}  // namespace pythia::nn
+
+#endif  // PYTHIA_NN_LAYERS_H_

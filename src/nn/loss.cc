@@ -1,0 +1,45 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+namespace pythia::nn {
+
+LossResult BceWithLogits(const Matrix& logits, const Matrix& targets,
+                         float pos_weight) {
+  LossResult result;
+  result.grad = Matrix(logits.rows(), logits.cols());
+  const size_t n = logits.size();
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const float x = logits.data()[i];
+    const float y = targets.data()[i];
+    // loss = max(x,0) - x*y + log(1 + exp(-|x|)), weighted for positives.
+    const float w = y > 0.5f ? pos_weight : 1.0f;
+    const float softplus = std::log1p(std::exp(-std::fabs(x)));
+    total += w * ((x > 0.0f ? x : 0.0f) - x * y + softplus);
+    const float p = Sigmoid(x);
+    result.grad.data()[i] = w * (p - y) / static_cast<float>(n);
+  }
+  result.loss = total / static_cast<double>(n);
+  return result;
+}
+
+LossResult SoftmaxCrossEntropy(const Matrix& logits,
+                               const std::vector<int32_t>& targets) {
+  LossResult result;
+  Matrix probs = SoftmaxRows(logits);
+  result.grad = probs;
+  const size_t rows = logits.rows();
+  double total = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    const int32_t t = targets[r];
+    const float p = probs.at(r, static_cast<size_t>(t));
+    total += -std::log(std::max(p, 1e-12f));
+    result.grad.at(r, static_cast<size_t>(t)) -= 1.0f;
+  }
+  result.grad *= 1.0f / static_cast<float>(rows);
+  result.loss = total / static_cast<double>(rows);
+  return result;
+}
+
+}  // namespace pythia::nn

@@ -1,0 +1,41 @@
+// Loss functions. BCEWithLogits is the paper's training objective for the
+// multi-label page classifier (Section 3.3); softmax cross-entropy is used
+// by the next-block sequence baseline (Figure 9).
+#ifndef PYTHIA_NN_LOSS_H_
+#define PYTHIA_NN_LOSS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace pythia::nn {
+
+struct LossResult {
+  double loss = 0.0;
+  Matrix grad;  // dL/dlogits, same shape as logits
+};
+
+// Binary cross-entropy on logits, numerically stable
+// (log(1+exp(-|x|)) form), averaged over all elements. `pos_weight`
+// multiplies the loss (and gradient) of positive targets — page-access
+// labels are extremely sparse (most pages of a relation are not touched by
+// a query), so up-weighting positives is essential for recall.
+LossResult BceWithLogits(const Matrix& logits, const Matrix& targets,
+                         float pos_weight = 1.0f);
+
+// Row-wise softmax cross-entropy: row r of `logits` is scored against class
+// `targets[r]`. Loss averaged over rows.
+LossResult SoftmaxCrossEntropy(const Matrix& logits,
+                               const std::vector<int32_t>& targets);
+
+// Logistic sigmoid, exposed for inference-time thresholding.
+inline float Sigmoid(float x) {
+  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                   : std::exp(x) / (1.0f + std::exp(x));
+}
+
+}  // namespace pythia::nn
+
+#endif  // PYTHIA_NN_LOSS_H_

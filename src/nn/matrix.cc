@@ -1,0 +1,112 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pythia::nn {
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::Axpy(float s, const Matrix& other) {
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulBT(const Matrix& a, const Matrix& b) {
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix out(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix MatMulAT(const Matrix& a, const Matrix& b) {
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.row(r);
+    float* o = out.row(r);
+    float mx = in[0];
+    for (size_t c = 1; c < logits.cols(); ++c) mx = std::max(mx, in[c]);
+    float sum = 0.0f;
+    for (size_t c = 0; c < logits.cols(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      sum += o[c];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t c = 0; c < logits.cols(); ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+Matrix SoftmaxRowsBackward(const Matrix& y, const Matrix& grad_y) {
+  Matrix out(y.rows(), y.cols());
+  for (size_t r = 0; r < y.rows(); ++r) {
+    const float* yr = y.row(r);
+    const float* gr = grad_y.row(r);
+    float* o = out.row(r);
+    float dot = 0.0f;
+    for (size_t c = 0; c < y.cols(); ++c) dot += yr[c] * gr[c];
+    for (size_t c = 0; c < y.cols(); ++c) o[c] = yr[c] * (gr[c] - dot);
+  }
+  return out;
+}
+
+}  // namespace pythia::nn

@@ -1,0 +1,78 @@
+// Dense row-major float32 matrix — the numeric core of the from-scratch
+// neural network library that replaces PyTorch in this reproduction.
+//
+// The models in this project are small (hundreds of thousands of
+// parameters), so a simple, cache-friendly O(n^3) matmul with the inner loop
+// over contiguous memory is more than fast enough; there is deliberately no
+// BLAS dependency.
+#ifndef PYTHIA_NN_MATRIX_H_
+#define PYTHIA_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pythia::nn {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  Matrix(size_t rows, size_t cols, float fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  float* row(size_t r) { return data_.data() + r * cols_; }
+  const float* row(size_t r) const { return data_.data() + r * cols_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  // In-place elementwise operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float s);
+
+  // Adds `s * other` (axpy), the workhorse of gradient accumulation.
+  void Axpy(float s, const Matrix& other);
+
+  // Squared Frobenius norm, used by gradient clipping.
+  double SquaredNorm() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+// out = a * b. Shapes: (m x k) * (k x n) -> (m x n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// out = a * b^T. Shapes: (m x k) * (n x k) -> (m x n). Used for attention
+// scores and for backprop through linear layers without materializing
+// transposes.
+Matrix MatMulBT(const Matrix& a, const Matrix& b);
+
+// out = a^T * b. Shapes: (k x m) * (k x n) -> (m x n). Used for weight
+// gradients.
+Matrix MatMulAT(const Matrix& a, const Matrix& b);
+
+// Returns a copy with each row softmax-normalized. Numerically stabilized by
+// subtracting the row max.
+Matrix SoftmaxRows(const Matrix& logits);
+
+// Backprop through row-wise softmax: given y = softmax(x) and dL/dy, returns
+// dL/dx with dx_i = y_i * (dy_i - sum_j y_j dy_j) per row.
+Matrix SoftmaxRowsBackward(const Matrix& y, const Matrix& grad_y);
+
+}  // namespace pythia::nn
+
+#endif  // PYTHIA_NN_MATRIX_H_

@@ -1,0 +1,60 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace pythia::nn {
+
+void Optimizer::ClipGradNorm(double max_norm) {
+  double total = 0.0;
+  for (Param* p : params_) total += p->grad.SquaredNorm();
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Param* p : params_) p->grad *= scale;
+  }
+}
+
+void Sgd::Step() {
+  for (Param* p : params_) {
+    p->value.Axpy(-lr_, p->grad);
+    p->ZeroGrad();
+  }
+}
+
+Adam::Adam(ParamList params, const Options& options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    float* val = p->value.data();
+    float* grad = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const size_t n = p->value.size();
+    for (size_t j = 0; j < n; ++j) {
+      float g = grad[j];
+      if (options_.weight_decay != 0.0f) g += options_.weight_decay * val[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * g;
+      v[j] = b2 * v[j] + (1.0f - b2) * g * g;
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      val[j] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace pythia::nn

@@ -1,0 +1,72 @@
+// Optimizers. Adam is the default for all Pythia model training; plain SGD
+// is kept for tests (its update rule is trivially verifiable).
+#ifndef PYTHIA_NN_OPTIMIZER_H_
+#define PYTHIA_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/param.h"
+
+namespace pythia::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update from the accumulated gradients, then zeroes them.
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Param* p : params_) p->ZeroGrad();
+  }
+
+  // Scales gradients so their global L2 norm is at most `max_norm`.
+  void ClipGradNorm(double max_norm);
+
+  // Multiplies all gradients by `s` (e.g., 1/batch_size after gradient
+  // accumulation over a minibatch).
+  void ScaleGrads(float s) {
+    for (Param* p : params_) p->grad *= s;
+  }
+
+ protected:
+  explicit Optimizer(ParamList params) : params_(std::move(params)) {}
+  ParamList params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(ParamList params, float lr) : Optimizer(std::move(params)), lr_(lr) {}
+  void Step() override;
+
+ private:
+  float lr_;
+};
+
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam(ParamList params, const Options& options);
+  void Step() override;
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+
+ private:
+  Options options_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace pythia::nn
+
+#endif  // PYTHIA_NN_OPTIMIZER_H_

@@ -1,0 +1,53 @@
+// A trainable parameter: a value matrix plus its accumulated gradient.
+// Layers expose their parameters through `Params()` so optimizers and the
+// serializer can walk a model without knowing its structure.
+#ifndef PYTHIA_NN_PARAM_H_
+#define PYTHIA_NN_PARAM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace pythia::nn {
+
+struct Param {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Param() = default;
+  Param(std::string n, size_t rows, size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad.Zero(); }
+
+  // Xavier/Glorot uniform initialization: U(-lim, lim) with
+  // lim = sqrt(6 / (fan_in + fan_out)).
+  void InitXavier(Pcg32* rng) {
+    const double lim =
+        std::sqrt(6.0 / static_cast<double>(value.rows() + value.cols()));
+    for (size_t i = 0; i < value.size(); ++i) {
+      value.data()[i] = static_cast<float>(rng->UniformRange(-lim, lim));
+    }
+  }
+
+  // Scaled normal initialization, N(0, scale^2). Used for embeddings.
+  void InitNormal(Pcg32* rng, double scale) {
+    for (size_t i = 0; i < value.size(); ++i) {
+      value.data()[i] = static_cast<float>(rng->Gaussian() * scale);
+    }
+  }
+};
+
+using ParamList = std::vector<Param*>;
+
+// Appends `extra` to `into` (helper for composing sub-layer params).
+inline void AppendParams(ParamList* into, ParamList extra) {
+  into->insert(into->end(), extra.begin(), extra.end());
+}
+
+}  // namespace pythia::nn
+
+#endif  // PYTHIA_NN_PARAM_H_

@@ -1,0 +1,31 @@
+// Binary save/load for model parameters. The format is a tiny
+// length-prefixed record stream: [name, rows, cols, float data] per
+// parameter, with a magic header. Loading is by-name so a model can be
+// rebuilt from config and then have its weights restored.
+#ifndef PYTHIA_NN_SERIALIZE_H_
+#define PYTHIA_NN_SERIALIZE_H_
+
+#include <cstdio>
+#include <string>
+
+#include "nn/param.h"
+#include "util/status.h"
+
+namespace pythia::nn {
+
+// Stream variants, for embedding parameter blocks inside larger files
+// (e.g., a serialized WorkloadModel).
+Status WriteParams(std::FILE* f, const ParamList& params);
+Status ReadParams(std::FILE* f, const ParamList& params);
+
+// Writes all parameters to `path`.
+Status SaveParams(const ParamList& params, const std::string& path);
+
+// Restores parameters from `path` by matching names and shapes. Fails if
+// any parameter in `params` is missing from the file or has a different
+// shape; extra records in the file are an error too (stale model).
+Status LoadParams(const ParamList& params, const std::string& path);
+
+}  // namespace pythia::nn
+
+#endif  // PYTHIA_NN_SERIALIZE_H_

@@ -1,0 +1,93 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace pythia::nn {
+
+Matrix PositionalEncoding::Forward(const Matrix& x) const {
+  Matrix out = x;
+  for (size_t pos = 0; pos < out.rows(); ++pos) {
+    float* row = out.row(pos);
+    for (size_t i = 0; i < dim_; i += 2) {
+      const double angle =
+          pos / std::pow(10000.0, static_cast<double>(i) / dim_);
+      row[i] += static_cast<float>(std::sin(angle));
+      if (i + 1 < dim_) row[i + 1] += static_cast<float>(std::cos(angle));
+    }
+  }
+  return out;
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(std::string name,
+                                                 size_t model_dim,
+                                                 size_t num_heads,
+                                                 size_t ffn_dim, bool causal,
+                                                 Pcg32* rng)
+    : ln1_(name + ".ln1", model_dim),
+      attn_(name + ".attn", model_dim, num_heads, causal, rng),
+      ln2_(name + ".ln2", model_dim),
+      ffn1_(name + ".ffn1", model_dim, ffn_dim, rng),
+      ffn2_(name + ".ffn2", ffn_dim, model_dim, rng) {}
+
+Matrix TransformerEncoderLayer::Forward(const Matrix& x) {
+  Matrix h = x;
+  h += attn_.Forward(ln1_.Forward(x));
+  Matrix out = h;
+  out += ffn2_.Forward(relu_.Forward(ffn1_.Forward(ln2_.Forward(h))));
+  return out;
+}
+
+Matrix TransformerEncoderLayer::Backward(const Matrix& grad_out) {
+  // out = h + FFN(LN2(h)); grad flows through both the residual and the FFN.
+  Matrix grad_h = grad_out;
+  grad_h += ln2_.Backward(
+      ffn1_.Backward(relu_.Backward(ffn2_.Backward(grad_out))));
+  // h = x + MHA(LN1(x)).
+  Matrix grad_x = grad_h;
+  grad_x += ln1_.Backward(attn_.Backward(grad_h));
+  return grad_x;
+}
+
+ParamList TransformerEncoderLayer::Params() {
+  ParamList out;
+  AppendParams(&out, ln1_.Params());
+  AppendParams(&out, attn_.Params());
+  AppendParams(&out, ln2_.Params());
+  AppendParams(&out, ffn1_.Params());
+  AppendParams(&out, ffn2_.Params());
+  return out;
+}
+
+TransformerEncoder::TransformerEncoder(std::string name,
+                                       const TransformerConfig& config,
+                                       Pcg32* rng)
+    : config_(config), final_ln_(name + ".final_ln", config.model_dim) {
+  for (size_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        name + ".layer" + std::to_string(i), config.model_dim,
+        config.num_heads, config.ffn_dim, config.causal, rng));
+  }
+}
+
+Matrix TransformerEncoder::Forward(const Matrix& x) {
+  Matrix h = x;
+  for (auto& layer : layers_) h = layer->Forward(h);
+  return final_ln_.Forward(h);
+}
+
+Matrix TransformerEncoder::Backward(const Matrix& grad_out) {
+  Matrix g = final_ln_.Backward(grad_out);
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+ParamList TransformerEncoder::Params() {
+  ParamList out;
+  for (auto& layer : layers_) AppendParams(&out, layer->Params());
+  AppendParams(&out, final_ln_.Params());
+  return out;
+}
+
+}  // namespace pythia::nn

@@ -1,0 +1,84 @@
+// Transformer encoder stack (pre-LayerNorm variant) and sinusoidal
+// positional encoding.
+//
+// The paper uses "2 layers of transformer encoder network with 10 attention
+// heads" over 100-dim embeddings (Section 5.1). We implement the same
+// architecture with configurable width; pre-LN is used instead of post-LN
+// because it trains stably without a warmup schedule — a standard,
+// behaviour-preserving substitution at this scale.
+#ifndef PYTHIA_NN_TRANSFORMER_H_
+#define PYTHIA_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/param.h"
+
+namespace pythia::nn {
+
+// Adds fixed sinusoidal position information to token embeddings, "appended
+// with sequence information" per Section 5.1. Stateless; Backward is the
+// identity.
+class PositionalEncoding {
+ public:
+  explicit PositionalEncoding(size_t dim) : dim_(dim) {}
+
+  Matrix Forward(const Matrix& x) const;
+
+ private:
+  size_t dim_;
+};
+
+// One encoder block: x + MHA(LN(x)), then x + FFN(LN(x)).
+class TransformerEncoderLayer {
+ public:
+  TransformerEncoderLayer(std::string name, size_t model_dim,
+                          size_t num_heads, size_t ffn_dim, bool causal,
+                          Pcg32* rng);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+  ParamList Params();
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadSelfAttention attn_;
+  LayerNorm ln2_;
+  Linear ffn1_;
+  Relu relu_;
+  Linear ffn2_;
+};
+
+struct TransformerConfig {
+  size_t model_dim = 64;
+  size_t num_heads = 4;
+  size_t ffn_dim = 256;
+  size_t num_layers = 2;
+  bool causal = false;
+};
+
+// A stack of encoder layers with a final LayerNorm.
+class TransformerEncoder {
+ public:
+  TransformerEncoder(std::string name, const TransformerConfig& config,
+                     Pcg32* rng);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+  ParamList Params();
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  LayerNorm final_ln_;
+};
+
+}  // namespace pythia::nn
+
+#endif  // PYTHIA_NN_TRANSFORMER_H_

@@ -1,0 +1,59 @@
+// Asynchronous I/O channel scheduler.
+//
+// Models the pool of I/O workers the Postgres AIO branch uses: a prefetch
+// request issued at time `t` occupies the earliest-free channel and
+// completes after the device latency. Synchronous reads issued by the
+// executor do not go through the channels (they block the query itself);
+// this matches how the AIO workers run alongside the backend process.
+#ifndef PYTHIA_STORAGE_IO_SCHEDULER_H_
+#define PYTHIA_STORAGE_IO_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/sim_clock.h"
+
+namespace pythia {
+
+class IoScheduler {
+ public:
+  explicit IoScheduler(size_t num_channels)
+      : free_at_(num_channels == 0 ? 1 : num_channels, 0) {}
+
+  // Schedules an async operation of duration `latency_us` not earlier than
+  // `now`; returns its completion time. Channels are FIFO per-channel; the
+  // request takes the channel that frees up first.
+  SimTime Schedule(SimTime now, SimTime latency_us) {
+    size_t best = 0;
+    for (size_t i = 1; i < free_at_.size(); ++i) {
+      if (free_at_[i] < free_at_[best]) best = i;
+    }
+    const SimTime start = free_at_[best] > now ? free_at_[best] : now;
+    free_at_[best] = start + latency_us;
+    ++scheduled_ops_;
+    return free_at_[best];
+  }
+
+  // Earliest time a new request issued at `now` could start.
+  SimTime EarliestStart(SimTime now) const {
+    SimTime best = free_at_[0];
+    for (SimTime t : free_at_) best = t < best ? t : best;
+    return best > now ? best : now;
+  }
+
+  size_t num_channels() const { return free_at_.size(); }
+  uint64_t scheduled_ops() const { return scheduled_ops_; }
+
+  void Reset() {
+    for (SimTime& t : free_at_) t = 0;
+    scheduled_ops_ = 0;
+  }
+
+ private:
+  std::vector<SimTime> free_at_;
+  uint64_t scheduled_ops_ = 0;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_STORAGE_IO_SCHEDULER_H_

@@ -1,0 +1,67 @@
+#include "storage/os_cache.h"
+
+namespace pythia {
+
+OsReadResult OsPageCache::Read(PageId page) {
+  OsReadResult result;
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    Touch(page);
+    ++hits_;
+    result.latency_us = latency_.os_cache_copy_us;
+    result.source = AccessSource::kOsCache;
+    // A cache hit still counts as progress for readahead detection, so a
+    // long scan keeps extending its readahead run.
+    last_page_[page.object_id] = page.page_no;
+    return result;
+  }
+
+  auto last_it = last_page_.find(page.object_id);
+  const bool sequential =
+      last_it != last_page_.end() && page.page_no == last_it->second + 1;
+  last_page_[page.object_id] = page.page_no;
+
+  if (sequential) {
+    ++sequential_reads_;
+    result.latency_us = latency_.disk_seq_read_us;
+    result.source = AccessSource::kDiskSequential;
+    // The kernel reads ahead: the next `readahead_pages` pages of this file
+    // land in the cache and will be served as memory copies.
+    for (uint32_t i = 1; i <= options_.readahead_pages; ++i) {
+      Insert(PageId{page.object_id, page.page_no + i});
+    }
+  } else {
+    ++random_reads_;
+    result.latency_us = latency_.disk_random_read_us;
+    result.source = AccessSource::kDiskRandom;
+  }
+  Insert(page);
+  return result;
+}
+
+void OsPageCache::DropCaches() {
+  lru_.clear();
+  map_.clear();
+  last_page_.clear();
+}
+
+void OsPageCache::Insert(PageId page) {
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    Touch(page);
+    return;
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  while (map_.size() > options_.capacity_pages) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void OsPageCache::Touch(PageId page) {
+  auto it = map_.find(page);
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+}  // namespace pythia

@@ -1,0 +1,124 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every stochastic component (data generation, workload sampling, weight
+// initialization, train/test splits) draws from an explicitly seeded Pcg32 so
+// that tests and benchmark tables are bit-identical across runs and machines.
+// std::mt19937 distributions are implementation-defined; we avoid them.
+#ifndef PYTHIA_UTIL_RNG_H_
+#define PYTHIA_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pythia {
+
+// PCG-XSH-RR 64/32 (O'Neill, 2014). Small, fast, statistically solid.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  // Uniform integer in [0, bound). Uses rejection sampling to avoid modulo
+  // bias. Precondition: bound > 0.
+  uint32_t UniformU32(uint32_t bound) {
+    uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(NextU64());  // full range
+    uint64_t threshold = (-span) % span;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return lo + static_cast<int64_t>(r % span);
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return (NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform float in [lo, hi).
+  double UniformRange(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  // Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double Gaussian() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformU32(static_cast<uint32_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+// Samples from a Zipf distribution over {0, .., n-1} with exponent s, used
+// by the workload generator to create skewed column values (DSB-style).
+// Precomputes the CDF once; sampling is a binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (uint32_t i = 0; i < n; ++i) total += 1.0 / std::pow(i + 1.0, s);
+    double acc = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(i + 1.0, s) / total;
+      cdf_[i] = acc;
+    }
+    if (n > 0) cdf_[n - 1] = 1.0;  // guard against rounding
+  }
+
+  uint32_t Sample(Pcg32* rng) const {
+    double u = rng->UniformDouble();
+    size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) lo = mid + 1; else hi = mid;
+    }
+    return static_cast<uint32_t>(lo);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_UTIL_RNG_H_

@@ -1,0 +1,36 @@
+// Aligned plain-text table output for the benchmark harnesses. Every bench
+// binary prints the rows/series of one paper table or figure through this.
+#ifndef PYTHIA_UTIL_TABLE_PRINTER_H_
+#define PYTHIA_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace pythia {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds one row; cells beyond the header count are dropped, missing cells
+  // render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with a separator under the header.
+  std::string ToString() const;
+
+  // Convenience: renders and writes to stdout.
+  void Print() const;
+
+  // Formats a double with `digits` decimal places.
+  static std::string Num(double v, int digits = 3);
+  static std::string Int(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,360 @@
+#include "workload/database.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pythia {
+
+namespace {
+
+// Clamps v into [lo, hi].
+Value Clamp(Value v, Value lo, Value hi) { return std::clamp(v, lo, hi); }
+
+// Scatters zipf ranks across the key space so popular keys are spread over
+// many pages instead of clustering at the front of the file.
+Value Scatter(uint32_t rank, Value n) {
+  return static_cast<Value>((static_cast<uint64_t>(rank) * 2654435761ULL) %
+                            static_cast<uint64_t>(n));
+}
+
+}  // namespace
+
+uint64_t Database::TotalPages() const {
+  uint64_t total = 0;
+  for (ObjectId id = 0; id < catalog.num_objects(); ++id) {
+    total += catalog.ObjectPages(id);
+  }
+  return total;
+}
+
+std::unique_ptr<Database> BuildDsbDatabase(const DsbConfig& config) {
+  auto db = std::make_unique<Database>();
+  Catalog& cat = db->catalog;
+  Pcg32 rng(config.seed, /*stream=*/0xd5b);
+  const int sf = config.scale_factor;
+
+  // ---- Dimension sizes (small dims fixed, large dims scale with SF). ----
+  const Value kNumDates = 2190;  // six years
+  const Value num_items = 150 * sf;
+  const Value num_customers = 500 * sf;
+  const Value num_addresses = 250 * sf;
+  const Value kNumCdemo = 1920;
+  const Value kNumHdemo = 720;
+  const Value kNumStores = 30;
+  const Value kNumCallCenters = 12;
+
+  // date_dim --------------------------------------------------------------
+  Relation* date_dim = cat.CreateRelation(
+      "date_dim", {"d_date_sk", "d_year", "d_moy", "d_dom"},
+      /*rows_per_page=*/80);
+  for (Value d = 0; d < kNumDates; ++d) {
+    date_dim->AppendRow({d, 2016 + d / 365, (d % 365) / 31 + 1, d % 31 + 1});
+  }
+
+  // store -------------------------------------------------------------------
+  Relation* store =
+      cat.CreateRelation("store", {"s_store_sk", "s_state"}, 25);
+  for (Value s = 0; s < kNumStores; ++s) {
+    store->AppendRow({s, static_cast<Value>(rng.UniformU32(10))});
+  }
+
+  // call_center -------------------------------------------------------------
+  Relation* call_center =
+      cat.CreateRelation("call_center", {"cc_call_center_sk", "cc_class"}, 25);
+  for (Value c = 0; c < kNumCallCenters; ++c) {
+    call_center->AppendRow({c, static_cast<Value>(rng.UniformU32(3))});
+  }
+
+  // household_demographics ----------------------------------------------------
+  Relation* hdemo = cat.CreateRelation(
+      "household_demographics",
+      {"hd_demo_sk", "hd_dep_count", "hd_income_band"}, 80);
+  for (Value h = 0; h < kNumHdemo; ++h) {
+    hdemo->AppendRow({h, h % 10, static_cast<Value>(rng.UniformU32(20))});
+  }
+
+  // customer_demographics -----------------------------------------------------
+  Relation* cdemo = cat.CreateRelation(
+      "customer_demographics",
+      {"cd_demo_sk", "cd_gender", "cd_education", "cd_purchase_estimate"},
+      60);
+  for (Value c = 0; c < kNumCdemo; ++c) {
+    cdemo->AppendRow({c, c % 2, (c / 2) % 7,
+                      static_cast<Value>(500 + rng.UniformU32(9500))});
+  }
+
+  // item: category correlates with the item-sk band (items of one category
+  // cluster), price correlates with category — the DSB-style correlated
+  // columns the learned model exploits.
+  Relation* item = cat.CreateRelation(
+      "item", {"i_item_sk", "i_category", "i_brand", "i_current_price"}, 50);
+  for (Value i = 0; i < num_items; ++i) {
+    const Value category =
+        Clamp(i * 10 / num_items +
+                  static_cast<Value>(rng.UniformU32(3)) - 1, 0, 9);
+    const Value brand = (i * 100 / num_items + rng.UniformU32(10)) % 100;
+    const Value price = 100 * (category + 1) +
+                        static_cast<Value>(rng.UniformU32(100));
+    item->AppendRow({i, category, brand, price});
+  }
+
+  // customer_address ----------------------------------------------------------
+  Relation* address = cat.CreateRelation(
+      "customer_address", {"ca_address_sk", "ca_state", "ca_gmt_offset"}, 50);
+  for (Value a = 0; a < num_addresses; ++a) {
+    address->AppendRow({a, static_cast<Value>(rng.UniformU32(50)),
+                        -10 + static_cast<Value>(rng.UniformU32(6))});
+  }
+
+  // customer ------------------------------------------------------------------
+  Relation* customer = cat.CreateRelation(
+      "customer",
+      {"c_customer_sk", "c_birth_year", "c_current_addr_sk",
+       "c_current_cdemo_sk", "c_current_hdemo_sk"},
+      40);
+  for (Value c = 0; c < num_customers; ++c) {
+    // Addresses correlate with the customer key (DSB generates correlated
+    // surrogate keys): nearby customers live on nearby address pages.
+    const Value addr = Clamp(
+        c * num_addresses / num_customers +
+            static_cast<Value>(std::lround(rng.Gaussian() * 40.0)),
+        0, num_addresses - 1);
+    // Birth year also correlates with the key (DSB's correlated-column
+    // generation): a birth-year band selects a contiguous customer band.
+    const Value birth = Clamp(
+        1950 + c * 51 / num_customers +
+            static_cast<Value>(rng.UniformU32(9)) - 4,
+        1950, 2000);
+    customer->AppendRow(
+        {c, birth, addr,
+         static_cast<Value>(rng.UniformU32(static_cast<uint32_t>(kNumCdemo))),
+         static_cast<Value>(
+             rng.UniformU32(static_cast<uint32_t>(kNumHdemo)))});
+  }
+
+  // store_sales fact: rows arrive in date order; the item sold correlates
+  // with the date (seasonal bands) and customers mix a zipf-skewed head with
+  // a date-correlated band — so a date-range parameter determines (noisily)
+  // which dimension pages a query touches.
+  const Value num_sales = 600 * sf;
+  Relation* sales = cat.CreateRelation(
+      "store_sales",
+      {"ss_sold_date_sk", "ss_item_sk", "ss_customer_sk", "ss_hdemo_sk",
+       "ss_store_sk", "ss_quantity", "ss_sales_price"},
+      40);
+  ZipfSampler customer_zipf(static_cast<uint32_t>(num_customers), 1.05);
+  ZipfSampler store_zipf(static_cast<uint32_t>(kNumStores), 1.2);
+  for (Value r = 0; r < num_sales; ++r) {
+    const Value date = Clamp(
+        r * kNumDates / num_sales + static_cast<Value>(rng.UniformU32(7)) - 3,
+        0, kNumDates - 1);
+    const Value item_center = date * num_items / kNumDates;
+    Value item_sk;
+    if (rng.UniformDouble() < 0.8) {
+      item_sk = Clamp(item_center +
+                          static_cast<Value>(
+                              std::lround(rng.Gaussian() * num_items / 20.0)),
+                      0, num_items - 1);
+    } else {
+      item_sk = static_cast<Value>(
+          rng.UniformU32(static_cast<uint32_t>(num_items)));
+    }
+    // Customers: a zipf-skewed recurring head (hot pages, trivially
+    // learnable), a date-correlated band (the DSB correlation the model
+    // exploits), and a small uniform tail (irreducible noise).
+    Value customer_sk;
+    const double mix = rng.UniformDouble();
+    if (mix < 0.45) {
+      customer_sk = Scatter(customer_zipf.Sample(&rng), num_customers);
+    } else if (mix < 0.93) {
+      const Value center = date * num_customers / kNumDates;
+      customer_sk = Clamp(
+          center + static_cast<Value>(
+                       std::lround(rng.Gaussian() * num_customers / 30.0)),
+          0, num_customers - 1);
+    } else {
+      customer_sk = static_cast<Value>(
+          rng.UniformU32(static_cast<uint32_t>(num_customers)));
+    }
+    sales->AppendRow({date, item_sk, customer_sk,
+                      static_cast<Value>(
+                          rng.UniformU32(static_cast<uint32_t>(kNumHdemo))),
+                      static_cast<Value>(store_zipf.Sample(&rng)),
+                      1 + static_cast<Value>(rng.UniformU32(100)),
+                      item->Get(static_cast<RowId>(item_sk), 3) +
+                          static_cast<Value>(rng.UniformU32(50))});
+  }
+
+  // catalog_returns fact (small — drives template 91's high non-sequential
+  // fraction): returns are customer-heavy, probing many customer pages.
+  const Value num_returns = 100 * sf;
+  Relation* returns = cat.CreateRelation(
+      "catalog_returns",
+      {"cr_returned_date_sk", "cr_item_sk", "cr_customer_sk",
+       "cr_call_center_sk", "cr_return_amount"},
+      40);
+  for (Value r = 0; r < num_returns; ++r) {
+    const Value date = Clamp(
+        r * kNumDates / num_returns +
+            static_cast<Value>(rng.UniformU32(11)) - 5,
+        0, kNumDates - 1);
+    Value customer_sk;
+    const double mix = rng.UniformDouble();
+    if (mix < 0.25) {
+      customer_sk = Scatter(customer_zipf.Sample(&rng), num_customers);
+    } else if (mix < 0.9) {
+      const Value center = date * num_customers / kNumDates;
+      customer_sk = Clamp(
+          center + static_cast<Value>(
+                       std::lround(rng.Gaussian() * num_customers / 35.0)),
+          0, num_customers - 1);
+    } else {
+      customer_sk = static_cast<Value>(
+          rng.UniformU32(static_cast<uint32_t>(num_customers)));
+    }
+    const Value item_sk = static_cast<Value>(
+        rng.UniformU32(static_cast<uint32_t>(num_items)));
+    returns->AppendRow(
+        {date, item_sk, customer_sk,
+         static_cast<Value>(
+             rng.UniformU32(static_cast<uint32_t>(kNumCallCenters))),
+         static_cast<Value>(10 + rng.UniformU32(500))});
+  }
+
+  // Record heap page counts and build the dimension primary-key indexes.
+  for (Relation* rel : {date_dim, store, call_center, hdemo, cdemo, item,
+                        address, customer, sales, returns}) {
+    cat.SetObjectPages(rel->object_id(), rel->num_pages());
+  }
+  db->indexes.Add(
+      std::make_unique<BTreeIndex>(&cat, *item, "i_item_sk"));
+  db->indexes.Add(
+      std::make_unique<BTreeIndex>(&cat, *customer, "c_customer_sk"));
+  db->indexes.Add(
+      std::make_unique<BTreeIndex>(&cat, *address, "ca_address_sk"));
+  db->indexes.Add(
+      std::make_unique<BTreeIndex>(&cat, *cdemo, "cd_demo_sk"));
+  db->indexes.Add(
+      std::make_unique<BTreeIndex>(&cat, *hdemo, "hd_demo_sk"));
+  db->indexes.Add(
+      std::make_unique<BTreeIndex>(&cat, *date_dim, "d_date_sk"));
+  return db;
+}
+
+std::unique_ptr<Database> BuildImdbDatabase(const ImdbConfig& config) {
+  auto db = std::make_unique<Database>();
+  Catalog& cat = db->catalog;
+  Pcg32 rng(config.seed, /*stream=*/0x1adb);
+  const int sf = config.scale_factor;
+
+  const Value num_titles = 250 * sf;
+  const Value num_names = 200 * sf;
+  const Value num_companies = 50 * sf;
+  const Value kNumRoles = 11;
+  const Value kNumKinds = 7;
+  const Value kNumCompanyTypes = 2;
+
+  // Tiny type tables -------------------------------------------------------
+  Relation* role_type =
+      cat.CreateRelation("role_type", {"rt_role_id", "rt_code"}, 25);
+  for (Value r = 0; r < kNumRoles; ++r) role_type->AppendRow({r, r});
+  Relation* kind_type =
+      cat.CreateRelation("kind_type", {"kt_kind_id", "kt_code"}, 25);
+  for (Value k = 0; k < kNumKinds; ++k) kind_type->AppendRow({k, k});
+  Relation* company_type = cat.CreateRelation(
+      "company_type", {"ct_type_id", "ct_code"}, 25);
+  for (Value c = 0; c < kNumCompanyTypes; ++c) company_type->AppendRow({c, c});
+
+  // name ---------------------------------------------------------------------
+  Relation* name = cat.CreateRelation(
+      "name", {"n_id", "n_gender", "n_birth_year"}, 50);
+  for (Value n = 0; n < num_names; ++n) {
+    name->AppendRow({n, static_cast<Value>(rng.UniformU32(2)),
+                     1920 + static_cast<Value>(rng.UniformU32(85))});
+  }
+
+  // company_name ---------------------------------------------------------------
+  Relation* company = cat.CreateRelation(
+      "company_name", {"cn_id", "cn_country"}, 50);
+  for (Value c = 0; c < num_companies; ++c) {
+    company->AppendRow({c, static_cast<Value>(rng.UniformU32(60))});
+  }
+
+  // title: production year correlates with title id (ids roughly
+  // chronological, as in the real IMDB dump).
+  Relation* title = cat.CreateRelation(
+      "title", {"t_id", "t_kind", "t_production_year"}, 50);
+  for (Value t = 0; t < num_titles; ++t) {
+    const Value year = Clamp(
+        1950 + t * 70 / num_titles + static_cast<Value>(rng.UniformU32(9)) -
+            4,
+        1950, 2019);
+    title->AppendRow({t, static_cast<Value>(rng.UniformU32(
+                             static_cast<uint32_t>(kNumKinds))),
+                      year});
+  }
+
+  // cast_info: ~10 rows per title, mostly clustered by movie id (the real
+  // table is roughly insertion-ordered by movie) with a scattered tail.
+  Relation* cast_info = cat.CreateRelation(
+      "cast_info", {"ci_movie_id", "ci_person_id", "ci_role_id"}, 60);
+  ZipfSampler person_zipf(static_cast<uint32_t>(num_names), 1.02);
+  for (Value t = 0; t < num_titles; ++t) {
+    const uint32_t cast_size = 5 + rng.UniformU32(11);
+    for (uint32_t i = 0; i < cast_size; ++i) {
+      const Value movie = rng.UniformDouble() < 0.92
+                              ? t
+                              : static_cast<Value>(rng.UniformU32(
+                                    static_cast<uint32_t>(num_titles)));
+      cast_info->AppendRow(
+          {movie,
+           static_cast<Value>(
+               (static_cast<uint64_t>(person_zipf.Sample(&rng)) *
+                2654435761ULL) %
+               static_cast<uint64_t>(num_names)),
+           static_cast<Value>(
+               rng.UniformU32(static_cast<uint32_t>(kNumRoles)))});
+    }
+  }
+
+  // movie_companies: ~2 rows per title.
+  Relation* movie_companies = cat.CreateRelation(
+      "movie_companies", {"mc_movie_id", "mc_company_id", "mc_company_type"},
+      60);
+  ZipfSampler company_zipf(static_cast<uint32_t>(num_companies), 1.1);
+  for (Value t = 0; t < num_titles; ++t) {
+    const uint32_t k = 1 + rng.UniformU32(3);
+    for (uint32_t i = 0; i < k; ++i) {
+      movie_companies->AppendRow(
+          {t, static_cast<Value>(company_zipf.Sample(&rng)),
+           static_cast<Value>(
+               rng.UniformU32(static_cast<uint32_t>(kNumCompanyTypes)))});
+    }
+  }
+
+  // movie_info: one info row per title.
+  Relation* movie_info = cat.CreateRelation(
+      "movie_info", {"mi_movie_id", "mi_info_type", "mi_value"}, 50);
+  for (Value t = 0; t < num_titles; ++t) {
+    movie_info->AppendRow({t, static_cast<Value>(rng.UniformU32(30)),
+                           static_cast<Value>(rng.UniformU32(1000))});
+  }
+
+  for (Relation* rel : {role_type, kind_type, company_type, name, company,
+                        title, cast_info, movie_companies, movie_info}) {
+    cat.SetObjectPages(rel->object_id(), rel->num_pages());
+  }
+
+  db->indexes.Add(
+      std::make_unique<BTreeIndex>(&cat, *cast_info, "ci_movie_id"));
+  db->indexes.Add(std::make_unique<BTreeIndex>(&cat, *movie_companies,
+                                               "mc_movie_id"));
+  db->indexes.Add(
+      std::make_unique<BTreeIndex>(&cat, *movie_info, "mi_movie_id"));
+  db->indexes.Add(std::make_unique<BTreeIndex>(&cat, *name, "n_id"));
+  db->indexes.Add(
+      std::make_unique<BTreeIndex>(&cat, *company, "cn_id"));
+  return db;
+}
+
+}  // namespace pythia

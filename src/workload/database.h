@@ -1,0 +1,55 @@
+// A self-contained simulated database: catalog + data + indexes.
+//
+// Two databases are provided, mirroring the paper's evaluation (Section 5):
+//  - a DSB-like star schema (TPC-DS entity model with skew and cross-column
+//    correlation) used by templates 18 / 19 / 91, and
+//  - an IMDB-like schema (CEB/JOB entity model) used by template 1a.
+//
+// `scale_factor` scales the big relations linearly, like DSB's SF knob;
+// SF 100 here corresponds to tens of thousands of simulated pages (the
+// paper's 100 GB corresponds to millions — ratios, not absolute sizes, are
+// the reproduction target).
+#ifndef PYTHIA_WORKLOAD_DATABASE_H_
+#define PYTHIA_WORKLOAD_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/relation.h"
+#include "index/index_registry.h"
+#include "util/rng.h"
+
+namespace pythia {
+
+struct Database {
+  Catalog catalog;
+  IndexRegistry indexes;
+
+  // Total heap+index pages across all objects ("database size").
+  uint64_t TotalPages() const;
+};
+
+struct DsbConfig {
+  int scale_factor = 100;
+  uint64_t seed = 42;
+};
+
+struct ImdbConfig {
+  int scale_factor = 100;
+  uint64_t seed = 1337;
+};
+
+// Builds the DSB-like database: fact relations store_sales and
+// catalog_returns plus dimensions (date_dim, item, customer,
+// customer_address, customer_demographics, household_demographics, store,
+// call_center), with primary-key indexes on every dimension.
+std::unique_ptr<Database> BuildDsbDatabase(const DsbConfig& config);
+
+// Builds the IMDB-like database: title, cast_info, movie_companies,
+// movie_info, name, company_name, role_type, company_type, kind_type, with
+// join indexes on the movie-id columns and primary keys.
+std::unique_ptr<Database> BuildImdbDatabase(const ImdbConfig& config);
+
+}  // namespace pythia
+
+#endif  // PYTHIA_WORKLOAD_DATABASE_H_

@@ -1,0 +1,47 @@
+#include "workload/generator.h"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace pythia {
+
+size_t Workload::DistinctPlans() const {
+  std::unordered_set<std::string> keys;
+  for (const WorkloadQuery& q : queries) keys.insert(q.structure_key);
+  return keys.size();
+}
+
+Result<Workload> GenerateWorkload(const Database& db, TemplateId id,
+                                  const WorkloadOptions& options) {
+  Workload workload;
+  workload.template_id = id;
+  Pcg32 rng(options.seed, /*stream=*/static_cast<uint64_t>(id) + 17);
+
+  Executor executor(&db.catalog, &db.indexes);
+  PlanSerializer serializer(&db.catalog);
+
+  workload.queries.reserve(static_cast<size_t>(options.num_queries));
+  for (int i = 0; i < options.num_queries; ++i) {
+    WorkloadQuery q;
+    q.instance = SampleQuery(db, id, &rng);
+    TraceRecorder recorder;
+    Result<QueryResult> result = executor.Execute(*q.instance.plan, &recorder);
+    if (!result.ok()) return result.status();
+    q.trace = recorder.Take();
+    q.tokens = serializer.Serialize(*q.instance.plan);
+    q.structure_key = serializer.StructureKey(*q.instance.plan);
+    workload.queries.push_back(std::move(q));
+  }
+
+  // Random train/test split.
+  std::vector<size_t> order(workload.queries.size());
+  std::iota(order.begin(), order.end(), 0u);
+  rng.Shuffle(&order);
+  const size_t num_test = std::max<size_t>(
+      1, static_cast<size_t>(order.size() * options.test_fraction));
+  workload.test_indices.assign(order.begin(), order.begin() + num_test);
+  workload.train_indices.assign(order.begin() + num_test, order.end());
+  return workload;
+}
+
+}  // namespace pythia

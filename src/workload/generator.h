@@ -1,0 +1,51 @@
+// Workload generation: samples N query instances of one template, executes
+// each against the database to collect its page-access trace (the paper's
+// "query trace" construction, Section 2), serializes its plan, and splits
+// the result 95/5 into train/test ("We randomly sample 5% of the queries
+// from each workload for testing", Section 5.1).
+#ifndef PYTHIA_WORKLOAD_GENERATOR_H_
+#define PYTHIA_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/serializer.h"
+#include "exec/trace.h"
+#include "util/rng.h"
+#include "workload/database.h"
+#include "workload/templates.h"
+
+namespace pythia {
+
+struct WorkloadQuery {
+  QueryInstance instance;
+  QueryTrace trace;
+  std::vector<std::string> tokens;  // serialized plan (model input)
+  std::string structure_key;        // plan structure (distinct-plan counting)
+};
+
+struct Workload {
+  TemplateId template_id = TemplateId::kDsb18;
+  std::vector<WorkloadQuery> queries;
+  std::vector<size_t> train_indices;
+  std::vector<size_t> test_indices;
+
+  size_t DistinctPlans() const;
+};
+
+struct WorkloadOptions {
+  int num_queries = 300;
+  double test_fraction = 0.05;
+  uint64_t seed = 7;
+};
+
+// Generates and executes the workload. Traces are collected once here and
+// reused by both training and the timing simulator.
+Result<Workload> GenerateWorkload(const Database& db, TemplateId id,
+                                  const WorkloadOptions& options);
+
+}  // namespace pythia
+
+#endif  // PYTHIA_WORKLOAD_GENERATOR_H_

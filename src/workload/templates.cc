@@ -1,0 +1,274 @@
+#include "workload/templates.h"
+
+namespace pythia {
+
+const char* TemplateName(TemplateId id) {
+  switch (id) {
+    case TemplateId::kDsb18: return "dsb_t18";
+    case TemplateId::kDsb19: return "dsb_t19";
+    case TemplateId::kDsb91: return "dsb_t91";
+    case TemplateId::kImdb1a: return "imdb_1a";
+  }
+  return "unknown";
+}
+
+bool IsDsbTemplate(TemplateId id) { return id != TemplateId::kImdb1a; }
+
+namespace {
+
+// Postgres charges random page reads random_page_cost (default 4.0) times a
+// sequential read; the planner flips to a hash join when probing gets more
+// expensive than scanning the build side once.
+constexpr double kRandomPageCost = 4.0;
+
+// Adds the next dimension join onto `plan`: index nested-loop if probing is
+// estimated cheaper, else hash join. Returns the new plan root.
+std::unique_ptr<PlanNode> AddDimJoin(std::unique_ptr<PlanNode> plan,
+                                     const Database& db,
+                                     const std::string& dim,
+                                     const std::string& outer_key,
+                                     const std::string& dim_pk,
+                                     std::vector<Predicate> filters,
+                                     double est_probes) {
+  const Relation* rel = db.catalog.GetRelation(dim);
+  const double dim_pages = rel->num_pages();
+  const BTreeIndex* index = db.indexes.Find(dim, dim_pk);
+  const bool use_index =
+      index != nullptr && est_probes * kRandomPageCost < dim_pages;
+  if (use_index) {
+    return PlanNode::NestedLoopJoin(
+        std::move(plan),
+        PlanNode::IndexScan(dim, index->name(), std::move(filters)),
+        outer_key, dim_pk);
+  }
+  return PlanNode::HashJoin(std::move(plan),
+                            PlanNode::SeqScan(dim, std::move(filters)),
+                            outer_key, dim_pk);
+}
+
+// DSB date_dim spans six years of day-grain rows.
+constexpr Value kNumDates = 2190;
+
+QueryInstance SampleDsb18(const Database& db, Pcg32* rng) {
+  // Template 18 analogue: store_sales x item x customer x
+  // household_demographics x date_dim x store; date-range fact filter,
+  // category filter on item, birth-year filter on customer, optional
+  // dependent-count filter on household_demographics.
+  const Relation* sales = db.catalog.GetRelation("store_sales");
+  const double fact_rows = static_cast<double>(sales->num_rows());
+
+  static constexpr Value kWidths[] = {2, 7, 15, 30, 60, 120};
+  const Value width = kWidths[rng->UniformU32(6)];
+  const Value d0 = rng->UniformInt(0, kNumDates - width);
+  double est = fact_rows * static_cast<double>(width) / kNumDates;
+
+  auto plan = PlanNode::SeqScan(
+      "store_sales", {Predicate{"ss_sold_date_sk", d0, d0 + width - 1}});
+
+  // item: category equality (sel 1/10) or two-category range (sel 1/5).
+  const Value category = rng->UniformInt(0, 9);
+  const bool category_range = rng->UniformDouble() < 0.2;
+  const Value cat_hi = category_range ? std::min<Value>(category + 1, 9)
+                                      : category;
+  plan = AddDimJoin(std::move(plan), db, "item", "ss_item_sk", "i_item_sk",
+                    {Predicate{"i_category", category, cat_hi}}, est);
+  est *= category_range ? 0.2 : 0.1;
+
+  // customer: birth-year band.
+  static constexpr Value kBirthWidths[] = {5, 10, 20};
+  const Value bw = kBirthWidths[rng->UniformU32(3)];
+  const Value y0 = rng->UniformInt(1950, 2000 - bw);
+  plan = AddDimJoin(std::move(plan), db, "customer", "ss_customer_sk",
+                    "c_customer_sk",
+                    {Predicate{"c_birth_year", y0, y0 + bw - 1}}, est);
+  est *= static_cast<double>(bw) / 51.0;
+
+  // household_demographics: optional dependent-count equality.
+  std::vector<Predicate> hd_filters;
+  if (rng->UniformDouble() < 0.7) {
+    const Value dep = rng->UniformInt(0, 9);
+    hd_filters.push_back(Predicate{"hd_dep_count", dep, dep});
+  }
+  plan = AddDimJoin(std::move(plan), db, "household_demographics",
+                    "ss_hdemo_sk", "hd_demo_sk", std::move(hd_filters), est);
+
+  // date_dim and store close the star (always small: hash joins).
+  plan = AddDimJoin(std::move(plan), db, "date_dim", "ss_sold_date_sk",
+                    "d_date_sk", {}, est);
+  plan = AddDimJoin(std::move(plan), db, "store", "ss_store_sk", "s_store_sk",
+                    {}, est);
+
+  QueryInstance q;
+  q.template_id = TemplateId::kDsb18;
+  q.plan = PlanNode::Aggregate(std::move(plan));
+  return q;
+}
+
+QueryInstance SampleDsb19(const Database& db, Pcg32* rng) {
+  // Template 19 analogue: store_sales x item (brand filter) x customer x
+  // customer_address (snowflake hop) x date_dim x store.
+  const Relation* sales = db.catalog.GetRelation("store_sales");
+  const double fact_rows = static_cast<double>(sales->num_rows());
+
+  static constexpr Value kWidths[] = {7, 15, 30, 60};
+  const Value width = kWidths[rng->UniformU32(4)];
+  const Value d0 = rng->UniformInt(0, kNumDates - width);
+  double est = fact_rows * static_cast<double>(width) / kNumDates;
+
+  auto plan = PlanNode::SeqScan(
+      "store_sales", {Predicate{"ss_sold_date_sk", d0, d0 + width - 1}});
+
+  // item: brand band (brands 0..99, width 5 or 10 -> sel 0.05 / 0.10).
+  static constexpr Value kBrandWidths[] = {5, 10};
+  const Value brw = kBrandWidths[rng->UniformU32(2)];
+  const Value b0 = rng->UniformInt(0, 99 - brw);
+  plan = AddDimJoin(std::move(plan), db, "item", "ss_item_sk", "i_item_sk",
+                    {Predicate{"i_brand", b0, b0 + brw - 1}}, est);
+  est *= static_cast<double>(brw) / 100.0;
+
+  plan = AddDimJoin(std::move(plan), db, "customer", "ss_customer_sk",
+                    "c_customer_sk", {}, est);
+
+  // Snowflake hop: the customer's address, optionally filtered by state.
+  std::vector<Predicate> addr_filters;
+  if (rng->UniformDouble() < 0.8) {
+    const Value st = rng->UniformInt(0, 44);
+    addr_filters.push_back(Predicate{"ca_state", st, st + 4});
+  }
+  plan = AddDimJoin(std::move(plan), db, "customer_address",
+                    "c_current_addr_sk", "ca_address_sk",
+                    std::move(addr_filters), est);
+
+  plan = AddDimJoin(std::move(plan), db, "date_dim", "ss_sold_date_sk",
+                    "d_date_sk", {}, est);
+  plan = AddDimJoin(std::move(plan), db, "store", "ss_store_sk", "s_store_sk",
+                    {}, est);
+
+  QueryInstance q;
+  q.template_id = TemplateId::kDsb19;
+  q.plan = PlanNode::Aggregate(std::move(plan));
+  return q;
+}
+
+QueryInstance SampleDsb91(const Database& db, Pcg32* rng) {
+  // Template 91 analogue: catalog_returns x customer x customer_address x
+  // customer_demographics x household_demographics x call_center x
+  // date_dim. The fact is small, so non-sequential dimension probing
+  // dominates total I/O (Table 1's 21.9%).
+  const Relation* returns = db.catalog.GetRelation("catalog_returns");
+  const double fact_rows = static_cast<double>(returns->num_rows());
+
+  static constexpr Value kWidths[] = {30, 60};
+  const Value width = kWidths[rng->UniformU32(2)];
+  const Value d0 = rng->UniformInt(0, kNumDates - width);
+  double est = fact_rows * static_cast<double>(width) / kNumDates;
+
+  auto plan = PlanNode::SeqScan(
+      "catalog_returns", {Predicate{"cr_returned_date_sk", d0, d0 + width - 1}});
+
+  const Value y0 = rng->UniformInt(1950, 1975);
+  plan = AddDimJoin(std::move(plan), db, "customer", "cr_customer_sk",
+                    "c_customer_sk",
+                    {Predicate{"c_birth_year", y0, y0 + 24}}, est);
+  est *= 25.0 / 51.0;
+
+  plan = AddDimJoin(std::move(plan), db, "customer_address",
+                    "c_current_addr_sk", "ca_address_sk", {}, est);
+
+  std::vector<Predicate> cd_filters;
+  if (rng->UniformDouble() < 0.5) {
+    const Value g = rng->UniformInt(0, 1);
+    cd_filters.push_back(Predicate{"cd_gender", g, g});
+  }
+  plan = AddDimJoin(std::move(plan), db, "customer_demographics",
+                    "c_current_cdemo_sk", "cd_demo_sk", std::move(cd_filters),
+                    est);
+
+  plan = AddDimJoin(std::move(plan), db, "household_demographics",
+                    "c_current_hdemo_sk", "hd_demo_sk", {}, est);
+  plan = AddDimJoin(std::move(plan), db, "call_center", "cr_call_center_sk",
+                    "cc_call_center_sk", {}, est);
+  plan = AddDimJoin(std::move(plan), db, "date_dim", "cr_returned_date_sk",
+                    "d_date_sk", {}, est);
+
+  QueryInstance q;
+  q.template_id = TemplateId::kDsb91;
+  q.plan = PlanNode::Aggregate(std::move(plan));
+  return q;
+}
+
+QueryInstance SampleImdb1a(const Database& db, Pcg32* rng) {
+  // CEB template 1a analogue over the IMDB schema: title drives probes into
+  // cast_info, name, movie_companies, company_name and movie_info, with the
+  // tiny type tables hash-joined.
+  const Relation* title = db.catalog.GetRelation("title");
+  const double titles = static_cast<double>(title->num_rows());
+
+  static constexpr Value kYearWidths[] = {3, 6, 12};
+  const Value width = kYearWidths[rng->UniformU32(3)];
+  const Value year0 = rng->UniformInt(1950, 2019 - width);
+
+  std::vector<Predicate> title_filters = {
+      Predicate{"t_production_year", year0, year0 + width - 1}};
+  double est = titles * static_cast<double>(width) / 70.0;
+  if (rng->UniformDouble() < 0.9) {
+    const Value kind = rng->UniformInt(0, 6);
+    title_filters.push_back(Predicate{"t_kind", kind, kind});
+    est /= 7.0;
+  }
+  auto plan = PlanNode::SeqScan("title", std::move(title_filters));
+
+  // cast_info: ~10 rows per probed movie.
+  std::vector<Predicate> ci_filters;
+  double role_sel = 1.0;
+  if (rng->UniformDouble() < 0.5) {
+    const Value role = rng->UniformInt(0, 10);
+    ci_filters.push_back(Predicate{"ci_role_id", role, role});
+    role_sel = 1.0 / 11.0;
+  }
+  plan = AddDimJoin(std::move(plan), db, "cast_info", "t_id", "ci_movie_id",
+                    std::move(ci_filters), est);
+  double cast_rows = est * 10.0 * role_sel;
+
+  plan = AddDimJoin(std::move(plan), db, "name", "ci_person_id", "n_id", {},
+                    cast_rows);
+  plan = AddDimJoin(std::move(plan), db, "role_type", "ci_role_id",
+                    "rt_role_id", {}, cast_rows);
+
+  plan = AddDimJoin(std::move(plan), db, "movie_companies", "t_id",
+                    "mc_movie_id", {}, cast_rows);
+  const double mc_rows = cast_rows * 2.0;
+  plan = AddDimJoin(std::move(plan), db, "company_name", "mc_company_id",
+                    "cn_id", {}, mc_rows);
+  plan = AddDimJoin(std::move(plan), db, "company_type", "mc_company_type",
+                    "ct_type_id", {}, mc_rows);
+
+  std::vector<Predicate> mi_filters;
+  if (rng->UniformDouble() < 0.5) {
+    const Value info = rng->UniformInt(0, 29);
+    mi_filters.push_back(Predicate{"mi_info_type", info, info});
+  }
+  plan = AddDimJoin(std::move(plan), db, "movie_info", "t_id", "mi_movie_id",
+                    std::move(mi_filters), mc_rows);
+  plan = AddDimJoin(std::move(plan), db, "kind_type", "t_kind", "kt_kind_id",
+                    {}, mc_rows);
+
+  QueryInstance q;
+  q.template_id = TemplateId::kImdb1a;
+  q.plan = PlanNode::Aggregate(std::move(plan));
+  return q;
+}
+
+}  // namespace
+
+QueryInstance SampleQuery(const Database& db, TemplateId id, Pcg32* rng) {
+  switch (id) {
+    case TemplateId::kDsb18: return SampleDsb18(db, rng);
+    case TemplateId::kDsb19: return SampleDsb19(db, rng);
+    case TemplateId::kDsb91: return SampleDsb91(db, rng);
+    case TemplateId::kImdb1a: return SampleImdb1a(db, rng);
+  }
+  return QueryInstance{};
+}
+
+}  // namespace pythia

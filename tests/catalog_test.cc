@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "catalog/relation.h"
+
+namespace pythia {
+namespace {
+
+TEST(RelationTest, SchemaAndColumns) {
+  Relation rel("t", 0, {"a", "b", "c"}, 10);
+  EXPECT_EQ(rel.num_columns(), 3u);
+  EXPECT_EQ(rel.ColumnIndex("b"), 1);
+  EXPECT_EQ(rel.ColumnIndex("missing"), -1);
+}
+
+TEST(RelationTest, AppendAndGet) {
+  Relation rel("t", 0, {"a", "b"}, 10);
+  rel.AppendRow({1, 2});
+  rel.AppendRow({3, 4});
+  EXPECT_EQ(rel.num_rows(), 2u);
+  EXPECT_EQ(rel.Get(0, 1), 2);
+  EXPECT_EQ(rel.Get(1, 0), 3);
+}
+
+TEST(RelationTest, PageLayout) {
+  Relation rel("t", 7, {"a"}, 3);
+  for (Value v = 0; v < 10; ++v) rel.AppendRow({v});
+  EXPECT_EQ(rel.num_pages(), 4u);  // ceil(10/3)
+  EXPECT_EQ(rel.PageOfRow(0), (PageId{7, 0}));
+  EXPECT_EQ(rel.PageOfRow(2), (PageId{7, 0}));
+  EXPECT_EQ(rel.PageOfRow(3), (PageId{7, 1}));
+  EXPECT_EQ(rel.PageOfRow(9), (PageId{7, 3}));
+}
+
+TEST(RelationTest, PageRowRanges) {
+  Relation rel("t", 0, {"a"}, 4);
+  for (Value v = 0; v < 10; ++v) rel.AppendRow({v});
+  EXPECT_EQ(rel.FirstRowOfPage(0), 0u);
+  EXPECT_EQ(rel.EndRowOfPage(0), 4u);
+  EXPECT_EQ(rel.FirstRowOfPage(2), 8u);
+  EXPECT_EQ(rel.EndRowOfPage(2), 10u);  // last page is partial
+}
+
+TEST(RelationTest, EmptyRelation) {
+  Relation rel("t", 0, {"a"}, 4);
+  EXPECT_EQ(rel.num_pages(), 0u);
+  EXPECT_EQ(rel.num_rows(), 0u);
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog cat;
+  Relation* t1 = cat.CreateRelation("alpha", {"a"}, 10);
+  Relation* t2 = cat.CreateRelation("beta", {"b"}, 10);
+  EXPECT_EQ(cat.GetRelation("alpha"), t1);
+  EXPECT_EQ(cat.GetRelation("beta"), t2);
+  EXPECT_EQ(cat.GetRelation("gamma"), nullptr);
+  EXPECT_NE(t1->object_id(), t2->object_id());
+}
+
+TEST(CatalogTest, ObjectRegistry) {
+  Catalog cat;
+  cat.CreateRelation("alpha", {"a"}, 10);
+  const ObjectId idx = cat.RegisterObject("alpha_idx");
+  EXPECT_EQ(cat.ObjectName(idx), "alpha_idx");
+  cat.SetObjectPages(idx, 42);
+  EXPECT_EQ(cat.ObjectPages(idx), 42u);
+  EXPECT_EQ(cat.num_objects(), 2u);
+}
+
+TEST(CatalogTest, ConstLookup) {
+  Catalog cat;
+  cat.CreateRelation("alpha", {"a"}, 10);
+  const Catalog& const_cat = cat;
+  EXPECT_NE(const_cat.GetRelation("alpha"), nullptr);
+  EXPECT_EQ(const_cat.GetRelation("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "exec/executor.h"
+#include "exec/plan.h"
+#include "exec/trace.h"
+#include "index/index_registry.h"
+
+namespace pythia {
+namespace {
+
+// A small two-table database: fact(fk, v) and dim(pk, attr) with a pk index.
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() {
+    fact_ = catalog_.CreateRelation("fact", {"fk", "v"}, 4);
+    dim_ = catalog_.CreateRelation("dim", {"pk", "attr"}, 4);
+    // dim: pk 0..9, attr = pk % 3.
+    for (Value p = 0; p < 10; ++p) dim_->AppendRow({p, p % 3});
+    // fact: 20 rows, fk = i % 10, v = i.
+    for (Value i = 0; i < 20; ++i) fact_->AppendRow({i % 10, i});
+    catalog_.SetObjectPages(fact_->object_id(), fact_->num_pages());
+    catalog_.SetObjectPages(dim_->object_id(), dim_->num_pages());
+    indexes_.Add(std::make_unique<BTreeIndex>(&catalog_, *dim_, "pk", 4));
+  }
+
+  Result<QueryResult> Run(const PlanNode& plan, QueryTrace* trace_out) {
+    Executor executor(&catalog_, &indexes_);
+    TraceRecorder recorder;
+    Result<QueryResult> r = executor.Execute(plan, &recorder);
+    if (trace_out != nullptr) *trace_out = recorder.Take();
+    return r;
+  }
+
+  Catalog catalog_;
+  IndexRegistry indexes_;
+  Relation* fact_;
+  Relation* dim_;
+};
+
+TEST_F(ExecTest, SeqScanCountsAllRows) {
+  auto plan = PlanNode::Aggregate(PlanNode::SeqScan("fact", {}));
+  QueryTrace trace;
+  Result<QueryResult> r = Run(*plan, &trace);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->aggregate, 20);
+  // 20 rows / 4 per page = 5 sequential page accesses.
+  EXPECT_EQ(trace.SequentialCount(), 5u);
+  EXPECT_TRUE(trace.DistinctNonSequential().empty());
+}
+
+TEST_F(ExecTest, SeqScanFilter) {
+  auto plan = PlanNode::Aggregate(
+      PlanNode::SeqScan("fact", {Predicate{"v", 5, 9}}));
+  Result<QueryResult> r = Run(*plan, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->aggregate, 5);
+}
+
+TEST_F(ExecTest, SeqScanEqualityFilter) {
+  auto plan = PlanNode::Aggregate(
+      PlanNode::SeqScan("fact", {Predicate{"fk", 3, 3}}));
+  Result<QueryResult> r = Run(*plan, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->aggregate, 2);  // rows 3 and 13
+}
+
+TEST_F(ExecTest, StandaloneIndexScan) {
+  auto plan = PlanNode::Aggregate(
+      PlanNode::IndexScan("dim", "dim_pk_idx", {Predicate{"pk", 2, 5}}));
+  QueryTrace trace;
+  Result<QueryResult> r = Run(*plan, &trace);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->aggregate, 4);
+  // Index pages + heap pages all non-sequential.
+  EXPECT_GT(trace.DistinctNonSequential().size(), 0u);
+  EXPECT_EQ(trace.SequentialCount(), 0u);
+}
+
+TEST_F(ExecTest, IndexScanWithResidualFilter) {
+  auto plan = PlanNode::Aggregate(PlanNode::IndexScan(
+      "dim", "dim_pk_idx",
+      {Predicate{"pk", 0, 9}, Predicate{"attr", 0, 0}}));
+  Result<QueryResult> r = Run(*plan, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->aggregate, 4);  // attr==0 for pk 0,3,6,9
+}
+
+TEST_F(ExecTest, IndexNestedLoopJoinMatchesHashJoin) {
+  auto nlj = PlanNode::Aggregate(PlanNode::NestedLoopJoin(
+      PlanNode::SeqScan("fact", {}),
+      PlanNode::IndexScan("dim", "dim_pk_idx", {Predicate{"attr", 1, 1}}),
+      "fk", "pk"));
+  auto hj = PlanNode::Aggregate(PlanNode::HashJoin(
+      PlanNode::SeqScan("fact", {}),
+      PlanNode::SeqScan("dim", {Predicate{"attr", 1, 1}}), "fk", "pk"));
+  Result<QueryResult> r1 = Run(*nlj, nullptr);
+  Result<QueryResult> r2 = Run(*hj, nullptr);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->aggregate, r2->aggregate);
+  EXPECT_EQ(r1->aggregate, 6);  // attr==1 for pk 1,4,7 -> 2 fact rows each
+}
+
+TEST_F(ExecTest, NljProducesNonSequentialAccesses) {
+  auto plan = PlanNode::Aggregate(PlanNode::NestedLoopJoin(
+      PlanNode::SeqScan("fact", {}),
+      PlanNode::IndexScan("dim", "dim_pk_idx", {}), "fk", "pk"));
+  QueryTrace trace;
+  ASSERT_TRUE(Run(*plan, &trace).ok());
+  // Dimension heap + index pages must appear as non-sequential.
+  bool saw_dim_heap = false;
+  for (const PageAccess& a : trace.accesses) {
+    if (a.page.object_id == dim_->object_id()) {
+      EXPECT_FALSE(a.sequential);
+      saw_dim_heap = true;
+    }
+  }
+  EXPECT_TRUE(saw_dim_heap);
+}
+
+TEST_F(ExecTest, HashJoinBuildIsSequential) {
+  auto plan = PlanNode::Aggregate(PlanNode::HashJoin(
+      PlanNode::SeqScan("fact", {}), PlanNode::SeqScan("dim", {}), "fk",
+      "pk"));
+  QueryTrace trace;
+  ASSERT_TRUE(Run(*plan, &trace).ok());
+  for (const PageAccess& a : trace.accesses) EXPECT_TRUE(a.sequential);
+}
+
+TEST_F(ExecTest, PipelinedTraceInterleavesFactAndDim) {
+  // In an index NLJ the dim probes must appear *between* fact pages, not
+  // after all of them.
+  auto plan = PlanNode::Aggregate(PlanNode::NestedLoopJoin(
+      PlanNode::SeqScan("fact", {}),
+      PlanNode::IndexScan("dim", "dim_pk_idx", {}), "fk", "pk"));
+  QueryTrace trace;
+  ASSERT_TRUE(Run(*plan, &trace).ok());
+  // Find a dim access that happens before the last fact page access.
+  size_t last_fact = 0, first_dim = trace.accesses.size();
+  for (size_t i = 0; i < trace.accesses.size(); ++i) {
+    if (trace.accesses[i].page.object_id == fact_->object_id()) {
+      last_fact = i;
+    } else if (first_dim == trace.accesses.size()) {
+      first_dim = i;
+    }
+  }
+  EXPECT_LT(first_dim, last_fact);
+}
+
+TEST_F(ExecTest, TupleCpuWorkRecorded) {
+  auto plan = PlanNode::Aggregate(PlanNode::SeqScan("fact", {}));
+  QueryTrace trace;
+  ASSERT_TRUE(Run(*plan, &trace).ok());
+  EXPECT_EQ(trace.tuples_processed, 20u);
+}
+
+TEST_F(ExecTest, RowsReturnedRecorded) {
+  auto plan = PlanNode::Aggregate(
+      PlanNode::SeqScan("fact", {Predicate{"v", 0, 3}}));
+  QueryTrace trace;
+  ASSERT_TRUE(Run(*plan, &trace).ok());
+  EXPECT_EQ(trace.rows_returned, 1u);  // the aggregate emits one row
+}
+
+TEST_F(ExecTest, UnknownRelationFails) {
+  auto plan = PlanNode::Aggregate(PlanNode::SeqScan("nope", {}));
+  EXPECT_FALSE(Run(*plan, nullptr).ok());
+}
+
+TEST_F(ExecTest, UnknownIndexFails) {
+  auto plan = PlanNode::Aggregate(
+      PlanNode::IndexScan("dim", "nope_idx", {Predicate{"pk", 0, 1}}));
+  EXPECT_FALSE(Run(*plan, nullptr).ok());
+}
+
+TEST_F(ExecTest, UnknownFilterColumnFails) {
+  auto plan = PlanNode::Aggregate(
+      PlanNode::SeqScan("fact", {Predicate{"nope", 0, 1}}));
+  EXPECT_FALSE(Run(*plan, nullptr).ok());
+}
+
+TEST_F(ExecTest, UnknownJoinKeyFails) {
+  auto plan = PlanNode::Aggregate(PlanNode::NestedLoopJoin(
+      PlanNode::SeqScan("fact", {}),
+      PlanNode::IndexScan("dim", "dim_pk_idx", {}), "nope", "pk"));
+  EXPECT_FALSE(Run(*plan, nullptr).ok());
+}
+
+TEST_F(ExecTest, NljInnerMustBeIndexScan) {
+  auto plan = PlanNode::Aggregate(PlanNode::NestedLoopJoin(
+      PlanNode::SeqScan("fact", {}), PlanNode::SeqScan("dim", {}), "fk",
+      "pk"));
+  EXPECT_FALSE(Run(*plan, nullptr).ok());
+}
+
+TEST_F(ExecTest, TwoHopJoinUsesInnerColumnOfFirstJoin) {
+  // fact -> dim (pk), then join dim.attr as the key into dim again via pk
+  // index: exercises join keys that come from a previous join's inner side.
+  auto plan = PlanNode::Aggregate(PlanNode::NestedLoopJoin(
+      PlanNode::NestedLoopJoin(
+          PlanNode::SeqScan("fact", {}),
+          PlanNode::IndexScan("dim", "dim_pk_idx", {}), "fk", "pk"),
+      PlanNode::IndexScan("dim", "dim_pk_idx", {}), "attr", "pk"));
+  Result<QueryResult> r = Run(*plan, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->aggregate, 20);  // every row joins: attr in 0..2 ⊂ pk domain
+}
+
+TEST_F(ExecTest, PlanCloneExecutesIdentically) {
+  auto plan = PlanNode::Aggregate(PlanNode::NestedLoopJoin(
+      PlanNode::SeqScan("fact", {Predicate{"v", 3, 17}}),
+      PlanNode::IndexScan("dim", "dim_pk_idx", {Predicate{"attr", 0, 1}}),
+      "fk", "pk"));
+  auto clone = plan->Clone();
+  Result<QueryResult> r1 = Run(*plan, nullptr);
+  Result<QueryResult> r2 = Run(*clone, nullptr);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->aggregate, r2->aggregate);
+}
+
+TEST_F(ExecTest, ComputeSchemaForJoin) {
+  Executor executor(&catalog_, &indexes_);
+  auto plan = PlanNode::HashJoin(PlanNode::SeqScan("fact", {}),
+                                 PlanNode::SeqScan("dim", {}), "fk", "pk");
+  Result<Schema> schema = executor.ComputeSchema(*plan);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(*schema, (Schema{"fk", "v", "pk", "attr"}));
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,125 @@
+// End-to-end integration: generate database -> sample workload -> collect
+// traces -> train Pythia -> predict -> prefetch -> measure. Verifies the
+// paper's headline relationships hold on a small instance:
+//   speedup(ORCL) >= speedup(PYTHIA) > 1 on prefetch-friendly queries, and
+//   Pythia's F1 is meaningfully above zero while ORCL's is 1.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "util/metrics.h"
+
+namespace pythia {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = BuildDsbDatabase(DsbConfig{10, 42}).release();
+    WorkloadOptions options;
+    options.num_queries = 60;
+    options.test_fraction = 0.1;
+    auto wl = GenerateWorkload(*db_, TemplateId::kDsb91, options);
+    ASSERT_TRUE(wl.ok());
+    workload_ = new Workload(std::move(*wl));
+
+    PredictorOptions popts;
+    popts.epochs = 10;
+    popts.num_threads = 1;
+    auto model = WorkloadModel::Train(*db_, *workload_, popts);
+    ASSERT_TRUE(model.ok());
+
+    SimOptions sim;
+    sim.buffer_pages = 768;
+    env_ = new SimEnvironment(sim);
+    system_ = new PythiaSystem(env_);
+    system_->AddWorkload(*workload_, std::move(*model));
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    delete env_;
+    delete workload_;
+    delete db_;
+  }
+
+  static Database* db_;
+  static Workload* workload_;
+  static SimEnvironment* env_;
+  static PythiaSystem* system_;
+};
+
+Database* IntegrationTest::db_ = nullptr;
+Workload* IntegrationTest::workload_ = nullptr;
+SimEnvironment* IntegrationTest::env_ = nullptr;
+PythiaSystem* IntegrationTest::system_ = nullptr;
+
+TEST_F(IntegrationTest, SpeedupOrderingHolds) {
+  PrefetcherOptions prefetch;
+  prefetch.readahead_window = 256;
+  std::vector<double> sp_pythia, sp_oracle;
+  for (size_t ti : workload_->test_indices) {
+    const WorkloadQuery& q = workload_->queries[ti];
+    const auto dflt = system_->RunQuery(q, RunMode::kDefault, prefetch);
+    const auto py = system_->RunQuery(q, RunMode::kPythia, prefetch);
+    const auto orcl = system_->RunQuery(q, RunMode::kOracle, prefetch);
+    sp_pythia.push_back(static_cast<double>(dflt.elapsed_us) /
+                        py.elapsed_us);
+    sp_oracle.push_back(static_cast<double>(dflt.elapsed_us) /
+                        orcl.elapsed_us);
+  }
+  const double med_pythia = Summarize(sp_pythia).median;
+  const double med_oracle = Summarize(sp_oracle).median;
+  EXPECT_GT(med_oracle, 1.3);     // prefetching pays off at all
+  EXPECT_GT(med_pythia, 1.05);    // learned prefetching pays off
+  EXPECT_GE(med_oracle, med_pythia * 0.99);  // oracle is the ceiling
+}
+
+TEST_F(IntegrationTest, PredictionQualityAboveTrivial) {
+  std::vector<double> f1;
+  for (size_t ti : workload_->test_indices) {
+    const WorkloadQuery& q = workload_->queries[ti];
+    QueryRunMetrics m;
+    system_->PrefetchPlan(q, RunMode::kPythia, &m);
+    EXPECT_TRUE(m.engaged);
+    f1.push_back(m.accuracy.f1);
+  }
+  EXPECT_GT(Summarize(f1).median, 0.15);
+}
+
+TEST_F(IntegrationTest, NnBaselineStrongerOrComparable) {
+  // NN is an idealized bound; Pythia should be in its vicinity but not
+  // dramatically above it.
+  std::vector<double> f1_nn, f1_py;
+  for (size_t ti : workload_->test_indices) {
+    const WorkloadQuery& q = workload_->queries[ti];
+    QueryRunMetrics nn, py;
+    system_->PrefetchPlan(q, RunMode::kNearestNeighbor, &nn);
+    system_->PrefetchPlan(q, RunMode::kPythia, &py);
+    f1_nn.push_back(nn.accuracy.f1);
+    f1_py.push_back(py.accuracy.f1);
+  }
+  EXPECT_GE(Summarize(f1_nn).median + 0.1, Summarize(f1_py).median);
+  EXPECT_GT(Summarize(f1_nn).median, 0.3);
+}
+
+TEST_F(IntegrationTest, PrefetchedRunsActuallyUsePrefetches) {
+  PrefetcherOptions prefetch;
+  const WorkloadQuery& q = workload_->queries[workload_->test_indices[0]];
+  const auto py = system_->RunQuery(q, RunMode::kPythia, prefetch);
+  if (py.predicted_pages > 10) {
+    EXPECT_GT(py.prefetch_stats.issued + py.prefetch_stats.already_buffered,
+              0u);
+    EXPECT_GT(py.pool_stats.prefetch_hits, 0u);
+  }
+}
+
+TEST_F(IntegrationTest, DeterministicAcrossRuns) {
+  const WorkloadQuery& q = workload_->queries[workload_->test_indices[1]];
+  const auto a = system_->RunQuery(q, RunMode::kPythia, PrefetcherOptions{});
+  const auto b = system_->RunQuery(q, RunMode::kPythia, PrefetcherOptions{});
+  EXPECT_EQ(a.elapsed_us, b.elapsed_us);
+  EXPECT_EQ(a.predicted_pages, b.predicted_pages);
+  EXPECT_DOUBLE_EQ(a.accuracy.f1, b.accuracy.f1);
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/matrix.h"
+
+namespace pythia::nn {
+namespace {
+
+Matrix Make(size_t rows, size_t cols, std::initializer_list<float> values) {
+  Matrix m(rows, cols);
+  size_t i = 0;
+  for (float v : values) m.data()[i++] = v;
+  return m;
+}
+
+TEST(MatrixTest, ConstructZeroed) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(MatrixTest, AtReadWrite) {
+  Matrix m(2, 2);
+  m.at(1, 0) = 5.0f;
+  EXPECT_EQ(m.at(1, 0), 5.0f);
+  EXPECT_EQ(m.row(1)[0], 5.0f);
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = Make(1, 3, {1, 2, 3});
+  Matrix b = Make(1, 3, {10, 20, 30});
+  a += b;
+  EXPECT_EQ(a.at(0, 1), 22.0f);
+  a -= b;
+  EXPECT_EQ(a.at(0, 1), 2.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a.at(0, 2), 6.0f);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a.at(0, 0), 2.0f + 5.0f);
+}
+
+TEST(MatrixTest, SquaredNorm) {
+  Matrix m = Make(1, 2, {3, 4});
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 25.0);
+}
+
+TEST(MatMulTest, KnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Matrix a = Make(2, 2, {1, 2, 3, 4});
+  Matrix b = Make(2, 2, {5, 6, 7, 8});
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(MatMulTest, NonSquareShapes) {
+  Matrix a(3, 4, 1.0f);
+  Matrix b(4, 2, 2.0f);
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 2u);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c.data()[i], 8.0f);
+}
+
+TEST(MatMulTest, TransposedVariantsAgreeWithExplicit) {
+  // Random-ish small matrices; verify a*b^T and a^T*b against MatMul with
+  // manual transposes.
+  Matrix a = Make(2, 3, {1, -2, 3, 0.5f, 4, -1});
+  Matrix b = Make(2, 3, {2, 1, 0, -1, 3, 5});
+
+  Matrix bt(3, 2);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) bt.at(c, r) = b.at(r, c);
+  }
+  Matrix expect_abt = MatMul(a, bt);
+  Matrix got_abt = MatMulBT(a, b);
+  for (size_t i = 0; i < expect_abt.size(); ++i) {
+    EXPECT_NEAR(got_abt.data()[i], expect_abt.data()[i], 1e-5f);
+  }
+
+  Matrix at(3, 2);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Matrix expect_atb = MatMul(at, b);
+  Matrix got_atb = MatMulAT(a, b);
+  for (size_t i = 0; i < expect_atb.size(); ++i) {
+    EXPECT_NEAR(got_atb.data()[i], expect_atb.data()[i], 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Matrix logits = Make(2, 3, {1, 2, 3, -1, 0, 1});
+  Matrix p = SoftmaxRows(logits);
+  for (size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_GT(p.at(r, c), 0.0f);
+      sum += p.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxTest, MonotoneInLogits) {
+  Matrix logits = Make(1, 3, {1, 2, 3});
+  Matrix p = SoftmaxRows(logits);
+  EXPECT_LT(p.at(0, 0), p.at(0, 1));
+  EXPECT_LT(p.at(0, 1), p.at(0, 2));
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  Matrix logits = Make(1, 2, {1000.0f, 999.0f});
+  Matrix p = SoftmaxRows(logits);
+  EXPECT_TRUE(std::isfinite(p.at(0, 0)));
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0f, 1e-6f);
+  EXPECT_GT(p.at(0, 0), p.at(0, 1));
+}
+
+TEST(SoftmaxTest, BackwardMatchesFiniteDifference) {
+  Matrix logits = Make(1, 4, {0.3f, -0.7f, 1.1f, 0.2f});
+  // Loss = sum(w . softmax(x)) for arbitrary w.
+  Matrix w = Make(1, 4, {0.5f, -1.0f, 2.0f, 0.25f});
+
+  Matrix y = SoftmaxRows(logits);
+  Matrix grad = SoftmaxRowsBackward(y, w);
+
+  const float eps = 1e-3f;
+  for (size_t c = 0; c < 4; ++c) {
+    Matrix plus = logits, minus = logits;
+    plus.at(0, c) += eps;
+    minus.at(0, c) -= eps;
+    Matrix yp = SoftmaxRows(plus), ym = SoftmaxRows(minus);
+    float lp = 0, lm = 0;
+    for (size_t k = 0; k < 4; ++k) {
+      lp += w.at(0, k) * yp.at(0, k);
+      lm += w.at(0, k) * ym.at(0, k);
+    }
+    const float numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grad.at(0, c), numeric, 1e-3f);
+  }
+}
+
+TEST(MatMulTest, ZeroSkipOptimizationIsCorrect) {
+  // MatMul skips zero entries of `a`; verify against dense small case.
+  Matrix a = Make(2, 3, {0, 2, 0, 1, 0, 3});
+  Matrix b = Make(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 6.0f);   // 2*3
+  EXPECT_EQ(c.at(0, 1), 8.0f);   // 2*4
+  EXPECT_EQ(c.at(1, 0), 16.0f);  // 1*1 + 3*5
+  EXPECT_EQ(c.at(1, 1), 20.0f);  // 1*2 + 3*6
+}
+
+}  // namespace
+}  // namespace pythia::nn

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/replay.h"
+
+namespace pythia {
+namespace {
+
+// A trace with `seq` sequential pages of object 1 followed by `random_pages`
+// scattered accesses to object 2, mimicking fact-scan + dimension probes.
+QueryTrace MakeMixedTrace(uint32_t seq, uint32_t random_pages) {
+  QueryTrace trace;
+  for (uint32_t p = 0; p < seq; ++p) {
+    trace.accesses.push_back(PageAccess{PageId{1, p}, true, 5});
+  }
+  for (uint32_t i = 0; i < random_pages; ++i) {
+    // Stride to avoid accidental sequential runs.
+    trace.accesses.push_back(
+        PageAccess{PageId{2, (i * 37) % 1000}, false, 5});
+  }
+  return trace;
+}
+
+SimOptions SmallSim() {
+  SimOptions options;
+  options.buffer_pages = 512;
+  options.os_cache_pages = 2048;
+  return options;
+}
+
+TEST(ReplayTest, ElapsedAccountsCpuAndIo) {
+  SimEnvironment env(SmallSim());
+  QueryTrace trace;
+  trace.accesses.push_back(PageAccess{PageId{1, 0}, false, 10});
+  const ReplayResult r = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+  const LatencyModel& lat = env.options().latency;
+  EXPECT_EQ(r.elapsed_us, 10 * lat.cpu_per_tuple_us +
+                              lat.disk_random_read_us);
+}
+
+TEST(ReplayTest, RepeatAccessIsBufferHit) {
+  SimEnvironment env(SmallSim());
+  QueryTrace trace;
+  trace.accesses.push_back(PageAccess{PageId{1, 0}, false, 0});
+  trace.accesses.push_back(PageAccess{PageId{1, 0}, false, 0});
+  const ReplayResult r = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+  EXPECT_EQ(r.pool_stats.buffer_hits, 1u);
+  EXPECT_EQ(r.pool_stats.disk_random_reads, 1u);
+}
+
+TEST(ReplayTest, SequentialScanUsesReadahead) {
+  SimEnvironment env(SmallSim());
+  const QueryTrace trace = MakeMixedTrace(100, 0);
+  const ReplayResult r = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+  // OS readahead turns most of the scan into cache copies.
+  EXPECT_GT(r.pool_stats.os_cache_copies, 50u);
+  EXPECT_LT(r.pool_stats.disk_random_reads, 5u);
+}
+
+TEST(ReplayTest, PrefetchingNonSeqPagesSpeedsUpQuery) {
+  const QueryTrace trace = MakeMixedTrace(50, 200);
+
+  SimEnvironment env(SmallSim());
+  const ReplayResult dflt = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+
+  env.ColdRestart();
+  PrefetcherOptions options;
+  options.start_delay_us = 0;
+  const std::vector<PageId> oracle = OraclePages(trace);
+  const ReplayResult prefetched = ReplayQuery(trace, oracle, options, &env);
+
+  EXPECT_LT(prefetched.elapsed_us, dflt.elapsed_us);
+  // A substantial speedup, not a rounding artifact.
+  EXPECT_GT(static_cast<double>(dflt.elapsed_us) / prefetched.elapsed_us,
+            1.5);
+  EXPECT_GT(prefetched.pool_stats.prefetch_hits, 100u);
+}
+
+TEST(ReplayTest, ColdRestartResetsState) {
+  SimEnvironment env(SmallSim());
+  const QueryTrace trace = MakeMixedTrace(20, 50);
+  const ReplayResult first = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+  // Warm rerun is much faster; after ColdRestart timing matches cold run.
+  const ReplayResult warm = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+  EXPECT_LT(warm.elapsed_us, first.elapsed_us);
+  env.ColdRestart();
+  const ReplayResult cold = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+  EXPECT_EQ(cold.elapsed_us, first.elapsed_us);
+}
+
+TEST(ReplayTest, WrongPrefetchDoesNotSlowQueryMuch) {
+  // Prefetching useless pages must cost (almost) nothing for the query
+  // itself — the paper's "practically no regression" claim.
+  const QueryTrace trace = MakeMixedTrace(50, 100);
+  SimEnvironment env(SmallSim());
+  const ReplayResult dflt = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+  env.ColdRestart();
+  std::vector<PageId> wrong;
+  for (uint32_t p = 0; p < 100; ++p) wrong.push_back(PageId{9, p});
+  PrefetcherOptions options;
+  options.start_delay_us = 0;
+  const ReplayResult r = ReplayQuery(trace, wrong, options, &env);
+  EXPECT_LT(r.elapsed_us, dflt.elapsed_us * 1.10);
+}
+
+TEST(ReplayTest, ConcurrentSingleQueryMatchesSolo) {
+  const QueryTrace trace = MakeMixedTrace(30, 60);
+  SimEnvironment env(SmallSim());
+  const ReplayResult solo = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+
+  env.ColdRestart();
+  ConcurrentQuery q;
+  q.trace = &trace;
+  const ConcurrentResult conc = ReplayConcurrent({q}, &env);
+  EXPECT_EQ(conc.end_us[0] - conc.start_us[0], solo.elapsed_us);
+  EXPECT_EQ(conc.makespan_us, solo.elapsed_us);
+}
+
+TEST(ReplayTest, ConcurrentQueriesShareBufferPool) {
+  // Two identical queries running together: the second benefits from pages
+  // the first brought in, so total time < 2x solo cold time.
+  const QueryTrace trace = MakeMixedTrace(30, 120);
+  SimEnvironment env(SmallSim());
+  const ReplayResult solo = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+
+  env.ColdRestart();
+  ConcurrentQuery a, b;
+  a.trace = &trace;
+  b.trace = &trace;
+  const ConcurrentResult conc = ReplayConcurrent({a, b}, &env);
+  EXPECT_LT(conc.total_query_us, 2 * solo.elapsed_us);
+}
+
+TEST(ReplayTest, ArrivalTimesRespected) {
+  const QueryTrace trace = MakeMixedTrace(5, 5);
+  SimEnvironment env(SmallSim());
+  ConcurrentQuery a, b;
+  a.trace = &trace;
+  b.trace = &trace;
+  b.arrival_us = 1000000;
+  const ConcurrentResult conc = ReplayConcurrent({a, b}, &env);
+  EXPECT_EQ(conc.start_us[1], 1000000u);
+  EXPECT_GT(conc.end_us[1], 1000000u);
+  EXPECT_LT(conc.end_us[0], conc.end_us[1]);
+}
+
+TEST(ReplayTest, ConcurrentWithPrefetchBeatsWithout) {
+  const QueryTrace t1 = MakeMixedTrace(30, 150);
+  const QueryTrace t2 = MakeMixedTrace(30, 150);
+  SimEnvironment env(SmallSim());
+
+  ConcurrentQuery a, b;
+  a.trace = &t1;
+  b.trace = &t2;
+  const ConcurrentResult plain = ReplayConcurrent({a, b}, &env);
+
+  env.ColdRestart();
+  a.prefetch_pages = OraclePages(t1);
+  b.prefetch_pages = OraclePages(t2);
+  a.prefetch_options.start_delay_us = 0;
+  b.prefetch_options.start_delay_us = 0;
+  const ConcurrentResult fetched = ReplayConcurrent({a, b}, &env);
+  EXPECT_LT(fetched.total_query_us, plain.total_query_us);
+}
+
+TEST(ReplayTest, EmptyTraceCompletesImmediately) {
+  SimEnvironment env(SmallSim());
+  QueryTrace empty;
+  const ReplayResult r = ReplayQuery(empty, {}, PrefetcherOptions{}, &env);
+  EXPECT_EQ(r.elapsed_us, 0u);
+  ConcurrentQuery q;
+  q.trace = &empty;
+  q.arrival_us = 42;
+  const ConcurrentResult conc = ReplayConcurrent({q}, &env);
+  EXPECT_EQ(conc.end_us[0], 42u);
+}
+
+TEST(OraclePagesTest, AccessOrderPreserved) {
+  QueryTrace trace;
+  trace.accesses.push_back(PageAccess{PageId{2, 9}, false, 0});
+  trace.accesses.push_back(PageAccess{PageId{1, 3}, false, 0});
+  trace.accesses.push_back(PageAccess{PageId{2, 9}, false, 0});  // dup
+  trace.accesses.push_back(PageAccess{PageId{1, 0}, true, 0});   // seq
+  const std::vector<PageId> pages = OraclePages(trace);
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[0], (PageId{2, 9}));
+  EXPECT_EQ(pages[1], (PageId{1, 3}));
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/serializer.h"
+
+namespace pythia {
+namespace {
+
+class SerializerTest : public ::testing::Test {
+ protected:
+  SerializerTest() {
+    Relation* rel = catalog_.CreateRelation("t", {"k", "wide"}, 8);
+    // k has a small domain (0..5); wide spans 0..9999.
+    for (Value i = 0; i < 1000; ++i) rel->AppendRow({i % 6, i * 10});
+    catalog_.SetObjectPages(rel->object_id(), rel->num_pages());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(SerializerTest, SeqScanTokens) {
+  PlanSerializer ser(&catalog_);
+  auto plan = PlanNode::SeqScan("t", {});
+  const std::vector<std::string> tokens = ser.Serialize(*plan);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "[RELN_SEQ]");
+  EXPECT_EQ(tokens[1], "t");
+}
+
+TEST_F(SerializerTest, IndexScanIncludesIndexName) {
+  PlanSerializer ser(&catalog_);
+  auto plan = PlanNode::IndexScan("t", "t_k_idx", {});
+  const std::vector<std::string> tokens = ser.Serialize(*plan);
+  EXPECT_EQ(tokens[0], "[RELN_IDX]");
+  EXPECT_EQ(tokens[1], "t");
+  EXPECT_EQ(tokens[2], "t_k_idx");
+}
+
+TEST_F(SerializerTest, EqualityPredicateTokens) {
+  PlanSerializer ser(&catalog_);
+  auto plan = PlanNode::SeqScan("t", {Predicate{"k", 3, 3}});
+  const std::vector<std::string> tokens = ser.Serialize(*plan);
+  // [RELN_SEQ] t [PRED] k = k:v3   (small domain -> exact value token)
+  ASSERT_GE(tokens.size(), 6u);
+  EXPECT_EQ(tokens[2], "[PRED]");
+  EXPECT_EQ(tokens[3], "k");
+  EXPECT_EQ(tokens[4], "=");
+  EXPECT_EQ(tokens[5], "k:v3");
+}
+
+TEST_F(SerializerTest, RangePredicateEmitsLoAndHi) {
+  PlanSerializer ser(&catalog_);
+  auto plan = PlanNode::SeqScan("t", {Predicate{"wide", 100, 5000}});
+  const std::vector<std::string> tokens = ser.Serialize(*plan);
+  int preds = 0;
+  bool saw_ge = false, saw_le = false;
+  for (const std::string& t : tokens) {
+    preds += t == "[PRED]";
+    saw_ge |= t == ">=";
+    saw_le |= t == "<=";
+  }
+  EXPECT_EQ(preds, 2);
+  EXPECT_TRUE(saw_ge);
+  EXPECT_TRUE(saw_le);
+}
+
+TEST_F(SerializerTest, LargeDomainBucketized) {
+  PlanSerializer ser(&catalog_, /*value_buckets=*/10);
+  auto lo_plan = PlanNode::SeqScan("t", {Predicate{"wide", 0, 0}});
+  auto hi_plan = PlanNode::SeqScan("t", {Predicate{"wide", 9990, 9990}});
+  const auto lo = ser.Serialize(*lo_plan);
+  const auto hi = ser.Serialize(*hi_plan);
+  EXPECT_EQ(lo[5], "wide:b0");
+  EXPECT_EQ(hi[5], "wide:b9");
+}
+
+TEST_F(SerializerTest, NearbyValuesShareBucket) {
+  PlanSerializer ser(&catalog_, 10);
+  auto a = PlanNode::SeqScan("t", {Predicate{"wide", 100, 100}});
+  auto b = PlanNode::SeqScan("t", {Predicate{"wide", 150, 150}});
+  EXPECT_EQ(ser.Serialize(*a)[5], ser.Serialize(*b)[5]);
+}
+
+TEST_F(SerializerTest, CoarseTokenAccompaniesFine) {
+  PlanSerializer ser(&catalog_, /*value_buckets=*/128);
+  auto plan = PlanNode::SeqScan("t", {Predicate{"wide", 5000, 5000}});
+  const auto tokens = ser.Serialize(*plan);
+  bool saw_fine = false, saw_coarse = false;
+  for (const std::string& t : tokens) {
+    saw_fine |= t.rfind("wide:b", 0) == 0;
+    saw_coarse |= t.rfind("wide:c", 0) == 0;
+  }
+  EXPECT_TRUE(saw_fine);
+  EXPECT_TRUE(saw_coarse);
+}
+
+TEST_F(SerializerTest, OutOfDomainValuesClamped) {
+  PlanSerializer ser(&catalog_, 10);
+  auto plan = PlanNode::SeqScan("t", {Predicate{"wide", -500, -500}});
+  EXPECT_EQ(ser.Serialize(*plan)[5], "wide:b0");
+  auto plan2 = PlanNode::SeqScan("t", {Predicate{"wide", 99999, 99999}});
+  EXPECT_EQ(ser.Serialize(*plan2)[5], "wide:b9");
+}
+
+TEST_F(SerializerTest, PreorderTraversalOfJoins) {
+  PlanSerializer ser(&catalog_);
+  auto plan = PlanNode::Aggregate(PlanNode::HashJoin(
+      PlanNode::SeqScan("t", {}),
+      PlanNode::SeqScan("t", {}), "k", "k"));
+  const auto tokens = ser.Serialize(*plan);
+  // [AGG] [HJ] [RELN_SEQ] t [RELN_SEQ] t
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0], "[AGG]");
+  EXPECT_EQ(tokens[1], "[HJ]");
+  EXPECT_EQ(tokens[2], "[RELN_SEQ]");
+  EXPECT_EQ(tokens[4], "[RELN_SEQ]");
+}
+
+TEST_F(SerializerTest, NljToken) {
+  PlanSerializer ser(&catalog_);
+  auto plan = PlanNode::NestedLoopJoin(PlanNode::SeqScan("t", {}),
+                                       PlanNode::IndexScan("t", "t_k_idx", {}),
+                                       "k", "k");
+  const auto tokens = ser.Serialize(*plan);
+  EXPECT_EQ(tokens[0], "[NLJ]");
+}
+
+TEST_F(SerializerTest, StructureKeyIgnoresValues) {
+  PlanSerializer ser(&catalog_);
+  auto a = PlanNode::SeqScan("t", {Predicate{"wide", 100, 200}});
+  auto b = PlanNode::SeqScan("t", {Predicate{"wide", 7000, 9000}});
+  EXPECT_EQ(ser.StructureKey(*a), ser.StructureKey(*b));
+}
+
+TEST_F(SerializerTest, StructureKeyDistinguishesOperators) {
+  PlanSerializer ser(&catalog_);
+  auto hj = PlanNode::HashJoin(PlanNode::SeqScan("t", {}),
+                               PlanNode::SeqScan("t", {}), "k", "k");
+  auto nlj = PlanNode::NestedLoopJoin(
+      PlanNode::SeqScan("t", {}), PlanNode::IndexScan("t", "t_k_idx", {}),
+      "k", "k");
+  EXPECT_NE(ser.StructureKey(*hj), ser.StructureKey(*nlj));
+}
+
+TEST_F(SerializerTest, StructureKeyDistinguishesFilterPresence) {
+  PlanSerializer ser(&catalog_);
+  auto bare = PlanNode::SeqScan("t", {});
+  auto filtered = PlanNode::SeqScan("t", {Predicate{"k", 1, 1}});
+  EXPECT_NE(ser.StructureKey(*bare), ser.StructureKey(*filtered));
+}
+
+TEST(JoinTokensTest, SpaceSeparated) {
+  EXPECT_EQ(JoinTokens({"a", "b", "c"}), "a b c");
+  EXPECT_EQ(JoinTokens({}), "");
+  EXPECT_EQ(JoinTokens({"only"}), "only");
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "storage/io_scheduler.h"
+#include "storage/latency_model.h"
+#include "storage/os_cache.h"
+#include "storage/page_id.h"
+#include "storage/sim_clock.h"
+
+namespace pythia {
+namespace {
+
+TEST(PageIdTest, OrderingIsObjectThenPage) {
+  EXPECT_LT((PageId{1, 5}), (PageId{2, 0}));
+  EXPECT_LT((PageId{1, 5}), (PageId{1, 6}));
+  EXPECT_FALSE((PageId{2, 0}) < (PageId{1, 5}));
+}
+
+TEST(PageIdTest, PackUnpackRoundTrip) {
+  const PageId p{0xdeadbeefu, 0x12345678u};
+  EXPECT_EQ(PageId::Unpack(p.Pack()), p);
+}
+
+TEST(PageIdTest, HashDistinguishesObjectAndPage) {
+  const PageIdHash h;
+  EXPECT_NE(h(PageId{1, 2}), h(PageId{2, 1}));
+}
+
+TEST(SimClockTest, AdvanceAndAdvanceTo) {
+  SimClock clock;
+  clock.Advance(10);
+  EXPECT_EQ(clock.now(), 10u);
+  clock.AdvanceTo(5);  // never backwards
+  EXPECT_EQ(clock.now(), 10u);
+  clock.AdvanceTo(25);
+  EXPECT_EQ(clock.now(), 25u);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+class OsCacheTest : public ::testing::Test {
+ protected:
+  OsCacheTest()
+      : cache_(OsPageCache::Options{.capacity_pages = 64,
+                                    .readahead_pages = 4},
+               latency_) {}
+  LatencyModel latency_;
+  OsPageCache cache_;
+};
+
+TEST_F(OsCacheTest, FirstReadIsRandom) {
+  const OsReadResult r = cache_.Read(PageId{1, 10});
+  EXPECT_EQ(r.source, AccessSource::kDiskRandom);
+  EXPECT_EQ(r.latency_us, latency_.disk_random_read_us);
+}
+
+TEST_F(OsCacheTest, SequentialReadDetected) {
+  cache_.Read(PageId{1, 10});
+  const OsReadResult r = cache_.Read(PageId{1, 11});
+  EXPECT_EQ(r.source, AccessSource::kDiskSequential);
+  EXPECT_EQ(r.latency_us, latency_.disk_seq_read_us);
+}
+
+TEST_F(OsCacheTest, ReadaheadFillsFollowingPages) {
+  cache_.Read(PageId{1, 0});
+  cache_.Read(PageId{1, 1});  // sequential: pages 2..5 prefilled
+  for (uint32_t p = 2; p <= 5; ++p) {
+    EXPECT_TRUE(cache_.Contains(PageId{1, p})) << p;
+  }
+  const OsReadResult r = cache_.Read(PageId{1, 2});
+  EXPECT_EQ(r.source, AccessSource::kOsCache);
+  EXPECT_EQ(r.latency_us, latency_.os_cache_copy_us);
+}
+
+TEST_F(OsCacheTest, SequentialRunSurvivesCacheHits) {
+  // A long scan keeps its readahead run alive even while hits are served.
+  cache_.Read(PageId{1, 0});
+  cache_.Read(PageId{1, 1});   // seq; readahead 2..5
+  cache_.Read(PageId{1, 2});   // hit
+  cache_.Read(PageId{1, 3});   // hit
+  // After the readahead window, page 6 continues the run: sequential again.
+  cache_.Read(PageId{1, 4});
+  cache_.Read(PageId{1, 5});
+  const OsReadResult r = cache_.Read(PageId{1, 6});
+  EXPECT_EQ(r.source, AccessSource::kDiskSequential);
+}
+
+TEST_F(OsCacheTest, PerObjectRunTracking) {
+  cache_.Read(PageId{1, 10});
+  cache_.Read(PageId{2, 11});  // different object: random
+  EXPECT_EQ(cache_.random_reads(), 2u);
+  const OsReadResult r = cache_.Read(PageId{1, 11});  // continues object 1
+  EXPECT_EQ(r.source, AccessSource::kDiskSequential);
+}
+
+TEST_F(OsCacheTest, DropCachesForgetsEverything) {
+  cache_.Read(PageId{1, 0});
+  cache_.Read(PageId{1, 1});
+  EXPECT_GT(cache_.cached_pages(), 0u);
+  cache_.DropCaches();
+  EXPECT_EQ(cache_.cached_pages(), 0u);
+  // Run state cleared too: the next read is random even though page 2 would
+  // have continued the run.
+  const OsReadResult r = cache_.Read(PageId{1, 2});
+  EXPECT_EQ(r.source, AccessSource::kDiskRandom);
+}
+
+TEST_F(OsCacheTest, LruEviction) {
+  OsPageCache small(
+      OsPageCache::Options{.capacity_pages = 2, .readahead_pages = 0},
+      latency_);
+  small.Read(PageId{1, 100});
+  small.Read(PageId{1, 200});
+  small.Read(PageId{1, 300});  // evicts 100
+  EXPECT_FALSE(small.Contains(PageId{1, 100}));
+  EXPECT_TRUE(small.Contains(PageId{1, 200}));
+  EXPECT_TRUE(small.Contains(PageId{1, 300}));
+}
+
+TEST_F(OsCacheTest, CountersAccumulate) {
+  cache_.Read(PageId{3, 7});   // random
+  cache_.Read(PageId{3, 8});   // sequential
+  cache_.Read(PageId{3, 9});   // hit (readahead)
+  EXPECT_EQ(cache_.random_reads(), 1u);
+  EXPECT_EQ(cache_.sequential_reads(), 1u);
+  EXPECT_EQ(cache_.hits(), 1u);
+}
+
+TEST(IoSchedulerTest, SingleChannelSerializes) {
+  IoScheduler io(1);
+  EXPECT_EQ(io.Schedule(0, 100), 100u);
+  EXPECT_EQ(io.Schedule(0, 100), 200u);  // queued behind the first
+  EXPECT_EQ(io.Schedule(500, 100), 600u);  // idle until 500
+}
+
+TEST(IoSchedulerTest, ParallelChannelsOverlap) {
+  IoScheduler io(2);
+  EXPECT_EQ(io.Schedule(0, 100), 100u);
+  EXPECT_EQ(io.Schedule(0, 100), 100u);  // second channel
+  EXPECT_EQ(io.Schedule(0, 100), 200u);  // back to channel 0
+}
+
+TEST(IoSchedulerTest, EarliestStart) {
+  IoScheduler io(2);
+  io.Schedule(0, 100);
+  EXPECT_EQ(io.EarliestStart(0), 0u);    // channel 1 still free
+  io.Schedule(0, 50);
+  EXPECT_EQ(io.EarliestStart(0), 50u);   // both busy; min completion 50
+  EXPECT_EQ(io.EarliestStart(80), 80u);  // now past completion
+}
+
+TEST(IoSchedulerTest, ResetClearsTimelines) {
+  IoScheduler io(1);
+  io.Schedule(0, 1000);
+  io.Reset();
+  EXPECT_EQ(io.Schedule(0, 10), 10u);
+  EXPECT_EQ(io.scheduled_ops(), 1u);
+}
+
+TEST(IoSchedulerTest, ZeroChannelsClampedToOne) {
+  IoScheduler io(0);
+  EXPECT_EQ(io.num_channels(), 1u);
+}
+
+TEST(LatencyModelTest, DefaultOrdering) {
+  // The hierarchy must be strictly ordered for the simulation to make sense.
+  const LatencyModel lat;
+  EXPECT_LT(lat.buffer_hit_us, lat.os_cache_copy_us);
+  EXPECT_LT(lat.os_cache_copy_us, lat.disk_seq_read_us);
+  EXPECT_LT(lat.disk_seq_read_us, lat.disk_random_read_us);
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace pythia {
+namespace {
+
+class SystemTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = BuildDsbDatabase(DsbConfig{5, 42}).release();
+    WorkloadOptions options;
+    options.num_queries = 40;
+    options.test_fraction = 0.1;
+    auto w91 = GenerateWorkload(*db_, TemplateId::kDsb91, options);
+    auto w18 = GenerateWorkload(*db_, TemplateId::kDsb18, options);
+    ASSERT_TRUE(w91.ok());
+    ASSERT_TRUE(w18.ok());
+    w91_ = new Workload(std::move(*w91));
+    w18_ = new Workload(std::move(*w18));
+  }
+  static void TearDownTestSuite() {
+    delete w91_;
+    delete w18_;
+    delete db_;
+  }
+
+  void SetUp() override {
+    SimOptions sim;
+    sim.buffer_pages = 512;
+    env_ = std::make_unique<SimEnvironment>(sim);
+    system_ = std::make_unique<PythiaSystem>(env_.get());
+    PredictorOptions options;
+    options.epochs = 4;
+    options.num_threads = 1;
+    Result<WorkloadModel> model = WorkloadModel::Train(*db_, *w91_, options);
+    ASSERT_TRUE(model.ok());
+    system_->AddWorkload(*w91_, std::move(*model));
+  }
+
+  static Database* db_;
+  static Workload* w91_;
+  static Workload* w18_;
+  std::unique_ptr<SimEnvironment> env_;
+  std::unique_ptr<PythiaSystem> system_;
+};
+
+Database* SystemTest::db_ = nullptr;
+Workload* SystemTest::w91_ = nullptr;
+Workload* SystemTest::w18_ = nullptr;
+
+TEST_F(SystemTest, RunModeNames) {
+  EXPECT_STREQ(RunModeName(RunMode::kDefault), "DFLT");
+  EXPECT_STREQ(RunModeName(RunMode::kPythia), "PYTHIA");
+  EXPECT_STREQ(RunModeName(RunMode::kOracle), "ORCL");
+  EXPECT_STREQ(RunModeName(RunMode::kNearestNeighbor), "NN");
+}
+
+TEST_F(SystemTest, MatchesOwnWorkload) {
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+  WorkloadModel* matched = system_->MatchWorkload(q);
+  ASSERT_NE(matched, nullptr);
+  EXPECT_EQ(matched->template_id(), TemplateId::kDsb91);
+}
+
+TEST_F(SystemTest, DoesNotMatchForeignWorkload) {
+  // Algorithm 3 line 13: queries from a workload Pythia has no model for
+  // fall back to default execution.
+  const WorkloadQuery& q = w18_->queries[0];
+  EXPECT_EQ(system_->MatchWorkload(q), nullptr);
+  const QueryRunMetrics m =
+      system_->RunQuery(q, RunMode::kPythia, PrefetcherOptions{});
+  EXPECT_FALSE(m.engaged);
+  EXPECT_EQ(m.prefetch_stats.issued, 0u);
+}
+
+TEST_F(SystemTest, DefaultModeNeverPrefetches) {
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+  const QueryRunMetrics m =
+      system_->RunQuery(q, RunMode::kDefault, PrefetcherOptions{});
+  EXPECT_FALSE(m.engaged);
+  EXPECT_EQ(m.pool_stats.prefetches_started, 0u);
+}
+
+TEST_F(SystemTest, OracleHasPerfectAccuracy) {
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+  QueryRunMetrics m;
+  system_->PrefetchPlan(q, RunMode::kOracle, &m);
+  EXPECT_TRUE(m.engaged);
+  EXPECT_DOUBLE_EQ(m.accuracy.f1, 1.0);
+  EXPECT_EQ(m.predicted_pages, q.trace.DistinctNonSequential().size());
+}
+
+TEST_F(SystemTest, OracleNeverSlowerThanDefault) {
+  PrefetcherOptions prefetch;
+  prefetch.start_delay_us = 0;
+  for (size_t ti : w91_->test_indices) {
+    const WorkloadQuery& q = w91_->queries[ti];
+    const auto dflt = system_->RunQuery(q, RunMode::kDefault, prefetch);
+    const auto orcl = system_->RunQuery(q, RunMode::kOracle, prefetch);
+    EXPECT_LE(orcl.elapsed_us, dflt.elapsed_us * 1.02) << "query " << ti;
+  }
+}
+
+TEST_F(SystemTest, NearestNeighborEngagesWithPages) {
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+  QueryRunMetrics m;
+  const std::vector<PageId> pages =
+      system_->PrefetchPlan(q, RunMode::kNearestNeighbor, &m);
+  EXPECT_TRUE(m.engaged);
+  EXPECT_FALSE(pages.empty());
+  EXPECT_GT(m.accuracy.f1, 0.0);
+}
+
+TEST_F(SystemTest, PythiaModeReportsAccuracy) {
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+  QueryRunMetrics m;
+  system_->PrefetchPlan(q, RunMode::kPythia, &m);
+  EXPECT_TRUE(m.engaged);
+  EXPECT_GE(m.accuracy.f1, 0.0);
+  EXPECT_LE(m.accuracy.f1, 1.0);
+}
+
+TEST_F(SystemTest, PrefetchPlanSortedByOffsetForPythia) {
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+  QueryRunMetrics m;
+  const std::vector<PageId> pages =
+      system_->PrefetchPlan(q, RunMode::kPythia, &m);
+  for (size_t i = 1; i < pages.size(); ++i) {
+    EXPECT_LT(pages[i - 1], pages[i]);
+  }
+}
+
+TEST_F(SystemTest, ColdFlagControlsRestart) {
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+  const auto cold1 =
+      system_->RunQuery(q, RunMode::kDefault, PrefetcherOptions{}, true);
+  const auto warm =
+      system_->RunQuery(q, RunMode::kDefault, PrefetcherOptions{}, false);
+  EXPECT_LT(warm.elapsed_us, cold1.elapsed_us);
+  const auto cold2 =
+      system_->RunQuery(q, RunMode::kDefault, PrefetcherOptions{}, true);
+  EXPECT_EQ(cold2.elapsed_us, cold1.elapsed_us);
+}
+
+TEST_F(SystemTest, MatchThresholdAdjustable) {
+  system_->set_match_threshold(0.0);
+  EXPECT_NE(system_->MatchWorkload(w18_->queries[0]), nullptr);
+  system_->set_match_threshold(1.01);
+  // Even own-workload queries with exactly seen structure score 1.0 < 1.01.
+  EXPECT_EQ(system_->MatchWorkload(w91_->queries[0]), nullptr);
+}
+
+}  // namespace
+}  // namespace pythia

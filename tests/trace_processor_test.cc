@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/trace_processor.h"
+
+namespace pythia {
+namespace {
+
+QueryTrace MakeTrace(
+    const std::vector<std::tuple<ObjectId, uint32_t, bool>>& accesses) {
+  QueryTrace trace;
+  for (const auto& [object, page, seq] : accesses) {
+    trace.accesses.push_back(PageAccess{PageId{object, page}, seq, 0});
+  }
+  return trace;
+}
+
+TEST(TraceProcessorTest, RemovesSequentialByOrigin) {
+  const QueryTrace trace = MakeTrace({{1, 0, true},
+                                      {1, 1, true},
+                                      {2, 5, false},
+                                      {1, 2, true},
+                                      {2, 9, false}});
+  const ObjectPageSets sets = ProcessTrace(trace, SequentialRemoval::kByOrigin);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets.at(2), (std::vector<uint32_t>{5, 9}));
+}
+
+TEST(TraceProcessorTest, Deduplicates) {
+  const QueryTrace trace =
+      MakeTrace({{2, 5, false}, {2, 5, false}, {2, 5, false}, {2, 7, false}});
+  const ObjectPageSets sets = ProcessTrace(trace);
+  EXPECT_EQ(sets.at(2), (std::vector<uint32_t>{5, 7}));
+}
+
+TEST(TraceProcessorTest, SortsByOffset) {
+  const QueryTrace trace =
+      MakeTrace({{2, 9, false}, {2, 1, false}, {2, 4, false}});
+  const ObjectPageSets sets = ProcessTrace(trace);
+  EXPECT_EQ(sets.at(2), (std::vector<uint32_t>{1, 4, 9}));
+}
+
+TEST(TraceProcessorTest, SegregatesByObject) {
+  const QueryTrace trace =
+      MakeTrace({{3, 1, false}, {2, 1, false}, {3, 0, false}});
+  const ObjectPageSets sets = ProcessTrace(trace);
+  EXPECT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets.at(2), (std::vector<uint32_t>{1}));
+  EXPECT_EQ(sets.at(3), (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(TraceProcessorTest, PositionalRemovalDropsRuns) {
+  // 10, 11, 12 form a run: only the first is kept positionally.
+  const QueryTrace trace = MakeTrace(
+      {{1, 10, false}, {1, 11, false}, {1, 12, false}, {1, 20, false}});
+  const ObjectPageSets sets =
+      ProcessTrace(trace, SequentialRemoval::kByPosition);
+  EXPECT_EQ(sets.at(1), (std::vector<uint32_t>{10, 20}));
+}
+
+TEST(TraceProcessorTest, PositionalRemovalTracksPerObject) {
+  // Interleaved objects do not break each other's runs.
+  const QueryTrace trace = MakeTrace(
+      {{1, 10, false}, {2, 50, false}, {1, 11, false}, {2, 51, false}});
+  const ObjectPageSets sets =
+      ProcessTrace(trace, SequentialRemoval::kByPosition);
+  EXPECT_EQ(sets.at(1), (std::vector<uint32_t>{10}));
+  EXPECT_EQ(sets.at(2), (std::vector<uint32_t>{50}));
+}
+
+TEST(TraceProcessorTest, OriginModeIgnoresPositions) {
+  // A positional run tagged non-sequential is kept in origin mode.
+  const QueryTrace trace =
+      MakeTrace({{1, 10, false}, {1, 11, false}, {1, 12, false}});
+  const ObjectPageSets sets = ProcessTrace(trace, SequentialRemoval::kByOrigin);
+  EXPECT_EQ(sets.at(1), (std::vector<uint32_t>{10, 11, 12}));
+}
+
+TEST(TraceProcessorTest, EmptyTrace) {
+  EXPECT_TRUE(ProcessTrace(QueryTrace()).empty());
+}
+
+TEST(TraceProcessorTest, AllSequentialYieldsEmpty) {
+  const QueryTrace trace = MakeTrace({{1, 0, true}, {1, 1, true}});
+  EXPECT_TRUE(ProcessTrace(trace).empty());
+}
+
+TEST(FlattenPageSetsTest, PreservesObjectThenOffsetOrder) {
+  ObjectPageSets sets;
+  sets[2] = {4, 9};
+  sets[1] = {7};
+  const std::vector<PageId> flat = FlattenPageSets(sets);
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat[0], (PageId{1, 7}));
+  EXPECT_EQ(flat[1], (PageId{2, 4}));
+  EXPECT_EQ(flat[2], (PageId{2, 9}));
+}
+
+TEST(QueryTraceTest, DistinctNonSequentialHelper) {
+  const QueryTrace trace = MakeTrace(
+      {{1, 0, true}, {2, 5, false}, {2, 5, false}, {3, 1, false}});
+  EXPECT_EQ(trace.DistinctNonSequential().size(), 2u);
+  EXPECT_EQ(trace.SequentialCount(), 1u);
+}
+
+TEST(TraceRecorderTest, CpuWorkAttachedToNextAccess) {
+  TraceRecorder recorder;
+  recorder.AddCpuWork(3);
+  recorder.Record(PageId{1, 0}, true);
+  recorder.Record(PageId{1, 1}, true);
+  recorder.AddCpuWork(2);
+  recorder.Record(PageId{1, 2}, true);
+  const QueryTrace trace = recorder.Take();
+  ASSERT_EQ(trace.accesses.size(), 3u);
+  EXPECT_EQ(trace.accesses[0].cpu_tuples_before, 3u);
+  EXPECT_EQ(trace.accesses[1].cpu_tuples_before, 0u);
+  EXPECT_EQ(trace.accesses[2].cpu_tuples_before, 2u);
+  EXPECT_EQ(trace.tuples_processed, 5u);
+}
+
+TEST(TraceRecorderTest, TakeResets) {
+  TraceRecorder recorder;
+  recorder.Record(PageId{1, 0}, false);
+  recorder.Take();
+  const QueryTrace trace = recorder.Take();
+  EXPECT_TRUE(trace.accesses.empty());
+  EXPECT_EQ(trace.tuples_processed, 0u);
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace pythia {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing page");
+  EXPECT_EQ(s.ToString(), "NotFound: missing page");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::unordered_set<int> codes;
+  for (const Status& s :
+       {Status::InvalidArgument("x"), Status::NotFound("x"),
+        Status::OutOfRange("x"), Status::FailedPrecondition("x"),
+        Status::ResourceExhausted("x"), Status::Internal("x"),
+        Status::IoError("x")}) {
+    codes.insert(static_cast<int>(s.code()));
+  }
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MovesValueType) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+}
+
+TEST(Pcg32Test, Deterministic) {
+  Pcg32 a(1, 2), b(1, 2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(Pcg32Test, SeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.NextU32() == b.NextU32();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, UniformU32InBounds) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformU32(17), 17u);
+}
+
+TEST(Pcg32Test, UniformU32RoughlyUniform) {
+  Pcg32 rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformU32(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(Pcg32Test, UniformIntCoversRangeInclusive) {
+  Pcg32 rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32Test, UniformDoubleInUnitInterval) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, GaussianMoments) {
+  Pcg32 rng(9);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Pcg32Test, ShufflePreservesElements) {
+  Pcg32 rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfSamplerTest, SkewsTowardLowRanks) {
+  Pcg32 rng(17);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 20);  // head gets far more than uniform share
+}
+
+TEST(ZipfSamplerTest, NearUniformWhenExponentZero) {
+  Pcg32 rng(19);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 400);
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  std::unordered_set<int> a = {1, 2, 3};
+  const PrecisionRecall m = ComputeSetMetrics(a, a);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, BothEmptyIsPerfect) {
+  std::unordered_set<int> empty;
+  const PrecisionRecall m = ComputeSetMetrics(empty, empty);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, DisjointSetsScoreZero) {
+  const PrecisionRecall m = ComputeSetMetrics<int>({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  // predicted {1,2,3,4}, actual {3,4,5}: P=2/4, R=2/3.
+  const PrecisionRecall m = ComputeSetMetrics<int>({1, 2, 3, 4}, {3, 4, 5});
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f1, 2 * 0.5 * (2.0 / 3) / (0.5 + 2.0 / 3), 1e-12);
+}
+
+TEST(MetricsTest, EmptyPredictionNonEmptyTruth) {
+  const PrecisionRecall m = ComputeSetMetrics<int>({}, {1});
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(JaccardTest, IdenticalSets) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity<int>({1, 2}, {1, 2}), 1.0);
+}
+
+TEST(JaccardTest, BothEmpty) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity<int>({}, {}), 1.0);
+}
+
+TEST(JaccardTest, HalfOverlap) {
+  // {1,2} vs {2,3}: intersection 1, union 3.
+  EXPECT_NEAR(JaccardSimilarity<int>({1, 2}, {2, 3}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SummaryTest, MedianAndQuartiles) {
+  const Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(SummaryTest, InterpolatedMedian) {
+  const Summary s = Summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(SummaryTest, EmptyInput) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header row and separator and two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Int(-42), "-42");
+}
+
+TEST(TablePrinterTest, ShortRowsPad) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_NE(t.ToString().find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pythia

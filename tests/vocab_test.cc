@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/vocab.h"
+#include "nn/param.h"
+
+namespace pythia {
+namespace {
+
+TEST(VocabTest, UnkIsIdZero) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.size(), 1u);
+  EXPECT_EQ(vocab.Id("[UNK]"), Vocab::kUnkId);
+  EXPECT_EQ(vocab.Id("anything"), Vocab::kUnkId);
+}
+
+TEST(VocabTest, AddAssignsSequentialIds) {
+  Vocab vocab;
+  vocab.Add({"a", "b", "a", "c"});
+  EXPECT_EQ(vocab.size(), 4u);  // UNK + a b c
+  EXPECT_EQ(vocab.Id("a"), 1);
+  EXPECT_EQ(vocab.Id("b"), 2);
+  EXPECT_EQ(vocab.Id("c"), 3);
+}
+
+TEST(VocabTest, EncodeMapsUnknownToUnk) {
+  Vocab vocab;
+  vocab.Add({"x", "y"});
+  const std::vector<int32_t> ids = vocab.Encode({"x", "nope", "y"});
+  EXPECT_EQ(ids, (std::vector<int32_t>{1, 0, 2}));
+}
+
+TEST(VocabTest, TokenInverseOfId) {
+  Vocab vocab;
+  vocab.Add({"alpha", "beta"});
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    EXPECT_EQ(vocab.Id(vocab.Token(static_cast<int32_t>(i))),
+              static_cast<int32_t>(i));
+  }
+}
+
+TEST(VocabTest, RebuildFromTokenListIsIdentical) {
+  // The WorkloadModel serializer relies on Add() reproducing ids when fed
+  // the token list in id order.
+  Vocab original;
+  original.Add({"t1", "t2", "t3"});
+  std::vector<std::string> dump;
+  for (size_t i = 0; i < original.size(); ++i) {
+    dump.push_back(original.Token(static_cast<int32_t>(i)));
+  }
+  Vocab rebuilt;
+  rebuilt.Add(dump);
+  ASSERT_EQ(rebuilt.size(), original.size());
+  for (const std::string& t : dump) {
+    EXPECT_EQ(rebuilt.Id(t), original.Id(t));
+  }
+}
+
+TEST(ParamTest, XavierBoundsRespectFanInOut) {
+  Pcg32 rng(1);
+  nn::Param p("p", 10, 30);
+  p.InitXavier(&rng);
+  const double lim = std::sqrt(6.0 / (10 + 30));
+  for (size_t i = 0; i < p.value.size(); ++i) {
+    EXPECT_LE(std::fabs(p.value.data()[i]), lim);
+  }
+}
+
+TEST(ParamTest, ZeroGradClears) {
+  nn::Param p("p", 2, 2);
+  p.grad.Fill(3.0f);
+  p.ZeroGrad();
+  for (size_t i = 0; i < p.grad.size(); ++i) {
+    EXPECT_EQ(p.grad.data()[i], 0.0f);
+  }
+}
+
+TEST(ParamTest, NormalInitHasRequestedScale) {
+  Pcg32 rng(2);
+  nn::Param p("p", 100, 100);
+  p.InitNormal(&rng, 0.5);
+  double sq = 0.0;
+  for (size_t i = 0; i < p.value.size(); ++i) {
+    sq += static_cast<double>(p.value.data()[i]) * p.value.data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(sq / p.value.size()), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workload/database.h"
+#include "workload/generator.h"
+#include "workload/templates.h"
+
+namespace pythia {
+namespace {
+
+// Small databases keep these tests fast; row counts scale with SF.
+DsbConfig SmallDsb() { return DsbConfig{/*scale_factor=*/10, /*seed=*/42}; }
+ImdbConfig SmallImdb() { return ImdbConfig{10, 1337}; }
+
+TEST(DatabaseTest, DsbHasAllRelations) {
+  auto db = BuildDsbDatabase(SmallDsb());
+  for (const char* name :
+       {"store_sales", "catalog_returns", "date_dim", "item", "customer",
+        "customer_address", "customer_demographics",
+        "household_demographics", "store", "call_center"}) {
+    EXPECT_NE(db->catalog.GetRelation(name), nullptr) << name;
+  }
+}
+
+TEST(DatabaseTest, ScaleFactorScalesFactRows) {
+  auto small = BuildDsbDatabase(DsbConfig{10, 42});
+  auto large = BuildDsbDatabase(DsbConfig{20, 42});
+  EXPECT_EQ(large->catalog.GetRelation("store_sales")->num_rows(),
+            2 * small->catalog.GetRelation("store_sales")->num_rows());
+}
+
+TEST(DatabaseTest, DeterministicGivenSeed) {
+  auto a = BuildDsbDatabase(SmallDsb());
+  auto b = BuildDsbDatabase(SmallDsb());
+  const Relation* ra = a->catalog.GetRelation("store_sales");
+  const Relation* rb = b->catalog.GetRelation("store_sales");
+  ASSERT_EQ(ra->num_rows(), rb->num_rows());
+  for (RowId i = 0; i < 100; ++i) {
+    EXPECT_EQ(ra->Get(i, 1), rb->Get(i, 1));
+  }
+}
+
+TEST(DatabaseTest, ForeignKeysInDomain) {
+  auto db = BuildDsbDatabase(SmallDsb());
+  const Relation* sales = db->catalog.GetRelation("store_sales");
+  const Relation* customer = db->catalog.GetRelation("customer");
+  const Relation* item = db->catalog.GetRelation("item");
+  const int fk_date = sales->ColumnIndex("ss_sold_date_sk");
+  const int fk_item = sales->ColumnIndex("ss_item_sk");
+  const int fk_cust = sales->ColumnIndex("ss_customer_sk");
+  for (RowId i = 0; i < sales->num_rows(); ++i) {
+    EXPECT_GE(sales->Get(i, fk_date), 0);
+    EXPECT_LT(sales->Get(i, fk_date), 2190);
+    EXPECT_LT(static_cast<size_t>(sales->Get(i, fk_item)), item->num_rows());
+    EXPECT_LT(static_cast<size_t>(sales->Get(i, fk_cust)),
+              customer->num_rows());
+  }
+}
+
+TEST(DatabaseTest, FactDatesMostlySorted) {
+  // The date correlation the templates rely on: row order ~ date order.
+  auto db = BuildDsbDatabase(SmallDsb());
+  const Relation* sales = db->catalog.GetRelation("store_sales");
+  const auto& dates = sales->Column(0);
+  size_t inversions = 0;
+  for (size_t i = 1; i < dates.size(); ++i) {
+    inversions += dates[i] + 10 < dates[i - 1];
+  }
+  EXPECT_LT(inversions, dates.size() / 100);
+}
+
+TEST(DatabaseTest, DimensionIndexesRegistered) {
+  auto db = BuildDsbDatabase(SmallDsb());
+  EXPECT_NE(db->indexes.Find("customer", "c_customer_sk"), nullptr);
+  EXPECT_NE(db->indexes.Find("item", "i_item_sk"), nullptr);
+  EXPECT_NE(db->indexes.Find("customer_address", "ca_address_sk"), nullptr);
+}
+
+TEST(DatabaseTest, TotalPagesCoversAllObjects) {
+  auto db = BuildDsbDatabase(SmallDsb());
+  uint64_t heap = 0;
+  for (const char* name : {"store_sales", "customer", "item"}) {
+    heap += db->catalog.GetRelation(name)->num_pages();
+  }
+  EXPECT_GT(db->TotalPages(), heap);  // includes indexes and other relations
+}
+
+TEST(DatabaseTest, ImdbHasAllRelations) {
+  auto db = BuildImdbDatabase(SmallImdb());
+  for (const char* name :
+       {"title", "cast_info", "movie_companies", "movie_info", "name",
+        "company_name", "role_type", "kind_type", "company_type"}) {
+    EXPECT_NE(db->catalog.GetRelation(name), nullptr) << name;
+  }
+  EXPECT_NE(db->indexes.Find("cast_info", "ci_movie_id"), nullptr);
+}
+
+TEST(DatabaseTest, CastInfoMostlyClusteredByMovie) {
+  auto db = BuildImdbDatabase(SmallImdb());
+  const Relation* ci = db->catalog.GetRelation("cast_info");
+  const auto& movies = ci->Column(0);
+  size_t out_of_order = 0;
+  for (size_t i = 1; i < movies.size(); ++i) {
+    out_of_order += movies[i] < movies[i - 1];
+  }
+  EXPECT_LT(out_of_order, movies.size() / 5);
+}
+
+class TemplateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dsb_ = BuildDsbDatabase(SmallDsb());
+    imdb_ = BuildImdbDatabase(SmallImdb());
+  }
+  const Database& DbFor(TemplateId id) {
+    return IsDsbTemplate(id) ? *dsb_ : *imdb_;
+  }
+  std::unique_ptr<Database> dsb_;
+  std::unique_ptr<Database> imdb_;
+};
+
+TEST_F(TemplateTest, AllTemplatesProduceExecutablePlans) {
+  Pcg32 rng(1);
+  for (TemplateId id : {TemplateId::kDsb18, TemplateId::kDsb19,
+                        TemplateId::kDsb91, TemplateId::kImdb1a}) {
+    const Database& db = DbFor(id);
+    Executor executor(&db.catalog, &db.indexes);
+    for (int i = 0; i < 5; ++i) {
+      QueryInstance q = SampleQuery(db, id, &rng);
+      ASSERT_NE(q.plan, nullptr);
+      TraceRecorder recorder;
+      Result<QueryResult> r = executor.Execute(*q.plan, &recorder);
+      EXPECT_TRUE(r.ok()) << TemplateName(id) << ": "
+                          << r.status().ToString();
+    }
+  }
+}
+
+TEST_F(TemplateTest, SamplingIsDeterministic) {
+  Pcg32 a(9), b(9);
+  PlanSerializer ser(&dsb_->catalog);
+  for (int i = 0; i < 10; ++i) {
+    QueryInstance qa = SampleQuery(*dsb_, TemplateId::kDsb18, &a);
+    QueryInstance qb = SampleQuery(*dsb_, TemplateId::kDsb18, &b);
+    EXPECT_EQ(JoinTokens(ser.Serialize(*qa.plan)),
+              JoinTokens(ser.Serialize(*qb.plan)));
+  }
+}
+
+TEST_F(TemplateTest, TemplatesProducePlanDiversity) {
+  Pcg32 rng(5);
+  PlanSerializer ser(&dsb_->catalog);
+  std::unordered_set<std::string> structures;
+  for (int i = 0; i < 60; ++i) {
+    QueryInstance q = SampleQuery(*dsb_, TemplateId::kDsb18, &rng);
+    structures.insert(ser.StructureKey(*q.plan));
+  }
+  EXPECT_GT(structures.size(), 2u);
+}
+
+TEST_F(TemplateTest, TemplateNames) {
+  EXPECT_STREQ(TemplateName(TemplateId::kDsb18), "dsb_t18");
+  EXPECT_STREQ(TemplateName(TemplateId::kImdb1a), "imdb_1a");
+  EXPECT_TRUE(IsDsbTemplate(TemplateId::kDsb91));
+  EXPECT_FALSE(IsDsbTemplate(TemplateId::kImdb1a));
+}
+
+TEST_F(TemplateTest, GenerateWorkloadSplitsTrainTest) {
+  WorkloadOptions options;
+  options.num_queries = 40;
+  options.test_fraction = 0.1;
+  Result<Workload> wl = GenerateWorkload(*dsb_, TemplateId::kDsb91, options);
+  ASSERT_TRUE(wl.ok());
+  EXPECT_EQ(wl->queries.size(), 40u);
+  EXPECT_EQ(wl->test_indices.size(), 4u);
+  EXPECT_EQ(wl->train_indices.size(), 36u);
+  // Disjoint and covering.
+  std::unordered_set<size_t> seen(wl->train_indices.begin(),
+                                  wl->train_indices.end());
+  for (size_t t : wl->test_indices) EXPECT_EQ(seen.count(t), 0u);
+  EXPECT_EQ(seen.size() + wl->test_indices.size(), 40u);
+}
+
+TEST_F(TemplateTest, WorkloadCollectsTracesAndTokens) {
+  WorkloadOptions options;
+  options.num_queries = 10;
+  Result<Workload> wl = GenerateWorkload(*dsb_, TemplateId::kDsb91, options);
+  ASSERT_TRUE(wl.ok());
+  for (const WorkloadQuery& q : wl->queries) {
+    EXPECT_FALSE(q.trace.accesses.empty());
+    EXPECT_FALSE(q.tokens.empty());
+    EXPECT_FALSE(q.structure_key.empty());
+  }
+  EXPECT_GE(wl->DistinctPlans(), 1u);
+}
+
+TEST_F(TemplateTest, WorkloadDeterministicGivenSeed) {
+  WorkloadOptions options;
+  options.num_queries = 8;
+  options.seed = 123;
+  Result<Workload> a = GenerateWorkload(*dsb_, TemplateId::kDsb18, options);
+  Result<Workload> b = GenerateWorkload(*dsb_, TemplateId::kDsb18, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->queries.size(); ++i) {
+    EXPECT_EQ(a->queries[i].tokens, b->queries[i].tokens);
+    EXPECT_EQ(a->queries[i].trace.accesses.size(),
+              b->queries[i].trace.accesses.size());
+  }
+  EXPECT_EQ(a->test_indices, b->test_indices);
+}
+
+TEST_F(TemplateTest, Dsb91HasHighNonSeqFraction) {
+  // The shape behind Table 1: template 91's non-sequential IO fraction
+  // dominates the other templates'.
+  WorkloadOptions options;
+  options.num_queries = 10;
+  auto w18 = GenerateWorkload(*dsb_, TemplateId::kDsb18, options);
+  auto w91 = GenerateWorkload(*dsb_, TemplateId::kDsb91, options);
+  ASSERT_TRUE(w18.ok());
+  ASSERT_TRUE(w91.ok());
+  auto frac = [](const Workload& w) {
+    double nonseq = 0, seq = 0;
+    for (const WorkloadQuery& q : w.queries) {
+      nonseq += q.trace.DistinctNonSequential().size();
+      seq += q.trace.SequentialCount();
+    }
+    return nonseq / (seq + nonseq);
+  };
+  EXPECT_GT(frac(*w91), frac(*w18));
+}
+
+}  // namespace
+}  // namespace pythia
