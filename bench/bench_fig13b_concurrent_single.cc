@@ -33,8 +33,10 @@ void Run() {
     }
     env.ColdRestart();
     const ConcurrentResult base = ReplayConcurrent(plain, &env);
+    CheckConcurrent(base, "DFLT");
     env.ColdRestart();
     const ConcurrentResult pythia = ReplayConcurrent(fetched, &env);
+    CheckConcurrent(pythia, "PYTHIA");
     table.AddRow(
         {TablePrinter::Int(static_cast<long long>(level)),
          TablePrinter::Num(base.total_query_us / 1000.0, 1),

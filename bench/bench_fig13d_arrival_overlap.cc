@@ -64,8 +64,10 @@ void Run() {
     };
     env.ColdRestart();
     const ConcurrentResult base = ReplayConcurrent(build(false), &env);
+    CheckConcurrent(base, "DFLT");
     env.ColdRestart();
     const ConcurrentResult pythia = ReplayConcurrent(build(true), &env);
+    CheckConcurrent(pythia, "PYTHIA");
     table.AddRow(
         {TablePrinter::Num(overlap * 100, 0) + "%",
          TablePrinter::Num(base.total_query_us / 1000.0, 1),

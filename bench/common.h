@@ -104,10 +104,30 @@ struct QueryEval {
   double Speedup(RunMode mode) const {
     const SimTime base = metrics.at(RunMode::kDefault).elapsed_us;
     const SimTime t = metrics.at(mode).elapsed_us;
-    return t == 0 ? 1.0 : static_cast<double>(base) / t;
+    return SafeDiv(static_cast<double>(base), static_cast<double>(t));
   }
   double F1(RunMode mode) const { return metrics.at(mode).accuracy.f1; }
 };
+
+// Aborts the benchmark if a replay hit an unrecoverable read error —
+// benchmark tables must never aggregate partially-run queries.
+inline void CheckRun(const QueryRunMetrics& m, RunMode mode, size_t ti) {
+  if (m.status.ok()) return;
+  std::fprintf(stderr, "query %zu (%s) failed: %s\n", ti, RunModeName(mode),
+               m.status.ToString().c_str());
+  std::exit(1);
+}
+
+// Same contract for concurrent batches: every query in the batch must have
+// replayed to completion.
+inline void CheckConcurrent(const ConcurrentResult& r, const char* label) {
+  for (size_t i = 0; i < r.statuses.size(); ++i) {
+    if (r.statuses[i].ok()) continue;
+    std::fprintf(stderr, "%s query %zu failed: %s\n", label, i,
+                 r.statuses[i].ToString().c_str());
+    std::exit(1);
+  }
+}
 
 // Runs every test query of `workload` cold under each mode.
 inline std::vector<QueryEval> EvaluateTestQueries(
@@ -120,10 +140,12 @@ inline std::vector<QueryEval> EvaluateTestQueries(
     eval.query_index = ti;
     eval.metrics[RunMode::kDefault] = system->RunQuery(
         workload.queries[ti], RunMode::kDefault, prefetch);
+    CheckRun(eval.metrics[RunMode::kDefault], RunMode::kDefault, ti);
     for (RunMode mode : modes) {
       if (mode == RunMode::kDefault) continue;
       eval.metrics[mode] =
           system->RunQuery(workload.queries[ti], mode, prefetch);
+      CheckRun(eval.metrics[mode], mode, ti);
     }
     evals.push_back(std::move(eval));
   }

@@ -6,7 +6,25 @@
 #include <cstdio>
 
 #include "core/system.h"
+#include "util/metrics.h"
 #include "util/table_printer.h"
+
+namespace {
+
+// Per-query statuses: with faults disabled these are always OK, but the
+// replay API is fallible and a demo should model the checking, too.
+bool AllOk(const pythia::ConcurrentResult& r, const char* label) {
+  for (size_t i = 0; i < r.statuses.size(); ++i) {
+    if (!r.statuses[i].ok()) {
+      std::fprintf(stderr, "%s query %zu failed: %s\n", label, i,
+                   r.statuses[i].ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace pythia;
@@ -58,13 +76,16 @@ int main() {
     const ConcurrentResult base = ReplayConcurrent(plain, &env);
     env.ColdRestart();
     const ConcurrentResult pythia = ReplayConcurrent(fetched, &env);
-    table.AddRow({TablePrinter::Int(static_cast<long long>(level)),
-                  TablePrinter::Num(base.total_query_us / 1000.0, 1),
-                  TablePrinter::Num(pythia.total_query_us / 1000.0, 1),
-                  TablePrinter::Num(static_cast<double>(base.total_query_us) /
-                                        pythia.total_query_us,
-                                    2) +
-                      "x"});
+    if (!AllOk(base, "DFLT") || !AllOk(pythia, "PYTHIA")) return 1;
+    table.AddRow(
+        {TablePrinter::Int(static_cast<long long>(level)),
+         TablePrinter::Num(base.total_query_us / 1000.0, 1),
+         TablePrinter::Num(pythia.total_query_us / 1000.0, 1),
+         TablePrinter::Num(
+             SafeDiv(static_cast<double>(base.total_query_us),
+                     static_cast<double>(pythia.total_query_us)),
+             2) +
+             "x"});
   }
   table.Print();
 
@@ -83,6 +104,7 @@ int main() {
   }
   env.ColdRestart();
   const ConcurrentResult r = ReplayConcurrent(staggered, &env);
+  if (!AllOk(r, "staggered")) return 1;
   for (size_t i = 0; i < 3; ++i) {
     std::printf("  query %zu: start %llu ms, end %llu ms (ran %.1f ms)\n", i,
                 static_cast<unsigned long long>(r.start_us[i] / 1000),

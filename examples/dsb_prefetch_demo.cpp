@@ -7,6 +7,7 @@
 
 #include "core/system.h"
 #include "exec/serializer.h"
+#include "util/metrics.h"
 #include "util/table_printer.h"
 
 int main() {
@@ -65,10 +66,17 @@ int main() {
   for (RunMode mode : {RunMode::kDefault, RunMode::kPythia, RunMode::kOracle,
                        RunMode::kNearestNeighbor}) {
     const QueryRunMetrics m = system.RunQuery(q, mode, prefetch);
+    if (!m.status.ok()) {
+      std::fprintf(stderr, "%s run failed: %s\n", RunModeName(mode),
+                   m.status.ToString().c_str());
+      return 1;
+    }
     if (mode == RunMode::kDefault) dflt_time = m.elapsed_us;
     table.AddRow(
         {RunModeName(mode), TablePrinter::Num(m.elapsed_us / 1000.0, 1),
-         TablePrinter::Num(static_cast<double>(dflt_time) / m.elapsed_us, 2) +
+         TablePrinter::Num(SafeDiv(static_cast<double>(dflt_time),
+                                   static_cast<double>(m.elapsed_us)),
+                           2) +
              "x",
          m.engaged ? TablePrinter::Num(m.accuracy.f1, 3) : "-",
          TablePrinter::Int(static_cast<long long>(m.pool_stats.buffer_hits)),

@@ -67,8 +67,18 @@ int main() {
         system.RunQuery(q, RunMode::kDefault, prefetch);
     const QueryRunMetrics pythia =
         system.RunQuery(q, RunMode::kPythia, prefetch);
+    // RunQuery is fallible now that the storage layer can inject faults;
+    // without fault injection these are always OK, but check anyway.
+    if (!dflt.status.ok() || !pythia.status.ok()) {
+      std::fprintf(stderr, "query %zu failed: %s\n", ti,
+                   (dflt.status.ok() ? pythia : dflt)
+                       .status.ToString()
+                       .c_str());
+      return 1;
+    }
     const double speedup =
-        static_cast<double>(dflt.elapsed_us) / pythia.elapsed_us;
+        SafeDiv(static_cast<double>(dflt.elapsed_us),
+                static_cast<double>(pythia.elapsed_us));
     speedups.push_back(speedup);
     table.AddRow({"t91#" + std::to_string(ti),
                   TablePrinter::Num(pythia.accuracy.f1, 3),

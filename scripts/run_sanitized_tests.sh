@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the tree with -DPYTHIA_SANITIZE=ON (ASan + UBSan, non-recoverable)
+# and runs the tier-1 ctest suite under it, so the fault-injection and
+# error-propagation paths are exercised sanitized.
+#
+#   scripts/run_sanitized_tests.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-sanitize
+cmake -B "${BUILD_DIR}" -S . \
+  -DPYTHIA_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"

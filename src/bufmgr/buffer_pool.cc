@@ -1,5 +1,7 @@
 #include "bufmgr/buffer_pool.h"
 
+#include <string>
+
 namespace pythia {
 
 BufferPool::BufferPool(const Options& options, OsPageCache* os_cache,
@@ -39,7 +41,7 @@ int64_t BufferPool::AllocateFrame(SimTime now) {
   return static_cast<int64_t>(f);
 }
 
-FetchResult BufferPool::FetchPage(PageId page, SimTime now) {
+Result<FetchResult> BufferPool::FetchPage(PageId page, SimTime now) {
   ++stats_.fetches;
   FetchResult result;
   auto it = page_table_.find(page);
@@ -60,9 +62,34 @@ FetchResult BufferPool::FetchPage(PageId page, SimTime now) {
     return result;
   }
 
-  // Miss: read through the OS.
-  OsReadResult os = os_cache_->Read(page);
-  result.latency_us = os.latency_us;
+  // Miss: read through the OS. This is the foreground path — the query
+  // itself is blocked on the page — so transient errors are retried with
+  // capped exponential backoff + jitter rather than surfaced immediately.
+  // Each failed attempt costs the full random-read device time (the seek
+  // happened, then the device errored) plus the backoff, in virtual time.
+  OsReadResult os;
+  SimTime retry_penalty_us = 0;
+  for (uint32_t attempt = 1;; ++attempt) {
+    Result<OsReadResult> r = os_cache_->Read(page);
+    if (r.ok()) {
+      os = *r;
+      break;
+    }
+    if (attempt >= options_.retry.max_attempts) {
+      ++stats_.failed_fetches;
+      return Status::IoError("page read failed after " +
+                             std::to_string(attempt) +
+                             " attempts: " + r.status().message());
+    }
+    ++stats_.read_retries;
+    ++result.retries;
+    retry_penalty_us += latency_.disk_random_read_us;
+    FaultInjector* injector = os_cache_->fault_injector();
+    if (injector != nullptr) {
+      retry_penalty_us += injector->RetryBackoff(options_.retry, attempt);
+    }
+  }
+  result.latency_us = retry_penalty_us + os.latency_us;
   result.source = os.source;
   switch (os.source) {
     case AccessSource::kOsCache: ++stats_.os_cache_copies; break;

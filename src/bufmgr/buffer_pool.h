@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bufmgr/replacement.h"
+#include "storage/fault_injector.h"
 #include "storage/latency_model.h"
 #include "storage/os_cache.h"
 #include "storage/page_id.h"
@@ -34,6 +35,9 @@ struct FetchResult {
   // Portion of latency spent waiting for an in-flight prefetch to land.
   SimTime prefetch_wait_us = 0;
   bool served_by_prefetch = false;
+  // Failed read attempts absorbed before this fetch succeeded; their device
+  // time and backoff are already folded into `latency_us`.
+  uint32_t retries = 0;
 };
 
 struct BufferPoolStats {
@@ -48,6 +52,8 @@ struct BufferPoolStats {
   uint64_t prefetches_started = 0;
   uint64_t prefetches_rejected = 0; // pool full of unevictable frames
   SimTime prefetch_wait_us = 0;
+  uint64_t read_retries = 0;        // failed foreground attempts retried
+  uint64_t failed_fetches = 0;      // fetches that exhausted the retry budget
 };
 
 class BufferPool {
@@ -55,14 +61,20 @@ class BufferPool {
   struct Options {
     size_t capacity_pages = 4096;
     ReplacementPolicyKind policy = ReplacementPolicyKind::kClock;
+    // Foreground reads retry transient I/O errors under this policy; each
+    // failed attempt is charged the random-read device time plus a capped
+    // exponential backoff with deterministic jitter, all in virtual time.
+    RetryPolicy retry = {};
   };
 
   // `os_cache` must outlive the pool.
   BufferPool(const Options& options, OsPageCache* os_cache,
              const LatencyModel& latency);
 
-  // Synchronous read of `page` at virtual time `now`.
-  FetchResult FetchPage(PageId page, SimTime now);
+  // Synchronous read of `page` at virtual time `now`. Fails with IoError
+  // only after exhausting the retry budget on injected transient errors;
+  // infallible when the OS cache has no fault injector attached.
+  Result<FetchResult> FetchPage(PageId page, SimTime now);
 
   // Installs an in-flight frame for `page` whose I/O completes at
   // `completion`. If the page is already buffered this is a cheap no-op that

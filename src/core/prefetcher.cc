@@ -30,8 +30,41 @@ PrefetchSession::PrefetchSession(std::vector<PageId> pages,
   }
 }
 
+PrefetchSession::PrefetchSession(PrefetchSession&& other) noexcept
+    : queue_(std::move(other.queue_)),
+      next_(other.next_),
+      options_(other.options_),
+      budget_(other.budget_),
+      pool_(other.pool_),
+      os_cache_(other.os_cache_),
+      io_(other.io_),
+      latency_(other.latency_),
+      outstanding_(std::move(other.outstanding_)),
+      stats_(other.stats_),
+      finished_(other.finished_) {
+  // The moved-from session no longer owns any pins; its destructor's
+  // Finish() must be a no-op.
+  other.outstanding_.clear();
+  other.finished_ = true;
+}
+
+void PrefetchSession::ExpireTimedOut(SimTime now) {
+  if (options_.prefetch_timeout_us == 0) return;
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (now > it->second &&
+        now - it->second > options_.prefetch_timeout_us) {
+      pool_->Unpin(it->first);
+      ++stats_.timed_out;
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void PrefetchSession::Pump(SimTime now) {
   if (finished_ || now < options_.start_delay_us) return;
+  ExpireTimedOut(now);
   while (next_ < queue_.size() &&
          outstanding_.size() < options_.readahead_window) {
     const PageId page = queue_[next_];
@@ -42,23 +75,31 @@ void PrefetchSession::Pump(SimTime now) {
       Status s = pool_->StartPrefetch(page, now, /*pin=*/true, now);
       if (s.ok()) {
         ++stats_.already_buffered;
-        outstanding_.insert(page);
+        outstanding_.emplace(page, now);
       }
       ++next_;
       continue;
     }
     // The async read passes through the OS: issuing in offset order makes
-    // many of these sequential follow-ons or OS-cache copies.
-    const OsReadResult os = os_cache_->Read(page);
-    const SimTime completion = io_->Schedule(now, os.latency_us);
+    // many of these sequential follow-ons or OS-cache copies. A transient
+    // error on this path is absorbed: the prefetch is dropped and the page
+    // stays a future miss — never fail the query for a speculative read.
+    const Result<OsReadResult> os = os_cache_->Read(page);
+    if (!os.ok()) {
+      ++stats_.dropped_faulty;
+      ++next_;
+      continue;
+    }
+    const SimTime completion = io_->Schedule(now, os->latency_us);
     Status s = pool_->StartPrefetch(page, completion, /*pin=*/true, now);
     if (!s.ok()) {
-      // Pool has no evictable frame: stop pumping for now; retry on the
-      // next Pump when pins may have been released.
+      // Buffer pressure (ResourceExhausted): shed the prefetch instead of
+      // erroring — stop pumping for now and retry on the next Pump, when
+      // pins may have been released.
       ++stats_.rejected_by_pool;
       return;
     }
-    outstanding_.insert(page);
+    outstanding_.emplace(page, now);
     ++stats_.issued;
     ++next_;
   }
@@ -77,7 +118,7 @@ void PrefetchSession::OnFetch(PageId page, SimTime now) {
 void PrefetchSession::Finish() {
   if (finished_) return;
   finished_ = true;
-  for (const PageId& page : outstanding_) pool_->Unpin(page);
+  for (const auto& entry : outstanding_) pool_->Unpin(entry.first);
   outstanding_.clear();
 }
 

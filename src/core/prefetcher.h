@@ -44,6 +44,11 @@ struct PrefetcherOptions {
   // limited prefetching to stay within buffer memory bounds" (Section 5.1).
   // 0 = derive from the buffer pool capacity.
   size_t max_prefetch_pages = 0;
+  // Deadline for an outstanding prefetch: a page issued more than this long
+  // ago without being consumed is unpinned and written off (the window
+  // slides on), so a badly mispredicted or stalled prefetch cannot hold
+  // buffer pins for the rest of the query. 0 disables the deadline.
+  SimTime prefetch_timeout_us = 0;
 };
 
 struct PrefetchSessionStats {
@@ -51,7 +56,9 @@ struct PrefetchSessionStats {
   uint64_t already_buffered = 0;
   uint64_t consumed = 0;
   uint64_t skipped_budget = 0;
-  uint64_t rejected_by_pool = 0;
+  uint64_t rejected_by_pool = 0;  // shed on buffer pressure
+  uint64_t dropped_faulty = 0;    // speculative reads dropped on I/O error
+  uint64_t timed_out = 0;         // outstanding pages past the deadline
 };
 
 class PrefetchSession {
@@ -63,21 +70,38 @@ class PrefetchSession {
                   OsPageCache* os_cache, IoScheduler* io,
                   const LatencyModel& latency);
 
+  // A session owns buffer pins; destruction finishes it so an aborted query
+  // (error mid-replay, cancelled batch) can never leak pins.
+  ~PrefetchSession() { Finish(); }
+  PrefetchSession(PrefetchSession&& other) noexcept;
+  PrefetchSession& operator=(PrefetchSession&&) = delete;
+  PrefetchSession(const PrefetchSession&) = delete;
+  PrefetchSession& operator=(const PrefetchSession&) = delete;
+
   // Issues as many prefetches as the readahead window and budget allow.
-  // Called by the replay loop before every page request.
+  // Called by the replay loop before every page request. A speculative read
+  // that fails is dropped — the page simply stays a future miss; a
+  // speculative read never fails the query. No-op after Finish().
   void Pump(SimTime now);
 
   // Notifies the session that the query fetched `page` at `now`; a
-  // predicted page is consumed (unpinned, window slides).
+  // predicted page is consumed (unpinned, window slides). No-op after
+  // Finish().
   void OnFetch(PageId page, SimTime now);
 
   // Unpins everything still pinned (query finished or cancelled).
+  // Idempotent: calling it again, or Pump/OnFetch afterwards, is safe.
   void Finish();
 
   const PrefetchSessionStats& stats() const { return stats_; }
   size_t planned() const { return queue_.size(); }
+  size_t outstanding() const { return outstanding_.size(); }
+  bool finished() const { return finished_; }
 
  private:
+  // Writes off outstanding prefetches older than the deadline.
+  void ExpireTimedOut(SimTime now);
+
   std::vector<PageId> queue_;
   size_t next_ = 0;  // queue position of the next page to issue
   PrefetcherOptions options_;
@@ -87,8 +111,9 @@ class PrefetchSession {
   IoScheduler* io_;
   LatencyModel latency_;
 
-  // Pages issued and pinned but not yet consumed by the query.
-  std::unordered_set<PageId> outstanding_;
+  // Pages issued and pinned but not yet consumed by the query, with the
+  // virtual time each was issued at (for deadline accounting).
+  std::unordered_map<PageId, SimTime> outstanding_;
   PrefetchSessionStats stats_;
   bool finished_ = false;
 };

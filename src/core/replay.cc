@@ -22,6 +22,8 @@ BufferPoolStats StatsDelta(const BufferPoolStats& after,
   d.prefetches_rejected =
       after.prefetches_rejected - before.prefetches_rejected;
   d.prefetch_wait_us = after.prefetch_wait_us - before.prefetch_wait_us;
+  d.read_retries = after.read_retries - before.read_retries;
+  d.failed_fetches = after.failed_fetches - before.failed_fetches;
   return d;
 }
 
@@ -37,9 +39,16 @@ SimEnvironment::SimEnvironment(const SimOptions& options)
   BufferPool::Options pool_options;
   pool_options.capacity_pages = options.buffer_pages;
   pool_options.policy = options.policy;
+  pool_options.retry = options.retry;
   pool_ = std::make_unique<BufferPool>(pool_options, os_cache_.get(),
                                        options.latency);
   io_ = std::make_unique<IoScheduler>(options.io_channels);
+
+  if (options.faults.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(options.faults);
+    os_cache_->set_fault_injector(injector_.get());
+    io_->set_fault_injector(injector_.get());
+  }
 }
 
 void SimEnvironment::ColdRestart() {
@@ -47,6 +56,10 @@ void SimEnvironment::ColdRestart() {
   pool_->ResetStats();
   os_cache_->DropCaches();
   io_->Reset();
+}
+
+void SimEnvironment::ResetFaults() {
+  if (injector_ != nullptr) injector_->Reset();
 }
 
 ReplayResult ReplayQuery(const QueryTrace& trace,
@@ -69,8 +82,15 @@ ReplayResult ReplayQuery(const QueryTrace& trace,
     now += static_cast<SimTime>(access.cpu_tuples_before) *
            latency.cpu_per_tuple_us;
     if (session != nullptr) session->Pump(now);
-    const FetchResult fetch = env->pool().FetchPage(access.page, now);
-    now += fetch.latency_us;
+    const Result<FetchResult> fetch = env->pool().FetchPage(access.page, now);
+    if (!fetch.ok()) {
+      // Unrecoverable foreground read: abort the query, releasing every
+      // prefetch pin so the pool is left clean for the next run.
+      result.status = fetch.status();
+      break;
+    }
+    now += fetch->latency_us;
+    ++result.completed_accesses;
     if (session != nullptr) session->OnFetch(access.page, now);
   }
   if (session != nullptr) {
@@ -97,6 +117,7 @@ ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
   ConcurrentResult result;
   result.start_us.resize(n);
   result.end_us.resize(n);
+  result.statuses.resize(n);
 
   for (size_t i = 0; i < n; ++i) {
     states[i].clock = queries[i].arrival_us;
@@ -133,8 +154,18 @@ ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
     st.clock += static_cast<SimTime>(access.cpu_tuples_before) *
                 latency.cpu_per_tuple_us;
     if (st.session != nullptr) st.session->Pump(st.clock);
-    const FetchResult fetch = env->pool().FetchPage(access.page, st.clock);
-    st.clock += fetch.latency_us;
+    const Result<FetchResult> fetch =
+        env->pool().FetchPage(access.page, st.clock);
+    if (!fetch.ok()) {
+      // This query dies at the failing access; the rest of the batch keeps
+      // running against a pool with its pins released.
+      result.statuses[pick] = fetch.status();
+      st.done = true;
+      if (st.session != nullptr) st.session->Finish();
+      result.end_us[pick] = st.clock;
+      continue;
+    }
+    st.clock += fetch->latency_us;
     if (st.session != nullptr) st.session->OnFetch(access.page, st.clock);
 
     if (++st.next_access >= queries[pick].trace->accesses.size()) {

@@ -16,6 +16,7 @@
 #include "bufmgr/buffer_pool.h"
 #include "core/prefetcher.h"
 #include "exec/trace.h"
+#include "storage/fault_injector.h"
 #include "storage/io_scheduler.h"
 #include "storage/latency_model.h"
 #include "storage/os_cache.h"
@@ -29,6 +30,10 @@ struct SimOptions {
   size_t os_cache_pages = 4096;
   uint32_t os_readahead_pages = 32;
   size_t io_channels = 8;
+  // Fault injection for the storage stack; disabled by default. Foreground
+  // retry behaviour under injected errors is governed by `retry`.
+  FaultConfig faults;
+  RetryPolicy retry;
 };
 
 class SimEnvironment {
@@ -36,23 +41,36 @@ class SimEnvironment {
   explicit SimEnvironment(const SimOptions& options);
 
   // Postgres restart + `drop_caches`: empties the buffer pool, the OS page
-  // cache and the I/O channel timelines.
+  // cache and the I/O channel timelines. Deliberately does NOT reset the
+  // fault injector: faults are a property of the device over time, not of
+  // the database restart. Use ResetFaults() for paired experiment arms.
   void ColdRestart();
+
+  // Rewinds the fault injector to its seeded state (and clears its stats)
+  // so two experiment arms observe the identical fault sequence.
+  void ResetFaults();
 
   OsPageCache& os_cache() { return *os_cache_; }
   BufferPool& pool() { return *pool_; }
   IoScheduler& io() { return *io_; }
+  // nullptr when fault injection is disabled.
+  FaultInjector* fault_injector() { return injector_.get(); }
   const SimOptions& options() const { return options_; }
 
  private:
   SimOptions options_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<OsPageCache> os_cache_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<IoScheduler> io_;
 };
 
 struct ReplayResult {
+  // Non-OK when a foreground read exhausted its retry budget; the replay
+  // stops at the failing access with all prefetch pins released.
+  Status status;
   SimTime elapsed_us = 0;
+  uint64_t completed_accesses = 0;
   BufferPoolStats pool_stats;      // delta for this replay
   PrefetchSessionStats prefetch_stats;
 };
@@ -76,6 +94,9 @@ struct ConcurrentQuery {
 struct ConcurrentResult {
   std::vector<SimTime> start_us;
   std::vector<SimTime> end_us;
+  // Per-query replay status; a query that hits an unrecoverable read error
+  // ends at the failing access, the rest of the batch keeps running.
+  std::vector<Status> statuses;
   SimTime makespan_us = 0;      // last end
   SimTime total_query_us = 0;   // sum of per-query elapsed times
 };

@@ -100,19 +100,49 @@ QueryRunMetrics PythiaSystem::RunQuery(
     const WorkloadQuery& query, RunMode mode,
     const PrefetcherOptions& prefetch_options, bool cold) {
   QueryRunMetrics metrics;
-  std::vector<PageId> pages = PrefetchPlan(query, mode, &metrics);
+
+  // Guardrail: while the breaker is open, prefetch-eligible queries run
+  // against the plain buffer manager (RunMode::kDefault behaviour) instead
+  // of prediction + prefetch.
+  RunMode effective = mode;
+  if (mode != RunMode::kDefault && !breaker_.AllowPrefetch()) {
+    effective = RunMode::kDefault;
+    metrics.degraded_by_breaker = true;
+    ++robustness_.degraded_queries;
+  }
+
+  std::vector<PageId> pages = PrefetchPlan(query, effective, &metrics);
 
   PrefetcherOptions options = prefetch_options;
-  if (mode == RunMode::kOracle) {
+  if (effective == RunMode::kOracle) {
     // The oracle knows the exact access sequence; issue in that order.
     options.order = PrefetchOrder::kAccessOrder;
   }
   if (cold) env_->ColdRestart();
   const ReplayResult replay =
       ReplayQuery(query.trace, pages, options, env_);
+  metrics.status = replay.status;
   metrics.elapsed_us = replay.elapsed_us;
   metrics.pool_stats = replay.pool_stats;
   metrics.prefetch_stats = replay.prefetch_stats;
+
+  // Feed the breaker the health verdict of the session that actually ran.
+  if (effective != RunMode::kDefault && !pages.empty()) {
+    breaker_.Record(IsHealthyPrefetch(replay.prefetch_stats, health_policy_));
+  }
+
+  robustness_.read_retries += replay.pool_stats.read_retries;
+  robustness_.failed_fetches += replay.pool_stats.failed_fetches;
+  robustness_.dropped_prefetches += replay.prefetch_stats.dropped_faulty;
+  robustness_.shed_prefetches += replay.prefetch_stats.rejected_by_pool;
+  robustness_.timed_out_prefetches += replay.prefetch_stats.timed_out;
+  robustness_.breaker_trips = breaker_.stats().trips;
+  robustness_.breaker_probes = breaker_.stats().probes;
+  if (FaultInjector* injector = env_->fault_injector()) {
+    robustness_.injected_errors = injector->stats().injected_errors;
+    robustness_.injected_spikes = injector->stats().injected_spikes;
+    robustness_.injected_stalls = injector->stats().injected_stalls;
+  }
   return metrics;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/baselines.h"
+#include "core/circuit_breaker.h"
 #include "core/predictor.h"
 #include "core/replay.h"
 #include "util/metrics.h"
@@ -29,8 +30,13 @@ enum class RunMode {
 const char* RunModeName(RunMode mode);
 
 struct QueryRunMetrics {
+  // Non-OK when the replay aborted on an unrecoverable read error.
+  Status status;
   SimTime elapsed_us = 0;
   bool engaged = false;          // Pythia matched a workload and prefetched
+  // The circuit breaker was open: the query ran as RunMode::kDefault even
+  // though a prefetching mode was requested.
+  bool degraded_by_breaker = false;
   PrecisionRecall accuracy;      // prediction vs restricted ground truth
   size_t predicted_pages = 0;
   BufferPoolStats pool_stats;
@@ -65,6 +71,20 @@ class PythiaSystem {
   double match_threshold() const { return match_threshold_; }
   void set_match_threshold(double t) { match_threshold_ = t; }
 
+  // Guardrail: when recent prefetch sessions have been unhealthy (faulty,
+  // timed out, or mostly wasted), the breaker degrades prefetch-eligible
+  // queries to the plain buffer manager and half-open-probes back later.
+  CircuitBreaker& breaker() { return breaker_; }
+  const PrefetchHealthPolicy& health_policy() const { return health_policy_; }
+  void set_health_policy(const PrefetchHealthPolicy& p) { health_policy_ = p; }
+  void set_breaker_options(const CircuitBreakerOptions& o) {
+    breaker_ = CircuitBreaker(o);
+  }
+
+  // Fault-tolerance counters accumulated across every RunQuery call (the
+  // storage-level injection counts come from the environment's injector).
+  const RobustnessCounters& robustness() const { return robustness_; }
+
  private:
   struct Entry {
     Entry(WorkloadModel&& m, std::unique_ptr<NearestNeighborBaseline> n)
@@ -76,6 +96,9 @@ class PythiaSystem {
   SimEnvironment* env_;
   std::vector<std::unique_ptr<Entry>> entries_;
   double match_threshold_ = 0.9;
+  CircuitBreaker breaker_;
+  PrefetchHealthPolicy health_policy_;
+  RobustnessCounters robustness_;
 };
 
 }  // namespace pythia

@@ -1,0 +1,149 @@
+// Deterministic, seeded fault injection for the simulated storage stack.
+//
+// Production prefetching is only a win while every async read succeeds and
+// the device behaves; this injector lets the replay harness probe the other
+// regime. It models three fault classes on the *device* path (buffer-pool
+// and OS-cache hits are memory operations and never fault):
+//  - transient I/O errors: a disk read fails outright and the caller decides
+//    whether to retry (foreground fetch) or drop (speculative prefetch);
+//  - tail-latency spikes: a disk read succeeds but takes a configurable
+//    multiple (default 10-50x) of its modeled latency;
+//  - stalled AIO channels: an async I/O worker freezes for a fixed virtual
+//    duration before servicing its request.
+//
+// Every decision is drawn from an explicitly seeded Pcg32 consumed in call
+// order, so two runs with identical seeds and identical call sequences
+// produce bit-identical fault patterns (and therefore identical metrics).
+// Retry-backoff jitter uses a separate stream so the retry policy cannot
+// perturb the fault sequence itself.
+#ifndef PYTHIA_STORAGE_FAULT_INJECTOR_H_
+#define PYTHIA_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "storage/sim_clock.h"
+#include "util/rng.h"
+
+namespace pythia {
+
+struct FaultConfig {
+  // Probability that a disk read (sequential or random) fails transiently.
+  double transient_error_prob = 0.0;
+  // Probability that a successful disk read hits a tail-latency spike.
+  double tail_latency_prob = 0.0;
+  // Spike magnitude: latency is multiplied by a uniform draw in
+  // [tail_latency_min_mult, tail_latency_max_mult].
+  double tail_latency_min_mult = 10.0;
+  double tail_latency_max_mult = 50.0;
+  // Probability that an AIO channel stalls before servicing a request, and
+  // for how long (virtual microseconds).
+  double aio_stall_prob = 0.0;
+  SimTime aio_stall_us = 20000;
+  uint64_t seed = 0;
+
+  bool enabled() const {
+    return transient_error_prob > 0.0 || tail_latency_prob > 0.0 ||
+           aio_stall_prob > 0.0;
+  }
+};
+
+struct FaultStats {
+  uint64_t disk_reads_probed = 0;
+  uint64_t injected_errors = 0;
+  uint64_t injected_spikes = 0;
+  uint64_t injected_stalls = 0;
+  SimTime injected_spike_us = 0;  // total extra latency from spikes
+  SimTime injected_stall_us = 0;  // total extra latency from stalls
+};
+
+// Outcome of consulting the injector for one disk read.
+struct DiskReadFault {
+  bool transient_error = false;
+  SimTime extra_latency_us = 0;  // tail spike on top of the modeled latency
+};
+
+// How a *foreground* (synchronous) read retries after a transient error.
+// Prefetch reads never retry: a failed speculative read is simply dropped.
+struct RetryPolicy {
+  uint32_t max_attempts = 8;  // first try + up to 7 retries
+  SimTime initial_backoff_us = 50;
+  double backoff_multiplier = 2.0;
+  SimTime max_backoff_us = 5000;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config)
+      : config_(config),
+        rng_(config.seed, 0x705eca7a1ULL),
+        backoff_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL, 0xbac0ffULL) {}
+
+  // Consulted once per disk read, with the latency the device would charge.
+  DiskReadFault OnDiskRead(SimTime base_latency_us) {
+    DiskReadFault fault;
+    if (!config_.enabled()) return fault;
+    ++stats_.disk_reads_probed;
+    if (config_.transient_error_prob > 0.0 &&
+        rng_.UniformDouble() < config_.transient_error_prob) {
+      fault.transient_error = true;
+      ++stats_.injected_errors;
+      return fault;
+    }
+    if (config_.tail_latency_prob > 0.0 &&
+        rng_.UniformDouble() < config_.tail_latency_prob) {
+      const double mult = rng_.UniformRange(config_.tail_latency_min_mult,
+                                            config_.tail_latency_max_mult);
+      fault.extra_latency_us =
+          static_cast<SimTime>(static_cast<double>(base_latency_us) * mult);
+      ++stats_.injected_spikes;
+      stats_.injected_spike_us += fault.extra_latency_us;
+    }
+    return fault;
+  }
+
+  // Extra channel-occupancy time for one async request; 0 when no stall.
+  SimTime OnAioSchedule() {
+    if (config_.aio_stall_prob <= 0.0) return 0;
+    if (rng_.UniformDouble() >= config_.aio_stall_prob) return 0;
+    ++stats_.injected_stalls;
+    stats_.injected_stall_us += config_.aio_stall_us;
+    return config_.aio_stall_us;
+  }
+
+  // Backoff for the `attempt`-th retry (attempt >= 1) under `policy`:
+  // capped exponential with +/-50% deterministic jitter.
+  SimTime RetryBackoff(const RetryPolicy& policy, uint32_t attempt) {
+    double backoff = static_cast<double>(policy.initial_backoff_us);
+    for (uint32_t i = 1; i < attempt; ++i) {
+      backoff *= policy.backoff_multiplier;
+      if (backoff >= static_cast<double>(policy.max_backoff_us)) break;
+    }
+    if (backoff > static_cast<double>(policy.max_backoff_us)) {
+      backoff = static_cast<double>(policy.max_backoff_us);
+    }
+    const double jitter = 0.5 + backoff_rng_.UniformDouble();  // [0.5, 1.5)
+    return static_cast<SimTime>(backoff * jitter);
+  }
+
+  // Restores the RNG streams to their seeded state and clears the counters,
+  // so paired experiment arms (e.g. DFLT vs PYTHIA over the same queries)
+  // observe the identical fault sequence.
+  void Reset() {
+    rng_ = Pcg32(config_.seed, 0x705eca7a1ULL);
+    backoff_rng_ = Pcg32(config_.seed ^ 0x9e3779b97f4a7c15ULL, 0xbac0ffULL);
+    stats_ = FaultStats();
+  }
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultConfig config_;
+  Pcg32 rng_;
+  Pcg32 backoff_rng_;
+  FaultStats stats_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_STORAGE_FAULT_INJECTOR_H_

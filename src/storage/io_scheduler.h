@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "storage/fault_injector.h"
 #include "storage/sim_clock.h"
 
 namespace pythia {
@@ -22,17 +23,25 @@ class IoScheduler {
 
   // Schedules an async operation of duration `latency_us` not earlier than
   // `now`; returns its completion time. Channels are FIFO per-channel; the
-  // request takes the channel that frees up first.
+  // request takes the channel that frees up first. With a fault injector
+  // attached, the chosen channel may stall (an AIO worker freezing) before
+  // servicing the request, delaying this completion and everything queued
+  // behind it on the same channel.
   SimTime Schedule(SimTime now, SimTime latency_us) {
     size_t best = 0;
     for (size_t i = 1; i < free_at_.size(); ++i) {
       if (free_at_[i] < free_at_[best]) best = i;
     }
     const SimTime start = free_at_[best] > now ? free_at_[best] : now;
-    free_at_[best] = start + latency_us;
+    const SimTime stall =
+        injector_ != nullptr ? injector_->OnAioSchedule() : 0;
+    free_at_[best] = start + stall + latency_us;
     ++scheduled_ops_;
     return free_at_[best];
   }
+
+  // Not owned; may be nullptr (no stalls).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   // Earliest time a new request issued at `now` could start.
   SimTime EarliestStart(SimTime now) const {
@@ -52,6 +61,7 @@ class IoScheduler {
  private:
   std::vector<SimTime> free_at_;
   uint64_t scheduled_ops_ = 0;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace pythia

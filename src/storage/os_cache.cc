@@ -2,7 +2,7 @@
 
 namespace pythia {
 
-OsReadResult OsPageCache::Read(PageId page) {
+Result<OsReadResult> OsPageCache::Read(PageId page) {
   OsReadResult result;
   auto it = map_.find(page);
   if (it != map_.end()) {
@@ -21,10 +21,22 @@ OsReadResult OsPageCache::Read(PageId page) {
       last_it != last_page_.end() && page.page_no == last_it->second + 1;
   last_page_[page.object_id] = page.page_no;
 
+  result.latency_us =
+      sequential ? latency_.disk_seq_read_us : latency_.disk_random_read_us;
+  result.source =
+      sequential ? AccessSource::kDiskSequential : AccessSource::kDiskRandom;
+
+  if (injector_ != nullptr) {
+    const DiskReadFault fault = injector_->OnDiskRead(result.latency_us);
+    if (fault.transient_error) {
+      ++failed_reads_;
+      return Status::IoError("transient disk read error");
+    }
+    result.latency_us += fault.extra_latency_us;
+  }
+
   if (sequential) {
     ++sequential_reads_;
-    result.latency_us = latency_.disk_seq_read_us;
-    result.source = AccessSource::kDiskSequential;
     // The kernel reads ahead: the next `readahead_pages` pages of this file
     // land in the cache and will be served as memory copies.
     for (uint32_t i = 1; i <= options_.readahead_pages; ++i) {
@@ -32,8 +44,6 @@ OsReadResult OsPageCache::Read(PageId page) {
     }
   } else {
     ++random_reads_;
-    result.latency_us = latency_.disk_random_read_us;
-    result.source = AccessSource::kDiskRandom;
   }
   Insert(page);
   return result;

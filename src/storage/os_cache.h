@@ -11,8 +11,10 @@
 #include <list>
 #include <unordered_map>
 
+#include "storage/fault_injector.h"
 #include "storage/latency_model.h"
 #include "storage/page_id.h"
+#include "util/status.h"
 
 namespace pythia {
 
@@ -34,7 +36,17 @@ class OsPageCache {
 
   // Reads one page through the OS: returns the latency and where it was
   // served from, updating cache contents and per-object readahead state.
-  OsReadResult Read(PageId page);
+  // Fallible: with a fault injector attached, a disk read (never a cache
+  // hit) may fail with IoError or absorb a tail-latency spike. A failed
+  // read leaves the cache contents untouched — the data never arrived — but
+  // the head movement still updates the readahead run state.
+  Result<OsReadResult> Read(PageId page);
+
+  // Attaches a fault injector consulted on every disk read. May be nullptr
+  // (the default): reads are then infallible. Not owned; must outlive the
+  // cache or be detached first.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   // Drops all cached pages and readahead state — `echo 3 >
   // /proc/sys/vm/drop_caches` between experiment runs.
@@ -47,6 +59,7 @@ class OsPageCache {
   uint64_t hits() const { return hits_; }
   uint64_t sequential_reads() const { return sequential_reads_; }
   uint64_t random_reads() const { return random_reads_; }
+  uint64_t failed_reads() const { return failed_reads_; }
 
  private:
   void Insert(PageId page);
@@ -54,6 +67,7 @@ class OsPageCache {
 
   Options options_;
   LatencyModel latency_;
+  FaultInjector* injector_ = nullptr;
 
   // LRU: most recent at front.
   std::list<PageId> lru_;
@@ -64,6 +78,7 @@ class OsPageCache {
   uint64_t hits_ = 0;
   uint64_t sequential_reads_ = 0;
   uint64_t random_reads_ = 0;
+  uint64_t failed_reads_ = 0;
 };
 
 }  // namespace pythia

@@ -15,6 +15,29 @@
 
 namespace pythia {
 
+// Division that never produces NaN/inf from an empty denominator: a ratio
+// over zero samples is reported as 0, not propagated as a poison value into
+// downstream aggregation.
+inline double SafeDiv(double numerator, double denominator) {
+  return denominator == 0.0 ? 0.0 : numerator / denominator;
+}
+
+// Counters for the fault-tolerance layer, aggregated across the storage,
+// buffer-manager, prefetcher and system layers by whoever reports them.
+struct RobustnessCounters {
+  uint64_t injected_errors = 0;     // transient I/O errors injected
+  uint64_t injected_spikes = 0;     // tail-latency spikes injected
+  uint64_t injected_stalls = 0;     // stalled AIO channels
+  uint64_t read_retries = 0;        // foreground retry attempts
+  uint64_t failed_fetches = 0;      // foreground reads that exhausted retries
+  uint64_t dropped_prefetches = 0;  // speculative reads dropped on fault
+  uint64_t shed_prefetches = 0;     // shed on buffer pressure
+  uint64_t timed_out_prefetches = 0;
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_probes = 0;
+  uint64_t degraded_queries = 0;    // queries forced to the plain bufmgr
+};
+
 struct PrecisionRecall {
   double precision = 0.0;
   double recall = 0.0;
@@ -43,14 +66,11 @@ PrecisionRecall ComputeSetMetrics(const std::unordered_set<T>& predicted,
   for (const T& x : small) {
     if (large.count(x)) ++m.true_positives;
   }
-  m.precision = m.predicted == 0
-                    ? 0.0
-                    : static_cast<double>(m.true_positives) / m.predicted;
-  m.recall =
-      m.actual == 0 ? 0.0 : static_cast<double>(m.true_positives) / m.actual;
-  m.f1 = (m.precision + m.recall) > 0.0
-             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
-             : 0.0;
+  m.precision = SafeDiv(static_cast<double>(m.true_positives),
+                        static_cast<double>(m.predicted));
+  m.recall = SafeDiv(static_cast<double>(m.true_positives),
+                     static_cast<double>(m.actual));
+  m.f1 = SafeDiv(2.0 * m.precision * m.recall, m.precision + m.recall);
   return m;
 }
 

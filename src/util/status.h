@@ -108,4 +108,25 @@ class Result {
 
 }  // namespace pythia
 
+// Early-returns the enclosing function with a non-OK Status.
+#define PYTHIA_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::pythia::Status _pythia_status = (expr);         \
+    if (!_pythia_status.ok()) return _pythia_status;  \
+  } while (0)
+
+#define PYTHIA_STATUS_CONCAT_INNER_(a, b) a##b
+#define PYTHIA_STATUS_CONCAT_(a, b) PYTHIA_STATUS_CONCAT_INNER_(a, b)
+
+// Evaluates a Result<T> expression; on success binds the value to `lhs`
+// (which may declare a variable), on failure early-returns its Status.
+#define PYTHIA_ASSIGN_OR_RETURN(lhs, expr)                          \
+  PYTHIA_ASSIGN_OR_RETURN_IMPL_(                                    \
+      PYTHIA_STATUS_CONCAT_(_pythia_result_, __LINE__), lhs, expr)
+
+#define PYTHIA_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                  \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(*result)
+
 #endif  // PYTHIA_UTIL_STATUS_H_

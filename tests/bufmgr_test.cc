@@ -112,10 +112,10 @@ class BufferPoolTest : public ::testing::Test {
 };
 
 TEST_F(BufferPoolTest, MissThenHit) {
-  const FetchResult miss = pool_.FetchPage(PageId{1, 0}, 0);
+  const FetchResult miss = *pool_.FetchPage(PageId{1, 0}, 0);
   EXPECT_EQ(miss.source, AccessSource::kDiskRandom);
   EXPECT_EQ(miss.latency_us, latency_.disk_random_read_us);
-  const FetchResult hit = pool_.FetchPage(PageId{1, 0}, 1000);
+  const FetchResult hit = *pool_.FetchPage(PageId{1, 0}, 1000);
   EXPECT_EQ(hit.source, AccessSource::kBufferHit);
   EXPECT_EQ(hit.latency_us, latency_.buffer_hit_us);
   EXPECT_EQ(pool_.stats().buffer_hits, 1u);
@@ -150,7 +150,7 @@ TEST_F(BufferPoolTest, AllPinnedFallsBackToUncachedRead) {
     pool_.FetchPage(PageId{1, p}, 0);
     pool_.Pin(PageId{1, p});
   }
-  const FetchResult r = pool_.FetchPage(PageId{1, 99}, 10);
+  const FetchResult r = *pool_.FetchPage(PageId{1, 99}, 10);
   EXPECT_EQ(r.source, AccessSource::kDiskRandom);
   EXPECT_FALSE(pool_.Contains(PageId{1, 99}));
   EXPECT_EQ(pool_.stats().uncached_reads, 1u);
@@ -167,7 +167,7 @@ TEST_F(BufferPoolTest, PrefetchInstallsInFlightFrame) {
 
 TEST_F(BufferPoolTest, FetchWaitsForInFlightPrefetch) {
   pool_.StartPrefetch(PageId{2, 0}, /*completion=*/500, /*pin=*/false, 0);
-  const FetchResult r = pool_.FetchPage(PageId{2, 0}, /*now=*/200);
+  const FetchResult r = *pool_.FetchPage(PageId{2, 0}, /*now=*/200);
   EXPECT_TRUE(r.served_by_prefetch);
   EXPECT_EQ(r.prefetch_wait_us, 300u);
   EXPECT_EQ(r.latency_us, 300u + latency_.buffer_hit_us);
@@ -176,7 +176,7 @@ TEST_F(BufferPoolTest, FetchWaitsForInFlightPrefetch) {
 
 TEST_F(BufferPoolTest, FetchAfterArrivalIsPlainHit) {
   pool_.StartPrefetch(PageId{2, 0}, 500, false, 0);
-  const FetchResult r = pool_.FetchPage(PageId{2, 0}, 800);
+  const FetchResult r = *pool_.FetchPage(PageId{2, 0}, 800);
   EXPECT_EQ(r.prefetch_wait_us, 0u);
   EXPECT_EQ(r.latency_us, latency_.buffer_hit_us);
 }
@@ -225,7 +225,7 @@ TEST_F(BufferPoolTest, OsCacheServesSecondMissCheaply) {
   pool_.FetchPage(PageId{1, 0}, 0);
   for (uint32_t p = 1; p < 6; ++p) pool_.FetchPage(PageId{1, p}, 0);
   ASSERT_FALSE(pool_.Contains(PageId{1, 0}));
-  const FetchResult r = pool_.FetchPage(PageId{1, 0}, 10);
+  const FetchResult r = *pool_.FetchPage(PageId{1, 0}, 10);
   EXPECT_EQ(r.source, AccessSource::kOsCache);
 }
 

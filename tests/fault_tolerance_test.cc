@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/circuit_breaker.h"
+#include "core/replay.h"
+#include "storage/fault_injector.h"
+
+namespace pythia {
+namespace {
+
+QueryTrace MakeMixedTrace(uint32_t seq, uint32_t random_pages) {
+  QueryTrace trace;
+  for (uint32_t p = 0; p < seq; ++p) {
+    trace.accesses.push_back(PageAccess{PageId{1, p}, true, 5});
+  }
+  for (uint32_t i = 0; i < random_pages; ++i) {
+    trace.accesses.push_back(
+        PageAccess{PageId{2, (i * 37) % 1000}, false, 5});
+  }
+  return trace;
+}
+
+SimOptions FaultySim(double error_prob, double spike_prob,
+                     uint64_t seed = 1234) {
+  SimOptions options;
+  options.buffer_pages = 512;
+  options.os_cache_pages = 2048;
+  options.faults.transient_error_prob = error_prob;
+  options.faults.tail_latency_prob = spike_prob;
+  options.faults.seed = seed;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, DisabledConfigNeverFaults) {
+  FaultInjector injector{FaultConfig{}};
+  for (int i = 0; i < 1000; ++i) {
+    const DiskReadFault f = injector.OnDiskRead(900);
+    EXPECT_FALSE(f.transient_error);
+    EXPECT_EQ(f.extra_latency_us, 0u);
+    EXPECT_EQ(injector.OnAioSchedule(), 0u);
+  }
+  EXPECT_EQ(injector.stats().disk_reads_probed, 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  FaultConfig config;
+  config.transient_error_prob = 0.05;
+  config.tail_latency_prob = 0.02;
+  config.aio_stall_prob = 0.01;
+  config.seed = 99;
+  FaultInjector a(config), b(config);
+  for (int i = 0; i < 5000; ++i) {
+    const DiskReadFault fa = a.OnDiskRead(900);
+    const DiskReadFault fb = b.OnDiskRead(900);
+    EXPECT_EQ(fa.transient_error, fb.transient_error);
+    EXPECT_EQ(fa.extra_latency_us, fb.extra_latency_us);
+    EXPECT_EQ(a.OnAioSchedule(), b.OnAioSchedule());
+  }
+  EXPECT_EQ(a.stats().injected_errors, b.stats().injected_errors);
+  EXPECT_GT(a.stats().injected_errors, 0u);
+  EXPECT_GT(a.stats().injected_spikes, 0u);
+}
+
+TEST(FaultInjectorTest, ResetRewindsTheSequence) {
+  FaultConfig config;
+  config.transient_error_prob = 0.1;
+  config.seed = 7;
+  FaultInjector injector(config);
+  std::vector<bool> first;
+  for (int i = 0; i < 200; ++i) {
+    first.push_back(injector.OnDiskRead(900).transient_error);
+  }
+  injector.Reset();
+  EXPECT_EQ(injector.stats().injected_errors, 0u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(injector.OnDiskRead(900).transient_error, first[i]) << i;
+  }
+}
+
+TEST(FaultInjectorTest, SpikeMagnitudeWithinConfiguredBand) {
+  FaultConfig config;
+  config.tail_latency_prob = 1.0;
+  config.tail_latency_min_mult = 10.0;
+  config.tail_latency_max_mult = 50.0;
+  config.seed = 5;
+  FaultInjector injector(config);
+  for (int i = 0; i < 500; ++i) {
+    const DiskReadFault f = injector.OnDiskRead(900);
+    ASSERT_FALSE(f.transient_error);
+    EXPECT_GE(f.extra_latency_us, 9000u);
+    EXPECT_LT(f.extra_latency_us, 45000u);
+  }
+}
+
+TEST(FaultInjectorTest, RetryBackoffIsCappedExponentialWithJitter) {
+  FaultConfig config;
+  config.transient_error_prob = 0.1;  // enabled
+  config.seed = 3;
+  FaultInjector injector(config);
+  RetryPolicy policy;
+  policy.initial_backoff_us = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 800;
+  for (uint32_t attempt = 1; attempt <= 10; ++attempt) {
+    const SimTime backoff = injector.RetryBackoff(policy, attempt);
+    // Jitter spans [0.5, 1.5) of the capped exponential value.
+    EXPECT_GE(backoff, 50u);
+    EXPECT_LT(backoff, 1200u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fallible read paths: OS cache, buffer pool, I/O scheduler.
+// ---------------------------------------------------------------------------
+
+TEST(FaultyOsCacheTest, TransientErrorLeavesCacheUntouched) {
+  LatencyModel latency;
+  FaultConfig config;
+  config.transient_error_prob = 1.0;
+  FaultInjector injector(config);
+  OsPageCache cache(
+      OsPageCache::Options{.capacity_pages = 64, .readahead_pages = 4},
+      latency);
+  cache.set_fault_injector(&injector);
+  const Result<OsReadResult> r = cache.Read(PageId{1, 10});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(cache.cached_pages(), 0u);
+  EXPECT_EQ(cache.failed_reads(), 1u);
+  // Hits never fault: preload a page with injection off, then re-enable.
+  cache.set_fault_injector(nullptr);
+  ASSERT_TRUE(cache.Read(PageId{2, 0}).ok());
+  cache.set_fault_injector(&injector);
+  const Result<OsReadResult> hit = cache.Read(PageId{2, 0});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->source, AccessSource::kOsCache);
+}
+
+TEST(FaultyBufferPoolTest, ForegroundReadRetriesUntilSuccess) {
+  LatencyModel latency;
+  // 0.3^8 ~ 7e-5: exhausting all 8 attempts is effectively impossible, so
+  // every fetch succeeds after some retries.
+  FaultConfig config;
+  config.transient_error_prob = 0.3;
+  config.seed = 21;
+  FaultInjector injector(config);
+  OsPageCache cache(
+      OsPageCache::Options{.capacity_pages = 256, .readahead_pages = 0},
+      latency);
+  cache.set_fault_injector(&injector);
+  BufferPool pool(BufferPool::Options{.capacity_pages = 64}, &cache,
+                  latency);
+  uint64_t total_retries = 0;
+  for (uint32_t p = 0; p < 100; ++p) {
+    const Result<FetchResult> r = pool.FetchPage(PageId{1, p * 3}, p);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    total_retries += r->retries;
+    if (r->retries > 0) {
+      // Each failed attempt costs at least the device time it burned.
+      EXPECT_GT(r->latency_us,
+                latency.disk_random_read_us * r->retries);
+    }
+  }
+  EXPECT_GT(total_retries, 0u);
+  EXPECT_EQ(pool.stats().read_retries, total_retries);
+  EXPECT_EQ(pool.stats().failed_fetches, 0u);
+}
+
+TEST(FaultyBufferPoolTest, ExhaustedRetriesSurfaceIoError) {
+  LatencyModel latency;
+  FaultConfig config;
+  config.transient_error_prob = 1.0;  // every attempt fails
+  FaultInjector injector(config);
+  OsPageCache cache(OsPageCache::Options{}, latency);
+  cache.set_fault_injector(&injector);
+  BufferPool::Options options;
+  options.capacity_pages = 8;
+  options.retry.max_attempts = 3;
+  BufferPool pool(options, &cache, latency);
+  const Result<FetchResult> r = pool.FetchPage(PageId{1, 0}, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(pool.stats().failed_fetches, 1u);
+  EXPECT_EQ(pool.stats().read_retries, 2u);  // attempts 1 and 2 retried
+  EXPECT_FALSE(pool.Contains(PageId{1, 0}));
+}
+
+TEST(FaultyIoSchedulerTest, StalledChannelDelaysCompletion) {
+  FaultConfig config;
+  config.aio_stall_prob = 1.0;
+  config.aio_stall_us = 5000;
+  FaultInjector injector(config);
+  IoScheduler io(1);
+  io.set_fault_injector(&injector);
+  EXPECT_EQ(io.Schedule(0, 100), 5100u);
+  EXPECT_EQ(injector.stats().injected_stalls, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Replay under faults: correctness of accounting, no lost reads, no leaks.
+// ---------------------------------------------------------------------------
+
+TEST(FaultyReplayTest, QueriesCompleteWithCorrectAccounting) {
+  // 1% transient errors + 0.1% tail spikes: every access must still be
+  // served and counted, with zero pins left behind.
+  const QueryTrace trace = MakeMixedTrace(60, 240);
+  SimEnvironment env(FaultySim(0.01, 0.001));
+  PrefetcherOptions options;
+  options.start_delay_us = 0;
+  const std::vector<PageId> oracle = OraclePages(trace);
+  const ReplayResult r = ReplayQuery(trace, oracle, options, &env);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.completed_accesses, trace.accesses.size());
+  EXPECT_EQ(r.pool_stats.fetches, trace.accesses.size());
+  EXPECT_EQ(r.pool_stats.failed_fetches, 0u);
+  EXPECT_EQ(env.pool().pinned_frames(), 0u);
+  ASSERT_NE(env.fault_injector(), nullptr);
+  EXPECT_GT(env.fault_injector()->stats().disk_reads_probed, 0u);
+}
+
+TEST(FaultyReplayTest, FaultsCostTimeButKeepPrefetchWinning) {
+  const QueryTrace trace = MakeMixedTrace(60, 240);
+
+  SimEnvironment clean(FaultySim(0.0, 0.0));
+  const ReplayResult base =
+      ReplayQuery(trace, {}, PrefetcherOptions{}, &clean);
+
+  SimEnvironment faulty(FaultySim(0.01, 0.001));
+  const ReplayResult dflt =
+      ReplayQuery(trace, {}, PrefetcherOptions{}, &faulty);
+  EXPECT_GE(dflt.elapsed_us, base.elapsed_us);
+
+  faulty.ColdRestart();
+  PrefetcherOptions options;
+  options.start_delay_us = 0;
+  const ReplayResult fetched =
+      ReplayQuery(trace, OraclePages(trace), options, &faulty);
+  ASSERT_TRUE(fetched.status.ok());
+  EXPECT_LT(fetched.elapsed_us, dflt.elapsed_us);
+}
+
+TEST(FaultyReplayTest, DeterministicGivenSeed) {
+  const QueryTrace trace = MakeMixedTrace(40, 200);
+  const std::vector<PageId> oracle = OraclePages(trace);
+  PrefetcherOptions options;
+  options.start_delay_us = 0;
+
+  auto run = [&](uint64_t seed) {
+    SimEnvironment env(FaultySim(0.02, 0.005, seed));
+    return ReplayQuery(trace, oracle, options, &env);
+  };
+  const ReplayResult a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a.elapsed_us, b.elapsed_us);
+  EXPECT_EQ(a.pool_stats.read_retries, b.pool_stats.read_retries);
+  EXPECT_EQ(a.prefetch_stats.dropped_faulty, b.prefetch_stats.dropped_faulty);
+  EXPECT_EQ(a.prefetch_stats.issued, b.prefetch_stats.issued);
+  // A different seed produces a different fault pattern (overwhelmingly).
+  EXPECT_NE(a.elapsed_us, c.elapsed_us);
+}
+
+TEST(FaultyReplayTest, PrefetchDropsAreNeverQueryFailures) {
+  // Massive speculative fault rate: prefetches get dropped, but the
+  // foreground path retries through and the query completes.
+  const QueryTrace trace = MakeMixedTrace(10, 120);
+  SimEnvironment env(FaultySim(0.30, 0.0, 77));
+  PrefetcherOptions options;
+  options.start_delay_us = 0;
+  const ReplayResult r =
+      ReplayQuery(trace, OraclePages(trace), options, &env);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.completed_accesses, trace.accesses.size());
+  EXPECT_GT(r.prefetch_stats.dropped_faulty, 0u);
+  EXPECT_EQ(env.pool().pinned_frames(), 0u);
+}
+
+TEST(FaultyReplayTest, ConcurrentBatchSurvivesFaults) {
+  const QueryTrace t1 = MakeMixedTrace(30, 150);
+  const QueryTrace t2 = MakeMixedTrace(30, 150);
+  SimEnvironment env(FaultySim(0.01, 0.001, 11));
+  ConcurrentQuery a, b;
+  a.trace = &t1;
+  b.trace = &t2;
+  a.prefetch_pages = OraclePages(t1);
+  b.prefetch_pages = OraclePages(t2);
+  a.prefetch_options.start_delay_us = 0;
+  b.prefetch_options.start_delay_us = 0;
+  const ConcurrentResult r = ReplayConcurrent({a, b}, &env);
+  ASSERT_EQ(r.statuses.size(), 2u);
+  EXPECT_TRUE(r.statuses[0].ok());
+  EXPECT_TRUE(r.statuses[1].ok());
+  EXPECT_EQ(env.pool().pinned_frames(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch deadline accounting.
+// ---------------------------------------------------------------------------
+
+TEST(PrefetchTimeoutTest, StaleOutstandingPrefetchesAreWrittenOff) {
+  LatencyModel latency;
+  OsPageCache cache(OsPageCache::Options{.capacity_pages = 1024,
+                                         .readahead_pages = 0},
+                    latency);
+  BufferPool pool(BufferPool::Options{.capacity_pages = 64}, &cache,
+                  latency);
+  IoScheduler io(2);
+  PrefetcherOptions options;
+  options.start_delay_us = 0;
+  options.readahead_window = 4;
+  options.prefetch_timeout_us = 1000;
+  PrefetchSession session({{1, 0}, {1, 1}, {1, 2}, {1, 3}, {1, 4}, {1, 5}},
+                          options, &pool, &cache, &io, latency);
+  session.Pump(0);
+  EXPECT_EQ(session.outstanding(), 4u);
+  EXPECT_GT(pool.pinned_frames(), 0u);
+  // Far past the deadline with nothing consumed: the stale pins are
+  // released and the window slides to the remaining pages.
+  session.Pump(10000);
+  EXPECT_EQ(session.stats().timed_out, 4u);
+  EXPECT_EQ(session.stats().issued, 6u);  // remaining two pages issued
+  session.Finish();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker.
+// ---------------------------------------------------------------------------
+
+TEST(HealthPolicyTest, JudgesFaultAndWasteFractions) {
+  PrefetchHealthPolicy policy;
+  PrefetchSessionStats healthy;
+  healthy.issued = 100;
+  healthy.consumed = 80;
+  EXPECT_TRUE(IsHealthyPrefetch(healthy, policy));
+
+  PrefetchSessionStats faulty = healthy;
+  faulty.dropped_faulty = 60;
+  EXPECT_FALSE(IsHealthyPrefetch(faulty, policy));
+
+  PrefetchSessionStats wasted;
+  wasted.issued = 100;
+  wasted.consumed = 2;
+  EXPECT_FALSE(IsHealthyPrefetch(wasted, policy));
+
+  PrefetchSessionStats tiny;  // below min_attempted: never judged
+  tiny.issued = 3;
+  EXPECT_TRUE(IsHealthyPrefetch(tiny, policy));
+}
+
+TEST(CircuitBreakerTest, TripsUnderSustainedFaultsAndRecovers) {
+  CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_samples = 4;
+  options.failure_threshold = 0.5;
+  options.cooldown_queries = 3;
+  options.required_probe_successes = 2;
+  CircuitBreaker breaker(options);
+
+  // Healthy traffic keeps it closed.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.AllowPrefetch());
+    breaker.Record(true);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  // Sustained faults trip it open: with window 4 and threshold 0.5, the
+  // second unhealthy verdict crosses the line.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(breaker.AllowPrefetch());
+    breaker.Record(false);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+
+  // Open: prefetching denied for the cooldown.
+  EXPECT_FALSE(breaker.AllowPrefetch());
+  EXPECT_FALSE(breaker.AllowPrefetch());
+  EXPECT_FALSE(breaker.AllowPrefetch());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  // Half-open: probes allowed; healthy probes close it again.
+  EXPECT_TRUE(breaker.AllowPrefetch());
+  breaker.Record(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowPrefetch());
+  breaker.Record(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().recoveries, 1u);
+  EXPECT_EQ(breaker.stats().probes, 2u);
+}
+
+TEST(CircuitBreakerTest, UnhealthyProbeReopens) {
+  CircuitBreakerOptions options;
+  options.window = 2;
+  options.min_samples = 2;
+  options.cooldown_queries = 1;
+  CircuitBreaker breaker(options);
+  breaker.Record(false);
+  breaker.Record(false);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.AllowPrefetch());  // cooldown consumed
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowPrefetch());
+  breaker.Record(false);  // probe fails
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 2u);
+}
+
+}  // namespace
+}  // namespace pythia

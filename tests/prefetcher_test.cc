@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "core/prefetcher.h"
+#include "util/rng.h"
 
 namespace pythia {
 namespace {
@@ -170,6 +173,87 @@ TEST_F(PrefetcherTest, PumpAfterFinishDoesNothing) {
   session.Finish();
   session.Pump(10);
   EXPECT_FALSE(pool_.Contains(PageId{1, 1}));
+}
+
+TEST_F(PrefetcherTest, LifecycleIsIdempotent) {
+  // Regression: double-Finish must not double-unpin, and OnFetch/Pump after
+  // Finish must be no-ops rather than resurrecting the session.
+  PrefetcherOptions options;
+  options.start_delay_us = 0;
+  options.readahead_window = 4;
+  PrefetchSession session = MakeSession({{1, 0}, {1, 1}, {1, 2}}, options);
+  session.Pump(0);
+  ASSERT_GT(pool_.pinned_frames(), 0u);
+  session.Finish();
+  EXPECT_EQ(pool_.pinned_frames(), 0u);
+  session.Finish();  // second Finish: no-op, no unpin underflow
+  EXPECT_EQ(pool_.pinned_frames(), 0u);
+  session.OnFetch(PageId{1, 0}, 100);  // stats frozen after Finish
+  EXPECT_EQ(session.stats().consumed, 0u);
+  session.Pump(200);
+  EXPECT_EQ(session.stats().issued, 3u);
+  EXPECT_EQ(pool_.pinned_frames(), 0u);
+}
+
+TEST_F(PrefetcherTest, DestructorFinishesAbandonedSession) {
+  // A session dropped mid-query (e.g. replay aborted on a read error) must
+  // release its pins via RAII, not leak them.
+  {
+    PrefetcherOptions options;
+    options.start_delay_us = 0;
+    options.readahead_window = 4;
+    PrefetchSession session = MakeSession({{1, 0}, {1, 1}, {1, 2}}, options);
+    session.Pump(0);
+    ASSERT_GT(pool_.pinned_frames(), 0u);
+  }  // no explicit Finish
+  EXPECT_EQ(pool_.pinned_frames(), 0u);
+}
+
+TEST_F(PrefetcherTest, PinLeakStressRandomInterleavings) {
+  // Invariant test: under seeded random interleavings of Pump / OnFetch /
+  // Finish — including sessions abandoned mid-flight — the pool must end
+  // every session with zero pinned frames.
+  Pcg32 rng(0xfeedULL, 17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PageId> pages;
+    const uint32_t n = 1 + rng.UniformU32(30);
+    for (uint32_t i = 0; i < n; ++i) {
+      pages.push_back(PageId{1 + rng.UniformU32(3), rng.UniformU32(500)});
+    }
+    PrefetcherOptions options;
+    options.start_delay_us = rng.UniformU32(2) == 0 ? 0 : 100;
+    options.readahead_window = 1 + rng.UniformU32(8);
+    if (rng.UniformU32(3) == 0) options.prefetch_timeout_us = 500;
+
+    {
+      std::optional<PrefetchSession> session(
+          MakeSession(pages, options));
+      SimTime now = 0;
+      const uint32_t ops = rng.UniformU32(40);
+      for (uint32_t op = 0; op < ops; ++op) {
+        now += rng.UniformU32(400);
+        switch (rng.UniformU32(4)) {
+          case 0:
+            session->Pump(now);
+            break;
+          case 1:
+            session->OnFetch(pages[rng.UniformU32(n)], now);
+            break;
+          case 2:
+            session->Pump(now);
+            session->OnFetch(pages[rng.UniformU32(n)], now);
+            break;
+          case 3:
+            if (rng.UniformU32(8) == 0) session->Finish();
+            break;
+        }
+      }
+      if (rng.UniformU32(2) == 0) {
+        session->Finish();  // explicit finish for half the sessions...
+      }
+    }  // ...RAII for the rest (abandoned mid-query)
+    ASSERT_EQ(pool_.pinned_frames(), 0u) << "trial " << trial;
+  }
 }
 
 }  // namespace

@@ -48,14 +48,14 @@ class OsCacheTest : public ::testing::Test {
 };
 
 TEST_F(OsCacheTest, FirstReadIsRandom) {
-  const OsReadResult r = cache_.Read(PageId{1, 10});
+  const OsReadResult r = *cache_.Read(PageId{1, 10});
   EXPECT_EQ(r.source, AccessSource::kDiskRandom);
   EXPECT_EQ(r.latency_us, latency_.disk_random_read_us);
 }
 
 TEST_F(OsCacheTest, SequentialReadDetected) {
   cache_.Read(PageId{1, 10});
-  const OsReadResult r = cache_.Read(PageId{1, 11});
+  const OsReadResult r = *cache_.Read(PageId{1, 11});
   EXPECT_EQ(r.source, AccessSource::kDiskSequential);
   EXPECT_EQ(r.latency_us, latency_.disk_seq_read_us);
 }
@@ -66,7 +66,7 @@ TEST_F(OsCacheTest, ReadaheadFillsFollowingPages) {
   for (uint32_t p = 2; p <= 5; ++p) {
     EXPECT_TRUE(cache_.Contains(PageId{1, p})) << p;
   }
-  const OsReadResult r = cache_.Read(PageId{1, 2});
+  const OsReadResult r = *cache_.Read(PageId{1, 2});
   EXPECT_EQ(r.source, AccessSource::kOsCache);
   EXPECT_EQ(r.latency_us, latency_.os_cache_copy_us);
 }
@@ -80,7 +80,7 @@ TEST_F(OsCacheTest, SequentialRunSurvivesCacheHits) {
   // After the readahead window, page 6 continues the run: sequential again.
   cache_.Read(PageId{1, 4});
   cache_.Read(PageId{1, 5});
-  const OsReadResult r = cache_.Read(PageId{1, 6});
+  const OsReadResult r = *cache_.Read(PageId{1, 6});
   EXPECT_EQ(r.source, AccessSource::kDiskSequential);
 }
 
@@ -88,7 +88,7 @@ TEST_F(OsCacheTest, PerObjectRunTracking) {
   cache_.Read(PageId{1, 10});
   cache_.Read(PageId{2, 11});  // different object: random
   EXPECT_EQ(cache_.random_reads(), 2u);
-  const OsReadResult r = cache_.Read(PageId{1, 11});  // continues object 1
+  const OsReadResult r = *cache_.Read(PageId{1, 11});  // continues object 1
   EXPECT_EQ(r.source, AccessSource::kDiskSequential);
 }
 
@@ -100,7 +100,7 @@ TEST_F(OsCacheTest, DropCachesForgetsEverything) {
   EXPECT_EQ(cache_.cached_pages(), 0u);
   // Run state cleared too: the next read is random even though page 2 would
   // have continued the run.
-  const OsReadResult r = cache_.Read(PageId{1, 2});
+  const OsReadResult r = *cache_.Read(PageId{1, 2});
   EXPECT_EQ(r.source, AccessSource::kDiskRandom);
 }
 

@@ -143,6 +143,65 @@ TEST_F(SystemTest, ColdFlagControlsRestart) {
   EXPECT_EQ(cold2.elapsed_us, cold1.elapsed_us);
 }
 
+TEST_F(SystemTest, BreakerDegradesToDefaultAndRecovers) {
+  CircuitBreakerOptions bopts;
+  bopts.window = 4;
+  bopts.min_samples = 2;
+  bopts.failure_threshold = 0.5;
+  bopts.cooldown_queries = 2;
+  bopts.required_probe_successes = 2;
+  system_->set_breaker_options(bopts);
+  PrefetchHealthPolicy policy;
+  policy.min_attempted = 1;
+  system_->set_health_policy(policy);
+
+  // A 1 us prefetch deadline writes off essentially every outstanding page
+  // as timed out before the query can consume it — sessions look unhealthy
+  // without needing any model or storage faults (kOracle isolates the
+  // breaker from prediction quality).
+  PrefetcherOptions sick;
+  sick.start_delay_us = 0;
+  sick.prefetch_timeout_us = 1;
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+
+  for (int i = 0; i < 8 && system_->breaker().state() == BreakerState::kClosed;
+       ++i) {
+    const QueryRunMetrics m = system_->RunQuery(q, RunMode::kOracle, sick);
+    ASSERT_TRUE(m.status.ok());
+    ASSERT_FALSE(m.degraded_by_breaker);
+    ASSERT_GT(m.prefetch_stats.timed_out, 0u);
+  }
+  ASSERT_EQ(system_->breaker().state(), BreakerState::kOpen);
+  EXPECT_EQ(system_->breaker().stats().trips, 1u);
+
+  // Open: prefetch-eligible queries run as DFLT for the cooldown.
+  for (int i = 0; i < 2; ++i) {
+    const QueryRunMetrics m = system_->RunQuery(q, RunMode::kOracle, sick);
+    EXPECT_TRUE(m.degraded_by_breaker);
+    EXPECT_FALSE(m.engaged);
+    EXPECT_EQ(m.prefetch_stats.issued, 0u);
+  }
+  EXPECT_EQ(system_->robustness().degraded_queries, 2u);
+  EXPECT_EQ(system_->breaker().state(), BreakerState::kHalfOpen);
+
+  // Half-open: probes run with healthy options and close the breaker.
+  PrefetcherOptions healthy;
+  healthy.start_delay_us = 0;
+  for (int i = 0; i < 2; ++i) {
+    const QueryRunMetrics m = system_->RunQuery(q, RunMode::kOracle, healthy);
+    EXPECT_FALSE(m.degraded_by_breaker);
+    EXPECT_TRUE(m.engaged);
+    EXPECT_GT(m.prefetch_stats.consumed, 0u);
+  }
+  EXPECT_EQ(system_->breaker().state(), BreakerState::kClosed);
+  EXPECT_EQ(system_->breaker().stats().recoveries, 1u);
+
+  // Closed again: prefetching is back for good.
+  const QueryRunMetrics m = system_->RunQuery(q, RunMode::kOracle, healthy);
+  EXPECT_FALSE(m.degraded_by_breaker);
+  EXPECT_GT(m.prefetch_stats.issued, 0u);
+}
+
 TEST_F(SystemTest, MatchThresholdAdjustable) {
   system_->set_match_threshold(0.0);
   EXPECT_NE(system_->MatchWorkload(w18_->queries[0]), nullptr);

@@ -56,6 +56,43 @@ TEST(ResultTest, MovesValueType) {
   EXPECT_EQ(**r, 7);
 }
 
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status ChainTwo(int a, int b) {
+  PYTHIA_RETURN_IF_ERROR(FailIfNegative(a));
+  PYTHIA_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::OK();
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::OutOfRange("odd");
+  return v / 2;
+}
+
+Status QuarterEven(int v, int* out) {
+  int half = 0;
+  PYTHIA_ASSIGN_OR_RETURN(half, HalveEven(v));
+  PYTHIA_ASSIGN_OR_RETURN(*out, HalveEven(half));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagatesFirstFailure) {
+  EXPECT_TRUE(ChainTwo(1, 2).ok());
+  EXPECT_EQ(ChainTwo(-1, 2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ChainTwo(1, -2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsOrPropagates) {
+  int out = 0;
+  EXPECT_TRUE(QuarterEven(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(QuarterEven(7, &out).code(), StatusCode::kOutOfRange);  // 1st hop
+  EXPECT_EQ(QuarterEven(6, &out).code(), StatusCode::kOutOfRange);  // 2nd hop
+}
+
 TEST(Pcg32Test, Deterministic) {
   Pcg32 a(1, 2), b(1, 2);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
@@ -147,6 +184,17 @@ TEST(ZipfSamplerTest, NearUniformWhenExponentZero) {
   std::vector<int> counts(10, 0);
   for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
   for (int c : counts) EXPECT_NEAR(c, 5000, 400);
+}
+
+TEST(SafeDivTest, ZeroDenominatorIsZeroNotNanOrInf) {
+  EXPECT_DOUBLE_EQ(SafeDiv(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SafeDiv(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SafeDiv(-5.0, 0.0), 0.0);
+}
+
+TEST(SafeDivTest, OrdinaryDivisionUnchanged) {
+  EXPECT_DOUBLE_EQ(SafeDiv(6.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(SafeDiv(-1.0, 4.0), -0.25);
 }
 
 TEST(MetricsTest, PerfectPrediction) {
