@@ -2,7 +2,16 @@
 // matrix multiply, B-tree lookups, buffer-pool fetches, plan serialization
 // and one-shot model inference. These are wall-clock kernels, not paper
 // figures; they document the cost structure behind the virtual-time model.
+//
+// In addition to the google-benchmark suite, main() first writes
+// BENCH_kernels.json: naive-vs-blocked GEMM throughput at the shapes the
+// inference path actually runs, so the kernel speedup is recorded in a
+// machine-readable artifact.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "bufmgr/buffer_pool.h"
 #include "core/model.h"
@@ -16,14 +25,19 @@
 namespace pythia {
 namespace {
 
+nn::Matrix RandomMatrix(size_t rows, size_t cols, Pcg32* rng) {
+  nn::Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->UniformRange(-1, 1));
+  }
+  return m;
+}
+
 void BM_MatMul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Pcg32 rng(1);
-  nn::Matrix a(n, n), b(n, n);
-  for (size_t i = 0; i < a.size(); ++i) {
-    a.data()[i] = static_cast<float>(rng.UniformRange(-1, 1));
-    b.data()[i] = static_cast<float>(rng.UniformRange(-1, 1));
-  }
+  nn::Matrix a = RandomMatrix(n, n, &rng);
+  nn::Matrix b = RandomMatrix(n, n, &rng);
   for (auto _ : state) {
     nn::Matrix c = nn::MatMul(a, b);
     benchmark::DoNotOptimize(c.data());
@@ -31,6 +45,46 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Pcg32 rng(1);
+  nn::Matrix a = RandomMatrix(n, n, &rng);
+  nn::Matrix b = RandomMatrix(n, n, &rng);
+  for (auto _ : state) {
+    nn::Matrix c = nn::reference::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulNaive)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulBT(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Pcg32 rng(1);
+  nn::Matrix a = RandomMatrix(n, n, &rng);
+  nn::Matrix b = RandomMatrix(n, n, &rng);
+  nn::Matrix c;
+  for (auto _ : state) {
+    nn::MatMulBTInto(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulBT)->Arg(64);
+
+void BM_MatMulBTNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Pcg32 rng(1);
+  nn::Matrix a = RandomMatrix(n, n, &rng);
+  nn::Matrix b = RandomMatrix(n, n, &rng);
+  for (auto _ : state) {
+    nn::Matrix c = nn::reference::MatMulBT(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulBTNaive)->Arg(64);
 
 void BM_BTreeLookup(benchmark::State& state) {
   Catalog catalog;
@@ -119,7 +173,97 @@ void BM_ModelTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelTrainStep);
 
+// ---------------------------------------------------------------------------
+// BENCH_kernels.json: hand-timed naive-vs-blocked GEMM comparison.
+// ---------------------------------------------------------------------------
+
+using GemmFn = nn::Matrix (*)(const nn::Matrix&, const nn::Matrix&);
+
+// Median-of-repeats GFLOP/s for one (m x k) * (k x n) product.
+double MeasureGflops(GemmFn fn, size_t m, size_t k, size_t n) {
+  Pcg32 rng(7);
+  nn::Matrix a = RandomMatrix(m, k, &rng);
+  nn::Matrix b = RandomMatrix(k, n, &rng);
+  // Warm up (also forces one-time SIMD dispatch out of the timed region).
+  for (int i = 0; i < 3; ++i) {
+    nn::Matrix c = fn(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  const double flops = 2.0 * static_cast<double>(m) * k * n;
+  double best_seconds = 1e30;
+  for (int rep = 0; rep < 5; ++rep) {
+    // Enough iterations that one rep is comfortably above timer noise.
+    const int iters = std::max(1, static_cast<int>(2e7 / flops) * 10);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      nn::Matrix c = fn(a, b);
+      benchmark::DoNotOptimize(c.data());
+    }
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        iters;
+    best_seconds = std::min(best_seconds, s);
+  }
+  return flops / best_seconds / 1e9;
+}
+
+nn::Matrix MatMulBTWrap(const nn::Matrix& a, const nn::Matrix& b) {
+  return nn::MatMulBT(a, b);
+}
+nn::Matrix MatMulATWrap(const nn::Matrix& a, const nn::Matrix& b) {
+  return nn::MatMulAT(a, b);
+}
+
+void WriteKernelBenchJson(const char* path) {
+  struct Entry {
+    const char* name;
+    GemmFn fast;
+    GemmFn naive;
+    size_t m, k, n;
+  };
+  // 40x64 * 64x64 is the encoder projection shape of a 40-token plan at
+  // the default embed_dim; the square shapes bracket it.
+  const Entry entries[] = {
+      {"matmul_64", nn::MatMul, nn::reference::MatMul, 64, 64, 64},
+      {"matmul_plan_40x64x64", nn::MatMul, nn::reference::MatMul, 40, 64, 64},
+      {"matmul_128", nn::MatMul, nn::reference::MatMul, 128, 128, 128},
+      {"matmul_bt_64", MatMulBTWrap, nn::reference::MatMulBT, 64, 64, 64},
+      {"matmul_at_64", MatMulATWrap, nn::reference::MatMulAT, 64, 64, 64},
+  };
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"simd_enabled\": %s,\n  \"kernels\": [\n",
+               nn::SimdKernelsEnabled() ? "true" : "false");
+  bool first = true;
+  for (const Entry& e : entries) {
+    const double fast = MeasureGflops(e.fast, e.m, e.k, e.n);
+    const double naive = MeasureGflops(e.naive, e.m, e.k, e.n);
+    std::fprintf(f,
+                 "%s    {\"name\": \"%s\", \"shape\": [%zu, %zu, %zu], "
+                 "\"naive_gflops\": %.3f, \"fast_gflops\": %.3f, "
+                 "\"speedup\": %.2f}",
+                 first ? "" : ",\n", e.name, e.m, e.k, e.n, naive, fast,
+                 fast / naive);
+    first = false;
+    std::fprintf(stderr, "%-24s naive %7.3f GF/s  fast %7.3f GF/s  %.2fx\n",
+                 e.name, naive, fast, fast / naive);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 }  // namespace pythia
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pythia::WriteKernelBenchJson("BENCH_kernels.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

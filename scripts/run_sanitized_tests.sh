@@ -1,15 +1,35 @@
 #!/usr/bin/env bash
-# Builds the tree with -DPYTHIA_SANITIZE=ON (ASan + UBSan, non-recoverable)
-# and runs the tier-1 ctest suite under it, so the fault-injection and
-# error-propagation paths are exercised sanitized.
+# Builds the tree with -DPYTHIA_SANITIZE=ON and runs the tier-1 ctest suite
+# under the selected sanitizer.
 #
 #   scripts/run_sanitized_tests.sh [extra ctest args...]
+#
+# PYTHIA_SANITIZE selects the sanitizer:
+#   (unset) | address   ASan + UBSan, non-recoverable — the fault-injection
+#                       and error-propagation paths
+#   thread  | tsan      ThreadSanitizer — the ThreadPool-driven parallel
+#                       training and inference paths
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-sanitize
+case "${PYTHIA_SANITIZE:-address}" in
+  thread|tsan)
+    MODE=thread
+    BUILD_DIR=build-sanitize-thread
+    ;;
+  address|asan|1|ON|on)
+    MODE=address
+    BUILD_DIR=build-sanitize
+    ;;
+  *)
+    echo "unknown PYTHIA_SANITIZE mode: ${PYTHIA_SANITIZE}" >&2
+    exit 2
+    ;;
+esac
+
 cmake -B "${BUILD_DIR}" -S . \
   -DPYTHIA_SANITIZE=ON \
+  -DPYTHIA_SANITIZE_MODE="${MODE}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"

@@ -55,17 +55,31 @@ double PythiaModel::TrainStep(const std::vector<int32_t>& tokens,
 
 std::vector<uint32_t> PythiaModel::Predict(const std::vector<int32_t>& tokens,
                                            float threshold) {
-  nn::Matrix logits = Forward(tokens);
   std::vector<uint32_t> out;
+  PredictInto(tokens, threshold, &out);
+  return out;
+}
+
+void PythiaModel::PredictInto(const std::vector<int32_t>& tokens,
+                              float threshold, std::vector<uint32_t>* out) {
+  out->clear();
+  nn::Matrix x = pos_encoding_.Forward(embedding_.Forward(tokens));
+  nn::Matrix encoded = encoder_.Forward(x);
+  repr_scratch_.Resize(1, config_.embed_dim);
+  const float* last = encoded.row(encoded.rows() - 1);
+  for (size_t c = 0; c < config_.embed_dim; ++c) {
+    repr_scratch_.at(0, c) = last[c];
+  }
+  // Fused decoder: matmul+bias+relu, then matmul+bias, all into scratch.
+  decoder1_.ApplyRelu(repr_scratch_, &hidden_scratch_);
+  decoder2_.Apply(hidden_scratch_, &logits_scratch_);
   // sigmoid(x) >= t  <=>  x >= log(t / (1-t)); avoids per-page exp calls.
-  const float logit_threshold =
-      std::log(threshold / (1.0f - threshold));
+  const float logit_threshold = std::log(threshold / (1.0f - threshold));
   for (size_t i = 0; i < config_.num_outputs; ++i) {
-    if (logits.at(0, i) >= logit_threshold) {
-      out.push_back(static_cast<uint32_t>(i));
+    if (logits_scratch_.at(0, i) >= logit_threshold) {
+      out->push_back(static_cast<uint32_t>(i));
     }
   }
-  return out;
 }
 
 nn::ParamList PythiaModel::Params() {

@@ -52,6 +52,15 @@ class PythiaModel {
   std::vector<uint32_t> Predict(const std::vector<int32_t>& tokens,
                                 float threshold = 0.5f);
 
+  // Inference fast path: same arithmetic as Predict, but the decoder runs
+  // through fused matmul+bias(+relu) kernels into member scratch and the
+  // result lands in a caller-owned buffer, so the decoder stage allocates
+  // nothing in steady state (the encoder's layer scratch is reused the
+  // same way inside nn/). Used by WorkloadModel::Predict, once per model
+  // unit per query.
+  void PredictInto(const std::vector<int32_t>& tokens, float threshold,
+                   std::vector<uint32_t>* out);
+
   nn::ParamList Params();
   const PythiaModelConfig& config() const { return config_; }
 
@@ -68,6 +77,11 @@ class PythiaModel {
   nn::Relu relu_;
   nn::Linear decoder2_;
   size_t last_seq_len_ = 0;
+
+  // PredictInto scratch (query representation, decoder hidden, logits).
+  nn::Matrix repr_scratch_;
+  nn::Matrix hidden_scratch_;
+  nn::Matrix logits_scratch_;
 };
 
 }  // namespace pythia

@@ -1,0 +1,54 @@
+#include "core/prediction_cache.h"
+
+namespace pythia {
+
+std::string PredictionCache::PlanKey(
+    const std::vector<std::string>& tokens) {
+  size_t total = tokens.size();  // separators (one per token, incl. trailing)
+  for (const std::string& t : tokens) total += t.size();
+  std::string key;
+  key.reserve(total);
+  for (const std::string& t : tokens) {
+    key += t;
+    key += '\x1f';
+  }
+  return key;
+}
+
+bool PredictionCache::Lookup(const PredictionKey& key,
+                             std::vector<PageId>* pages) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  *pages = entries_.front().second;
+  return true;
+}
+
+void PredictionCache::Insert(const PredictionKey& key,
+                             std::vector<PageId> pages) {
+  if (capacity_ == 0) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(pages);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    index_.erase(entries_.back().first);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  entries_.emplace_front(key, std::move(pages));
+  index_[key] = entries_.begin();
+}
+
+void PredictionCache::Clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+}  // namespace pythia

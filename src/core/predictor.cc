@@ -1,14 +1,15 @@
 #include "core/predictor.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <numeric>
-#include <thread>
 
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace pythia {
 
@@ -151,89 +152,77 @@ Result<WorkloadModel> WorkloadModel::Train(const Database& db,
     encoded[i] = wm.vocab_.Encode(workload.queries[train[i]].tokens);
   }
 
-  // Train units in parallel.
+  // Train units in parallel on the shared pool. Each invocation touches
+  // only unit u's state, so the schedule cannot affect the result.
   wm.units_.resize(unit_outputs.size());
   std::vector<double> final_losses(unit_outputs.size(), 0.0);
-  std::atomic<size_t> next_unit{0};
-  auto worker = [&]() {
-    for (;;) {
-      const size_t u = next_unit.fetch_add(1);
-      if (u >= unit_outputs.size()) return;
-      const std::vector<PageId>& outputs = unit_outputs[u];
+  auto train_unit = [&](size_t u) {
+    const std::vector<PageId>& outputs = unit_outputs[u];
 
-      // Per-query positive output indices for this unit.
-      std::unordered_map<PageId, uint32_t> to_output;
-      to_output.reserve(outputs.size());
-      for (uint32_t i = 0; i < outputs.size(); ++i) {
-        to_output[outputs[i]] = i;
-      }
-      std::vector<std::vector<uint32_t>> positives(train.size());
-      for (size_t i = 0; i < train.size(); ++i) {
-        for (const auto& [object, pages] : labels[i]) {
-          for (uint32_t p : pages) {
-            auto it = to_output.find(PageId{object, p});
-            if (it != to_output.end()) positives[i].push_back(it->second);
-          }
+    // Per-query positive output indices for this unit.
+    std::unordered_map<PageId, uint32_t> to_output;
+    to_output.reserve(outputs.size());
+    for (uint32_t i = 0; i < outputs.size(); ++i) {
+      to_output[outputs[i]] = i;
+    }
+    std::vector<std::vector<uint32_t>> positives(train.size());
+    for (size_t i = 0; i < train.size(); ++i) {
+      for (const auto& [object, pages] : labels[i]) {
+        for (uint32_t p : pages) {
+          auto it = to_output.find(PageId{object, p});
+          if (it != to_output.end()) positives[i].push_back(it->second);
         }
       }
+    }
 
-      PythiaModelConfig config;
-      config.vocab_size = wm.vocab_.size();
-      config.num_outputs = outputs.size();
-      config.embed_dim = options.embed_dim;
-      config.num_heads = options.num_heads;
-      config.ffn_dim = options.ffn_dim;
-      config.num_layers = options.num_layers;
-      config.decoder_hidden = options.decoder_hidden;
-      config.pos_weight = options.pos_weight;
-      config.seed = options.seed + 31 * u;
+    PythiaModelConfig config;
+    config.vocab_size = wm.vocab_.size();
+    config.num_outputs = outputs.size();
+    config.embed_dim = options.embed_dim;
+    config.num_heads = options.num_heads;
+    config.ffn_dim = options.ffn_dim;
+    config.num_layers = options.num_layers;
+    config.decoder_hidden = options.decoder_hidden;
+    config.pos_weight = options.pos_weight;
+    config.seed = options.seed + 31 * u;
 
-      Unit& unit = wm.units_[u];
-      unit.model = std::make_unique<PythiaModel>(config);
-      unit.output_pages = outputs;
+    Unit& unit = wm.units_[u];
+    unit.model = std::make_unique<PythiaModel>(config);
+    unit.output_pages = outputs;
 
-      nn::Adam::Options adam;
-      adam.lr = options.lr;
-      nn::Adam optimizer(unit.model->Params(), adam);
+    nn::Adam::Options adam;
+    adam.lr = options.lr;
+    nn::Adam optimizer(unit.model->Params(), adam);
 
-      Pcg32 rng(options.seed + 1000 + u, /*stream=*/0x7a1);
-      std::vector<size_t> order(train.size());
-      std::iota(order.begin(), order.end(), 0u);
-      const size_t batch = std::max<size_t>(1, options.batch_size);
-      double last_epoch_loss = 0.0;
-      for (int epoch = 0; epoch < options.epochs; ++epoch) {
-        rng.Shuffle(&order);
-        double epoch_loss = 0.0;
-        size_t in_batch = 0;
-        for (size_t i : order) {
-          epoch_loss += unit.model->TrainStep(encoded[i], positives[i]);
-          if (++in_batch == batch) {
-            optimizer.ScaleGrads(1.0f / in_batch);
-            optimizer.ClipGradNorm(options.grad_clip);
-            optimizer.Step();
-            in_batch = 0;
-          }
-        }
-        if (in_batch > 0) {
+    Pcg32 rng(options.seed + 1000 + u, /*stream=*/0x7a1);
+    std::vector<size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0u);
+    const size_t batch = std::max<size_t>(1, options.batch_size);
+    double last_epoch_loss = 0.0;
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+      rng.Shuffle(&order);
+      double epoch_loss = 0.0;
+      size_t in_batch = 0;
+      for (size_t i : order) {
+        epoch_loss += unit.model->TrainStep(encoded[i], positives[i]);
+        if (++in_batch == batch) {
           optimizer.ScaleGrads(1.0f / in_batch);
           optimizer.ClipGradNorm(options.grad_clip);
           optimizer.Step();
+          in_batch = 0;
         }
-        last_epoch_loss = epoch_loss / order.size();
       }
-      final_losses[u] = last_epoch_loss;
+      if (in_batch > 0) {
+        optimizer.ScaleGrads(1.0f / in_batch);
+        optimizer.ClipGradNorm(options.grad_clip);
+        optimizer.Step();
+      }
+      last_epoch_loss = epoch_loss / order.size();
     }
+    final_losses[u] = last_epoch_loss;
   };
-
-  size_t num_threads = options.num_threads > 0
-                           ? options.num_threads
-                           : std::thread::hardware_concurrency();
-  num_threads = std::max<size_t>(1, std::min(num_threads,
-                                             unit_outputs.size()));
-  std::vector<std::thread> threads;
-  for (size_t t = 0; t + 1 < num_threads; ++t) threads.emplace_back(worker);
-  worker();
-  for (std::thread& t : threads) t.join();
+  ThreadPool::Global().ParallelFor(0, unit_outputs.size(), train_unit,
+                                   options.num_threads);
 
   // Report.
   wm.report_.num_models = wm.units_.size();
@@ -253,9 +242,19 @@ Result<WorkloadModel> WorkloadModel::Train(const Database& db,
 std::unordered_set<PageId> WorkloadModel::Predict(
     const std::vector<std::string>& tokens) {
   const std::vector<int32_t> encoded = vocab_.Encode(tokens);
+  // Per-unit inference fans out on the shared pool; each lane writes only
+  // its unit's pred_scratch, and the merge below walks units in order, so
+  // the result set is identical to a sequential loop.
+  ThreadPool::Global().ParallelFor(
+      0, units_.size(),
+      [&](size_t u) {
+        units_[u].model->PredictInto(encoded, options_.threshold,
+                                     &units_[u].pred_scratch);
+      },
+      options_.num_threads);
   std::unordered_set<PageId> out;
   for (Unit& unit : units_) {
-    for (uint32_t idx : unit.model->Predict(encoded, options_.threshold)) {
+    for (uint32_t idx : unit.pred_scratch) {
       out.insert(unit.output_pages[idx]);
     }
   }
@@ -292,7 +291,9 @@ double WorkloadModel::MatchScore(const std::vector<std::string>& tokens,
 namespace {
 
 constexpr uint32_t kModelMagic = 0x5059574d;  // "PYWM"
-constexpr uint32_t kModelVersion = 1;
+// Version 2: GEMM kernels were rewritten (blocked/FMA); numerics differ
+// slightly from version-1 checkpoints, so old caches must retrain.
+constexpr uint32_t kModelVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -323,27 +324,12 @@ bool ReadString(std::FILE* f, std::string* s) {
   return std::fread(s->data(), 1, len, f) == len;
 }
 
-// FNV-1a over raw bytes, for configuration fingerprints.
-uint64_t FnvMix(uint64_t h, const void* data, size_t len) {
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-template <typename T>
-uint64_t FnvPod(uint64_t h, const T& v) {
-  return FnvMix(h, &v, sizeof(v));
-}
-
 }  // namespace
 
 uint64_t WorkloadModel::Fingerprint(const PredictorOptions& options,
                                     const Workload& workload,
                                     uint64_t db_pages) {
-  uint64_t h = 14695981039346656037ULL;
+  uint64_t h = kFnvOffsetBasis;
   h = FnvPod(h, kModelVersion);
   h = FnvPod(h, options.embed_dim);
   h = FnvPod(h, options.num_heads);

@@ -8,8 +8,10 @@
 //  - optional top-k mode where each model only predicts the k most
 //    frequently accessed pages of its object (Figure 12h ablation).
 //
-// Training is embarrassingly parallel across model units and runs on
-// std::thread workers.
+// Training is embarrassingly parallel across model units and runs on the
+// shared ThreadPool (util/thread_pool.h), as does per-unit inference in
+// Predict. Each unit only ever touches its own state and results merge in
+// unit order, so parallel runs are bit-identical to sequential ones.
 #ifndef PYTHIA_CORE_PREDICTOR_H_
 #define PYTHIA_CORE_PREDICTOR_H_
 
@@ -102,8 +104,16 @@ class WorkloadModel {
   uint64_t fingerprint() const { return fingerprint_; }
   void set_fingerprint(uint64_t f) { fingerprint_ = f; }
   // Prediction threshold may be adjusted after training (threshold sweeps
-  // reuse one trained model).
-  void set_threshold(float t) { options_.threshold = t; }
+  // reuse one trained model). Bumps the revision so memoized predictions
+  // for the old threshold are never served (core/prediction_cache.h).
+  void set_threshold(float t) {
+    options_.threshold = t;
+    ++revision_;
+  }
+
+  // Monotonic counter identifying the model's current predictive behaviour;
+  // any mutation that can change Predict's output must bump it.
+  uint64_t revision() const { return revision_; }
 
   TemplateId template_id() const { return template_id_; }
   const TrainReport& report() const { return report_; }
@@ -116,6 +126,9 @@ class WorkloadModel {
   struct Unit {
     std::unique_ptr<PythiaModel> model;
     std::vector<PageId> output_pages;  // output index -> page
+    // Per-unit prediction buffer reused across queries (written only by
+    // the ParallelFor lane owning this unit, merged in unit order).
+    std::vector<uint32_t> pred_scratch;
   };
 
   WorkloadModel() = default;
@@ -129,6 +142,7 @@ class WorkloadModel {
   std::unordered_set<std::string> structure_profile_;
   TrainReport report_;
   uint64_t fingerprint_ = 0;
+  uint64_t revision_ = 0;
 };
 
 // Loads a cached model from `cache_path` when its fingerprint matches the

@@ -57,16 +57,34 @@ std::vector<PageId> PythiaSystem::PrefetchPlan(const WorkloadQuery& query,
     case RunMode::kPythia: {
       WorkloadModel* model = MatchWorkload(query);
       if (model == nullptr) return {};
-      std::unordered_set<PageId> predicted = model->Predict(query.tokens);
-      const std::unordered_set<PageId> truth = model->RestrictToModeled(
-          ProcessTrace(query.trace, model->options().removal));
+      uint64_t model_id = 0;
+      for (size_t i = 0; i < entries_.size(); ++i) {
+        if (&entries_[i]->model == model) {
+          model_id = i;
+          break;
+        }
+      }
+      PredictionKey key{model_id, model->revision(),
+                        PredictionCache::PlanKey(query.tokens)};
+      std::vector<PageId> pages;
+      if (!prediction_cache_.Lookup(key, &pages)) {
+        // Miss: run the per-unit transformer forwards and memoize the
+        // sorted page list. Predict is deterministic, so a later hit is
+        // bit-identical to recomputing.
+        std::unordered_set<PageId> predicted = model->Predict(query.tokens);
+        pages.assign(predicted.begin(), predicted.end());
+        std::sort(pages.begin(), pages.end());
+        prediction_cache_.Insert(key, pages);
+      }
       if (metrics != nullptr) {
+        const std::unordered_set<PageId> predicted(pages.begin(),
+                                                   pages.end());
+        const std::unordered_set<PageId> truth = model->RestrictToModeled(
+            ProcessTrace(query.trace, model->options().removal));
         metrics->engaged = true;
         metrics->accuracy = ComputeSetMetrics(predicted, truth);
-        metrics->predicted_pages = predicted.size();
+        metrics->predicted_pages = pages.size();
       }
-      std::vector<PageId> pages(predicted.begin(), predicted.end());
-      std::sort(pages.begin(), pages.end());
       return pages;
     }
     case RunMode::kNearestNeighbor: {

@@ -14,6 +14,7 @@
 
 #include "core/baselines.h"
 #include "core/circuit_breaker.h"
+#include "core/prediction_cache.h"
 #include "core/predictor.h"
 #include "core/replay.h"
 #include "util/metrics.h"
@@ -85,6 +86,15 @@ class PythiaSystem {
   // storage-level injection counts come from the environment's injector).
   const RobustnessCounters& robustness() const { return robustness_; }
 
+  // Plan-fingerprint memoization of RunMode::kPythia prefetch plans.
+  // A repeated (model, revision, plan) triple skips all transformer
+  // forwards and reuses the cached sorted page list; set_threshold on a
+  // model bumps its revision, which invalidates its cached plans.
+  PredictionCache& prediction_cache() { return prediction_cache_; }
+  const PredictionCacheStats& prediction_cache_stats() const {
+    return prediction_cache_.stats();
+  }
+
  private:
   struct Entry {
     Entry(WorkloadModel&& m, std::unique_ptr<NearestNeighborBaseline> n)
@@ -99,6 +109,7 @@ class PythiaSystem {
   CircuitBreaker breaker_;
   PrefetchHealthPolicy health_policy_;
   RobustnessCounters robustness_;
+  PredictionCache prediction_cache_;
 };
 
 }  // namespace pythia

@@ -19,14 +19,20 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name,
       out_proj_(name + ".o", model_dim, model_dim, rng) {}
 
 Matrix MultiHeadSelfAttention::SliceHead(const Matrix& m, size_t head) const {
-  Matrix out(m.rows(), head_dim_);
+  Matrix out;
+  SliceHeadInto(m, head, &out);
+  return out;
+}
+
+void MultiHeadSelfAttention::SliceHeadInto(const Matrix& m, size_t head,
+                                           Matrix* out) const {
+  out->Resize(m.rows(), head_dim_);
   const size_t off = head * head_dim_;
   for (size_t r = 0; r < m.rows(); ++r) {
     const float* src = m.row(r) + off;
-    float* dst = out.row(r);
+    float* dst = out->row(r);
     for (size_t c = 0; c < head_dim_; ++c) dst[c] = src[c];
   }
-  return out;
 }
 
 void MultiHeadSelfAttention::AccumulateHead(Matrix* m, const Matrix& part,
@@ -45,27 +51,27 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x) {
   k_ = k_proj_.Forward(x);
   v_ = v_proj_.Forward(x);
 
-  attn_probs_.assign(num_heads_, Matrix());
+  attn_probs_.resize(num_heads_);
   Matrix concat(t, model_dim_);
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   for (size_t h = 0; h < num_heads_; ++h) {
-    Matrix qh = SliceHead(q_, h);
-    Matrix kh = SliceHead(k_, h);
-    Matrix vh = SliceHead(v_, h);
-    Matrix scores = MatMulBT(qh, kh);
-    scores *= scale;
+    SliceHeadInto(q_, h, &qh_);
+    SliceHeadInto(k_, h, &kh_);
+    SliceHeadInto(v_, h, &vh_);
+    // Scores with the 1/sqrt(d) scale fused into the GEMM epilogue.
+    MatMulBTInto(qh_, kh_, &scores_, scale);
     if (causal_) {
       // Future positions must not influence the prediction at position r.
       for (size_t r = 0; r < t; ++r) {
-        float* srow = scores.row(r);
+        float* srow = scores_.row(r);
         for (size_t c = r + 1; c < t; ++c) {
           srow[c] = -std::numeric_limits<float>::infinity();
         }
       }
     }
-    attn_probs_[h] = SoftmaxRows(scores);
-    Matrix oh = MatMul(attn_probs_[h], vh);
-    AccumulateHead(&concat, oh, h);
+    SoftmaxRowsInto(scores_, &attn_probs_[h]);
+    MatMulInto(attn_probs_[h], vh_, &oh_);
+    AccumulateHead(&concat, oh_, h);
   }
   return out_proj_.Forward(concat);
 }

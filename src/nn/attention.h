@@ -32,6 +32,8 @@ class MultiHeadSelfAttention {
  private:
   // Extracts columns [head*head_dim, (head+1)*head_dim) of `m`.
   Matrix SliceHead(const Matrix& m, size_t head) const;
+  // Same, into reusable scratch storage (no allocation in steady state).
+  void SliceHeadInto(const Matrix& m, size_t head, Matrix* out) const;
   // Adds `part` into the head-th column block of `m`.
   void AccumulateHead(Matrix* m, const Matrix& part, size_t head) const;
 
@@ -48,6 +50,10 @@ class MultiHeadSelfAttention {
   // Forward caches.
   Matrix q_, k_, v_;                 // (T x model_dim) each
   std::vector<Matrix> attn_probs_;   // per head, (T x T)
+
+  // Per-head scratch reused across heads and calls (T x head_dim / T x T);
+  // the forward pass allocates nothing once these reach steady-state size.
+  Matrix qh_, kh_, vh_, scores_, oh_;
 };
 
 }  // namespace pythia::nn

@@ -1,6 +1,7 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace pythia::nn {
 
@@ -15,8 +16,7 @@ Matrix Embedding::Forward(const std::vector<int32_t>& token_ids) {
   Matrix out(token_ids.size(), dim());
   for (size_t t = 0; t < token_ids.size(); ++t) {
     const float* src = table_.value.row(static_cast<size_t>(token_ids[t]));
-    float* dst = out.row(t);
-    for (size_t c = 0; c < dim(); ++c) dst[c] = src[c];
+    std::memcpy(out.row(t), src, dim() * sizeof(float));
   }
   return out;
 }
@@ -36,18 +36,26 @@ Linear::Linear(std::string name, size_t in_dim, size_t out_dim, Pcg32* rng)
 
 Matrix Linear::Forward(const Matrix& x) {
   last_input_ = x;
-  Matrix out = MatMul(x, weight_.value);
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float* o = out.row(r);
-    const float* b = bias_.value.row(0);
-    for (size_t c = 0; c < out.cols(); ++c) o[c] += b[c];
-  }
+  Matrix out;
+  MatMulInto(x, weight_.value, &out);
+  AddBiasInPlace(&out, bias_.value);
   return out;
 }
 
+void Linear::Apply(const Matrix& x, Matrix* out) const {
+  MatMulInto(x, weight_.value, out);
+  AddBiasInPlace(out, bias_.value);
+}
+
+void Linear::ApplyRelu(const Matrix& x, Matrix* out) const {
+  MatMulInto(x, weight_.value, out);
+  AddBiasReluInPlace(out, bias_.value);
+}
+
 Matrix Linear::Backward(const Matrix& grad_out) {
-  // dW = x^T g ; db = column-sum(g) ; dx = g W^T.
-  weight_.grad += MatMulAT(last_input_, grad_out);
+  // dW = x^T g ; db = column-sum(g) ; dx = g W^T. The dW product
+  // accumulates straight into the gradient, skipping a temporary.
+  MatMulATAccum(last_input_, grad_out, &weight_.grad);
   for (size_t r = 0; r < grad_out.rows(); ++r) {
     const float* g = grad_out.row(r);
     float* b = bias_.grad.row(0);
@@ -127,10 +135,14 @@ Matrix LayerNorm::Backward(const Matrix& grad_out) {
 }
 
 Matrix Relu::Forward(const Matrix& x) {
-  last_input_ = x;
   Matrix out = x;
+  mask_.resize(out.size());
   for (size_t i = 0; i < out.size(); ++i) {
-    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+    // Pass-mask: input > 0. Matches the old "input <= 0 blocks the
+    // gradient" convention without keeping a copy of the whole input.
+    const bool pass = out.data()[i] > 0.0f;
+    mask_[i] = pass;
+    if (!pass) out.data()[i] = 0.0f;
   }
   return out;
 }
@@ -138,7 +150,7 @@ Matrix Relu::Forward(const Matrix& x) {
 Matrix Relu::Backward(const Matrix& grad_out) {
   Matrix out = grad_out;
   for (size_t i = 0; i < out.size(); ++i) {
-    if (last_input_.data()[i] <= 0.0f) out.data()[i] = 0.0f;
+    if (!mask_[i]) out.data()[i] = 0.0f;
   }
   return out;
 }

@@ -42,6 +42,14 @@ class Linear {
   Matrix Forward(const Matrix& x);
   Matrix Backward(const Matrix& grad_out);
 
+  // Inference-only forward passes into caller-owned scratch: fused
+  // matmul+bias (Apply) and matmul+bias+relu (ApplyRelu). They skip the
+  // input cache, so Backward must not be called after them. Arithmetic is
+  // identical to Forward (and Forward-then-Relu), so predictions match the
+  // training-path forward bit for bit.
+  void Apply(const Matrix& x, Matrix* out) const;
+  void ApplyRelu(const Matrix& x, Matrix* out) const;
+
   ParamList Params() { return {&weight_, &bias_}; }
   size_t in_dim() const { return weight_.value.rows(); }
   size_t out_dim() const { return weight_.value.cols(); }
@@ -70,14 +78,15 @@ class LayerNorm {
   std::vector<float> last_inv_std_;
 };
 
-// Rectified linear unit. Stateless apart from the forward mask.
+// Rectified linear unit. Stateless apart from the forward mask (one byte
+// per element instead of a full matrix copy of the input).
 class Relu {
  public:
   Matrix Forward(const Matrix& x);
   Matrix Backward(const Matrix& grad_out);
 
  private:
-  Matrix last_input_;
+  std::vector<uint8_t> mask_;  // 1 where the forward input was positive
 };
 
 }  // namespace pythia::nn

@@ -1,0 +1,59 @@
+// Reference GEMM kernels: the original naive scalar triple loops, verbatim.
+//
+// Kept in their own translation unit, compiled with the project's base
+// flags, so they stay exactly what the optimized kernels in matrix.cc are
+// measured against (bench_micro_kernels) and tested against
+// (tests/nn_kernels_test.cc). Do not optimize these.
+#include "nn/matrix.h"
+
+namespace pythia::nn::reference {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulBT(const Matrix& a, const Matrix& b) {
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix out(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix MatMulAT(const Matrix& a, const Matrix& b) {
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix out(m, n);
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace pythia::nn::reference

@@ -1,0 +1,37 @@
+// FNV-1a 64-bit hashing, shared by the model-cache fingerprint
+// (core/predictor.cc) and the plan-fingerprint prediction memoization
+// (core/prediction_cache.h). Not cryptographic; callers that need
+// correctness under collisions must store and compare the full key.
+#ifndef PYTHIA_UTIL_HASH_H_
+#define PYTHIA_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pythia {
+
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+inline uint64_t FnvMix(uint64_t h, const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+uint64_t FnvPod(uint64_t h, const T& v) {
+  return FnvMix(h, &v, sizeof(v));
+}
+
+inline uint64_t FnvString(uint64_t h, std::string_view s) {
+  return FnvMix(h, s.data(), s.size());
+}
+
+}  // namespace pythia
+
+#endif  // PYTHIA_UTIL_HASH_H_

@@ -38,6 +38,15 @@ struct RobustnessCounters {
   uint64_t degraded_queries = 0;    // queries forced to the plain bufmgr
 };
 
+// Counters for the plan-fingerprint prediction memoization cache
+// (core/prediction_cache.h). An eviction is counted when an insert pushes
+// out the least recently used entry, not when Clear() drops everything.
+struct PredictionCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
 struct PrecisionRecall {
   double precision = 0.0;
   double recall = 0.0;

@@ -1,0 +1,157 @@
+// Prediction-memoization tests: LRU mechanics and counters on the cache
+// itself, and end-to-end through PythiaSystem — a repeated plan must be
+// served bit-identically from the cache, and a model mutation (threshold
+// change) must invalidate it via the revision key component.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/prediction_cache.h"
+#include "core/predictor.h"
+#include "core/system.h"
+#include "workload/generator.h"
+
+namespace pythia {
+namespace {
+
+PredictionKey Key(uint64_t model_id, uint64_t revision,
+                  const std::string& plan) {
+  return PredictionKey{model_id, revision, plan};
+}
+
+std::vector<PageId> Pages(std::initializer_list<uint32_t> pages) {
+  std::vector<PageId> out;
+  for (uint32_t p : pages) out.push_back(PageId{1, p});
+  return out;
+}
+
+TEST(PredictionCacheTest, MissThenHit) {
+  PredictionCache cache(4);
+  std::vector<PageId> got;
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, "a"), &got));
+  cache.Insert(Key(0, 0, "a"), Pages({1, 2, 3}));
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, "a"), &got));
+  EXPECT_EQ(got, Pages({1, 2, 3}));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(PredictionCacheTest, KeyComponentsAllMatter) {
+  PredictionCache cache(8);
+  cache.Insert(Key(0, 0, "a"), Pages({1}));
+  std::vector<PageId> got;
+  EXPECT_FALSE(cache.Lookup(Key(1, 0, "a"), &got));  // other model
+  EXPECT_FALSE(cache.Lookup(Key(0, 1, "a"), &got));  // other revision
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, "b"), &got));  // other plan
+  EXPECT_TRUE(cache.Lookup(Key(0, 0, "a"), &got));
+}
+
+TEST(PredictionCacheTest, EvictsLeastRecentlyUsed) {
+  PredictionCache cache(2);
+  cache.Insert(Key(0, 0, "a"), Pages({1}));
+  cache.Insert(Key(0, 0, "b"), Pages({2}));
+  std::vector<PageId> got;
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, "a"), &got));  // a is now MRU
+  cache.Insert(Key(0, 0, "c"), Pages({3}));         // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(Key(0, 0, "a"), &got));
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, "b"), &got));
+  EXPECT_TRUE(cache.Lookup(Key(0, 0, "c"), &got));
+}
+
+TEST(PredictionCacheTest, InsertOverwritesInPlace) {
+  PredictionCache cache(2);
+  cache.Insert(Key(0, 0, "a"), Pages({1}));
+  cache.Insert(Key(0, 0, "a"), Pages({9, 10}));
+  EXPECT_EQ(cache.size(), 1u);
+  std::vector<PageId> got;
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, "a"), &got));
+  EXPECT_EQ(got, Pages({9, 10}));
+}
+
+TEST(PredictionCacheTest, ZeroCapacityDisables) {
+  PredictionCache cache(0);
+  cache.Insert(Key(0, 0, "a"), Pages({1}));
+  std::vector<PageId> got;
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, "a"), &got));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PredictionCacheTest, ClearDropsEntriesKeepsCounters) {
+  PredictionCache cache(4);
+  cache.Insert(Key(0, 0, "a"), Pages({1}));
+  std::vector<PageId> got;
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, "a"), &got));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, "a"), &got));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PredictionCacheTest, PlanKeyIsUnambiguous) {
+  // Token boundaries must survive the join: ["ab","c"] != ["a","bc"],
+  // ["a"] != ["a",""].
+  EXPECT_NE(PredictionCache::PlanKey({"ab", "c"}),
+            PredictionCache::PlanKey({"a", "bc"}));
+  EXPECT_NE(PredictionCache::PlanKey({"a"}),
+            PredictionCache::PlanKey({"a", ""}));
+  EXPECT_NE(PredictionCache::PlanKey({}), PredictionCache::PlanKey({""}));
+  EXPECT_EQ(PredictionCache::PlanKey({"a", "b"}),
+            PredictionCache::PlanKey({"a", "b"}));
+}
+
+// End-to-end: PythiaSystem memoizes PrefetchPlan results per plan and
+// invalidates them when the model's predictive behaviour changes.
+TEST(PredictionCacheSystemTest, RepeatedPlanHitsCacheBitIdentically) {
+  auto db = BuildDsbDatabase(DsbConfig{5, 42});
+  WorkloadOptions wopts;
+  wopts.num_queries = 30;
+  wopts.test_fraction = 0.2;
+  Result<Workload> wl = GenerateWorkload(*db, TemplateId::kDsb91, wopts);
+  ASSERT_TRUE(wl.ok());
+  PredictorOptions popts;
+  popts.epochs = 2;
+  popts.num_threads = 1;
+  Result<WorkloadModel> model = WorkloadModel::Train(*db, *wl, popts);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  // PrefetchPlan touches no storage, so the system needs no environment.
+  PythiaSystem system(nullptr);
+  system.AddWorkload(*wl, std::move(*model));
+
+  const WorkloadQuery& q = wl->queries[wl->test_indices[0]];
+  QueryRunMetrics m1, m2;
+  const std::vector<PageId> p1 =
+      system.PrefetchPlan(q, RunMode::kPythia, &m1);
+  EXPECT_EQ(system.prediction_cache_stats().misses, 1u);
+  EXPECT_EQ(system.prediction_cache_stats().hits, 0u);
+
+  const std::vector<PageId> p2 =
+      system.PrefetchPlan(q, RunMode::kPythia, &m2);
+  EXPECT_EQ(system.prediction_cache_stats().hits, 1u);
+  EXPECT_EQ(p1, p2);  // bit-identical plan from the cache
+  EXPECT_EQ(m1.accuracy.f1, m2.accuracy.f1);
+  EXPECT_EQ(m1.predicted_pages, m2.predicted_pages);
+
+  // Changing the threshold bumps the model revision: the cached plan for
+  // the old revision must not be served.
+  WorkloadModel* wm = system.MatchWorkload(q);
+  ASSERT_NE(wm, nullptr);
+  const uint64_t before = wm->revision();
+  wm->set_threshold(0.95f);
+  EXPECT_GT(wm->revision(), before);
+
+  QueryRunMetrics m3;
+  const std::vector<PageId> p3 =
+      system.PrefetchPlan(q, RunMode::kPythia, &m3);
+  EXPECT_EQ(system.prediction_cache_stats().misses, 2u);
+  // A much stricter threshold cannot predict more pages than before.
+  EXPECT_LE(p3.size(), p1.size());
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/predictor.h"
 #include "core/trace_processor.h"
 #include "util/metrics.h"
@@ -12,6 +14,10 @@ namespace {
 class PredictorTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
+    // Force real worker threads into the shared pool even on single-core
+    // machines, so the determinism guard below exercises actual
+    // parallelism. Must happen before the first ThreadPool::Global() use.
+    setenv("PYTHIA_THREADS", "4", /*overwrite=*/1);
     db_ = BuildDsbDatabase(DsbConfig{5, 42}).release();
     WorkloadOptions options;
     options.num_queries = 40;
@@ -227,6 +233,30 @@ TEST_F(PredictorTest, FingerprintSensitiveToOptions) {
             WorkloadModel::Fingerprint(b, *workload_, 100));
   EXPECT_NE(WorkloadModel::Fingerprint(a, *workload_, 100),
             WorkloadModel::Fingerprint(a, *workload_, 200));
+}
+
+// Determinism guard for the fast inference path: training and predicting
+// with 4 pool lanes must be bit-identical to a single-threaded run under
+// the same seed. Each unit's work depends only on its own index, so the
+// interleaving cannot change any result.
+TEST_F(PredictorTest, ParallelTrainingAndPredictionAreBitIdentical) {
+  PredictorOptions sequential = FastOptions();  // num_threads = 1
+  PredictorOptions parallel = FastOptions();
+  parallel.num_threads = 4;
+
+  Result<WorkloadModel> a = WorkloadModel::Train(*db_, *workload_, sequential);
+  Result<WorkloadModel> b = WorkloadModel::Train(*db_, *workload_, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->report().num_models, b->report().num_models);
+  // Exact double equality on the aggregated loss: any schedule-dependent
+  // arithmetic anywhere in training would break this.
+  EXPECT_EQ(a->report().mean_final_loss, b->report().mean_final_loss);
+
+  for (size_t ti : workload_->test_indices) {
+    const WorkloadQuery& q = workload_->queries[ti];
+    EXPECT_EQ(a->Predict(q.tokens), b->Predict(q.tokens));
+  }
 }
 
 TEST_F(PredictorTest, UnknownTokensMapToUnk) {
