@@ -8,6 +8,7 @@
 // DFLT and PYTHIA see the *same* fault sequence per query via
 // SimEnvironment::ResetFaults(), so each speedup is a paired comparison.
 #include "bench/common.h"
+#include "bench/json_writer.h"
 
 namespace pythia::bench {
 namespace {
@@ -34,6 +35,14 @@ void Run() {
                       "retained", "retries", "inj err", "dropped pf",
                       "degraded"});
   double fault_free_median = 0.0;
+
+  JsonWriter json;
+  json.BeginObject()
+      .Field("bench", "fault_tolerance")
+      .Field("workload", "t91")
+      .Field("scale_factor", 50)
+      .Key("rows")
+      .BeginArray();
 
   for (const RatePoint& rate : rates) {
     SimOptions sim = DefaultSim();
@@ -89,6 +98,22 @@ void Run() {
                   std::to_string(injected_errors),
                   std::to_string(rc.dropped_prefetches),
                   std::to_string(rc.degraded_queries)});
+    json.BeginObject()
+        .Field("error_rate", rate.error_prob)
+        .Field("spike_rate", rate.spike_prob)
+        .Field("median_speedup", median)
+        .Field("retained", SafeDiv(median, fault_free_median))
+        .Field("read_retries", rc.read_retries)
+        .Field("injected_errors", injected_errors)
+        .Field("dropped_prefetches", rc.dropped_prefetches)
+        .Field("degraded_queries", rc.degraded_queries)
+        .Field("breaker_trips", rc.breaker_trips)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  if (!json.WriteToFile("BENCH_fault_tolerance.json")) {
+    std::fprintf(stderr, "warning: could not write "
+                 "BENCH_fault_tolerance.json\n");
   }
 
   std::printf("=== Fault tolerance: Pythia speedup vs DFLT under injected "

@@ -1,0 +1,133 @@
+// Minimal streaming JSON writer for the benchmark binaries: each bench
+// prints its human-readable table to stdout and mirrors the raw numbers
+// into a BENCH_<name>.json file so runs can be diffed and plotted without
+// scraping tables. No external dependency — the needs here are a strict
+// subset of JSON (objects, arrays, strings, finite numbers, bools).
+#ifndef PYTHIA_BENCH_JSON_WRITER_H_
+#define PYTHIA_BENCH_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pythia::bench {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(const std::string& k) {
+    Comma();
+    Escaped(k);
+    out_ += ':';
+    just_keyed_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(const std::string& v) {
+    Comma();
+    Escaped(v);
+    return *this;
+  }
+  JsonWriter& Bool(bool v) { return Raw(v ? "true" : "false"); }
+  JsonWriter& Int(int64_t v) { return Raw(std::to_string(v)); }
+  JsonWriter& Uint(uint64_t v) { return Raw(std::to_string(v)); }
+  JsonWriter& Double(double v) {
+    if (!std::isfinite(v)) return Raw("null");  // JSON has no inf/nan
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return Raw(buf);
+  }
+
+  // Convenience for the common "key": value pairs. The const char* overload
+  // matters: without it a string literal converts to bool, not std::string.
+  JsonWriter& Field(const std::string& k, const std::string& v) {
+    return Key(k).String(v);
+  }
+  JsonWriter& Field(const std::string& k, const char* v) {
+    return Key(k).String(v);
+  }
+  JsonWriter& Field(const std::string& k, double v) {
+    return Key(k).Double(v);
+  }
+  JsonWriter& Field(const std::string& k, uint64_t v) {
+    return Key(k).Uint(v);
+  }
+  JsonWriter& Field(const std::string& k, int v) {
+    return Key(k).Int(v);
+  }
+  JsonWriter& Field(const std::string& k, bool v) { return Key(k).Bool(v); }
+
+  const std::string& str() const { return out_; }
+
+  // Writes the document to `path` (with a trailing newline); returns false
+  // on I/O failure. The writer does not validate balance — the bench code
+  // is the test for that, and a malformed file fails visibly downstream.
+  bool WriteToFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok =
+        std::fwrite(out_.data(), 1, out_.size(), f) == out_.size() &&
+        std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  JsonWriter& Open(char c) {
+    Comma();
+    out_ += c;
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& Raw(const std::string& v) {
+    Comma();
+    out_ += v;
+    return *this;
+  }
+  void Comma() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (need_comma_) out_ += ',';
+    need_comma_ = true;
+  }
+  void Escaped(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool just_keyed_ = false;
+};
+
+}  // namespace pythia::bench
+
+#endif  // PYTHIA_BENCH_JSON_WRITER_H_

@@ -82,6 +82,9 @@ Result<FetchResult> BufferPool::FetchPage(PageId page, SimTime now) {
                              " attempts: " + r.status().message());
     }
     ++stats_.read_retries;
+    if (r.status().code() == StatusCode::kDataCorruption) {
+      ++stats_.corrupt_retries;
+    }
     ++result.retries;
     retry_penalty_us += latency_.disk_random_read_us;
     FaultInjector* injector = os_cache_->fault_injector();

@@ -53,6 +53,7 @@ struct BufferPoolStats {
   uint64_t prefetches_rejected = 0; // pool full of unevictable frames
   SimTime prefetch_wait_us = 0;
   uint64_t read_retries = 0;        // failed foreground attempts retried
+  uint64_t corrupt_retries = 0;     // of those, checksum/verification failures
   uint64_t failed_fetches = 0;      // fetches that exhausted the retry budget
 };
 

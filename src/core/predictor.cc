@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <numeric>
 
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
+#include "util/crc32.h"
 #include "util/hash.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace pythia {
@@ -293,7 +296,11 @@ namespace {
 constexpr uint32_t kModelMagic = 0x5059574d;  // "PYWM"
 // Version 2: GEMM kernels were rewritten (blocked/FMA); numerics differ
 // slightly from version-1 checkpoints, so old caches must retrain.
-constexpr uint32_t kModelVersion = 2;
+// Version 3: integrity framing — the file is [magic, version, payload size,
+// payload CRC-32][payload], written atomically (temp file + rename). A load
+// that fails CRC or parse verification quarantines the file to
+// <path>.corrupt and the caller retrains.
+constexpr uint32_t kModelVersion = 3;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -301,6 +308,19 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// Moves a file that failed integrity verification out of the cache lookup
+// path so the next GetOrTrainWorkloadModel retrains instead of tripping on
+// it again; the quarantined copy stays on disk for postmortems.
+void QuarantineModelFile(const std::string& path) {
+  const std::string quarantine = path + ".corrupt";
+  std::remove(quarantine.c_str());
+  if (std::rename(path.c_str(), quarantine.c_str()) == 0) {
+    ++GlobalModelIntegrity().quarantined;
+    std::fprintf(stderr, "warning: quarantined corrupt model file %s -> %s\n",
+                 path.c_str(), quarantine.c_str());
+  }
+}
 
 template <typename T>
 bool WritePod(std::FILE* f, const T& v) {
@@ -356,100 +376,216 @@ uint64_t WorkloadModel::Fingerprint(const PredictorOptions& options,
   return h;
 }
 
-Status WorkloadModel::Save(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IoError("cannot open for write: " + path);
-  bool ok = WritePod(f.get(), kModelMagic) &&
-            WritePod(f.get(), kModelVersion) &&
-            WritePod(f.get(), fingerprint_) &&
-            WritePod(f.get(), static_cast<uint32_t>(template_id_));
+Status WorkloadModel::WritePayload(std::FILE* f) {
+  bool ok = WritePod(f, fingerprint_) &&
+            WritePod(f, static_cast<uint32_t>(template_id_));
   // Architecture/config needed to rebuild units.
-  ok = ok && WritePod(f.get(), options_.embed_dim) &&
-       WritePod(f.get(), options_.num_heads) &&
-       WritePod(f.get(), options_.ffn_dim) &&
-       WritePod(f.get(), options_.num_layers) &&
-       WritePod(f.get(), options_.decoder_hidden) &&
-       WritePod(f.get(), options_.pos_weight) &&
-       WritePod(f.get(), options_.threshold) &&
-       WritePod(f.get(), options_.seed) &&
-       WritePod(f.get(), static_cast<uint32_t>(options_.removal));
+  ok = ok && WritePod(f, options_.embed_dim) &&
+       WritePod(f, options_.num_heads) &&
+       WritePod(f, options_.ffn_dim) &&
+       WritePod(f, options_.num_layers) &&
+       WritePod(f, options_.decoder_hidden) &&
+       WritePod(f, options_.pos_weight) &&
+       WritePod(f, options_.threshold) &&
+       WritePod(f, options_.seed) &&
+       WritePod(f, static_cast<uint32_t>(options_.removal));
   // Report.
-  ok = ok && WritePod(f.get(), report_.train_seconds) &&
-       WritePod(f.get(), static_cast<uint64_t>(report_.num_models)) &&
-       WritePod(f.get(), static_cast<uint64_t>(report_.total_parameters)) &&
-       WritePod(f.get(), report_.mean_final_loss);
-  if (!ok) return Status::IoError("write failed: " + path);
+  ok = ok && WritePod(f, report_.train_seconds) &&
+       WritePod(f, static_cast<uint64_t>(report_.num_models)) &&
+       WritePod(f, static_cast<uint64_t>(report_.total_parameters)) &&
+       WritePod(f, report_.mean_final_loss);
+  if (!ok) return Status::IoError("payload write failed");
 
   // Modeled objects.
-  if (!WritePod(f.get(), static_cast<uint32_t>(modeled_objects_.size()))) {
-    return Status::IoError("write failed: " + path);
+  if (!WritePod(f, static_cast<uint32_t>(modeled_objects_.size()))) {
+    return Status::IoError("payload write failed");
   }
   for (ObjectId o : modeled_objects_) {
-    if (!WritePod(f.get(), o)) return Status::IoError("write failed");
+    if (!WritePod(f, o)) return Status::IoError("payload write failed");
   }
 
   // Vocabulary in id order.
-  if (!WritePod(f.get(), static_cast<uint32_t>(vocab_.size()))) {
-    return Status::IoError("write failed: " + path);
+  if (!WritePod(f, static_cast<uint32_t>(vocab_.size()))) {
+    return Status::IoError("payload write failed");
   }
   for (size_t i = 0; i < vocab_.size(); ++i) {
-    if (!WriteString(f.get(), vocab_.Token(static_cast<int32_t>(i)))) {
-      return Status::IoError("write failed: " + path);
+    if (!WriteString(f, vocab_.Token(static_cast<int32_t>(i)))) {
+      return Status::IoError("payload write failed");
     }
   }
 
   // Profiles.
   auto write_set = [&](const std::unordered_set<std::string>& set) {
-    if (!WritePod(f.get(), static_cast<uint32_t>(set.size()))) return false;
+    if (!WritePod(f, static_cast<uint32_t>(set.size()))) return false;
     for (const std::string& s : set) {
-      if (!WriteString(f.get(), s)) return false;
+      if (!WriteString(f, s)) return false;
     }
     return true;
   };
   if (!write_set(token_profile_) || !write_set(structure_profile_)) {
-    return Status::IoError("write failed: " + path);
+    return Status::IoError("payload write failed");
   }
 
   // Units.
-  if (!WritePod(f.get(), static_cast<uint32_t>(units_.size()))) {
-    return Status::IoError("write failed: " + path);
+  if (!WritePod(f, static_cast<uint32_t>(units_.size()))) {
+    return Status::IoError("payload write failed");
   }
   for (size_t u = 0; u < units_.size(); ++u) {
     Unit& unit = units_[u];
-    if (!WritePod(f.get(), static_cast<uint32_t>(unit.output_pages.size()))) {
-      return Status::IoError("write failed: " + path);
+    if (!WritePod(f, static_cast<uint32_t>(unit.output_pages.size()))) {
+      return Status::IoError("payload write failed");
     }
     for (const PageId& p : unit.output_pages) {
       const uint64_t packed = p.Pack();
-      if (!WritePod(f.get(), packed)) return Status::IoError("write failed");
+      if (!WritePod(f, packed)) return Status::IoError("payload write failed");
     }
-    Status s = nn::WriteParams(f.get(), unit.model->Params());
+    Status s = nn::WriteParams(f, unit.model->Params());
     if (!s.ok()) return s;
   }
+  return Status::OK();
+}
+
+Status WorkloadModel::Save(const std::string& path) {
+  ModelIntegrityCounters& integrity = GlobalModelIntegrity();
+
+  // Serialize the payload into memory first: the header needs its size and
+  // CRC-32, and a memory buffer means the temp file is written in one pass.
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* mem = open_memstream(&buf, &len);
+  if (mem == nullptr) {
+    ++integrity.failed_saves;
+    return Status::Internal("open_memstream failed");
+  }
+  Status payload_status = WritePayload(mem);
+  std::fclose(mem);  // flushes buf/len
+  std::unique_ptr<char, decltype(&std::free)> owned(buf, &std::free);
+  if (!payload_status.ok()) {
+    ++integrity.failed_saves;
+    return payload_status;
+  }
+
+  // Atomic publish: write header + payload to a temp file, then rename. A
+  // crash or torn write leaves either the old file or a .tmp that no loader
+  // ever opens — never a half-written .pywm.
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) {
+      ++integrity.failed_saves;
+      return Status::IoError("cannot open for write: " + tmp);
+    }
+    const uint64_t payload_size = len;
+    const uint32_t payload_crc = Crc32(buf, len);
+    bool ok = WritePod(f.get(), kModelMagic) &&
+              WritePod(f.get(), kModelVersion) &&
+              WritePod(f.get(), payload_size) && WritePod(f.get(), payload_crc) &&
+              (len == 0 || std::fwrite(buf, 1, len, f.get()) == len);
+    ok = ok && std::fflush(f.get()) == 0;
+    if (!ok) {
+      f.reset();
+      std::remove(tmp.c_str());
+      ++integrity.failed_saves;
+      return Status::IoError("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    ++integrity.failed_saves;
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  ++integrity.atomic_saves;
   return Status::OK();
 }
 
 Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::NotFound("no cached model at: " + path);
-  uint32_t magic = 0, version = 0, template_id = 0, removal = 0;
+  ModelIntegrityCounters& integrity = GlobalModelIntegrity();
+
+  uint32_t magic = 0;
+  if (!ReadPod(f.get(), &magic) || magic != kModelMagic) {
+    f.reset();
+    ++integrity.corrupt_files;
+    QuarantineModelFile(path);
+    return Status::DataCorruption("bad magic in model file: " + path);
+  }
+  // A clean version mismatch is a stale cache, not corruption: the caller
+  // retrains and overwrites, and the old file is left alone (no quarantine).
+  uint32_t version = 0;
+  if (!ReadPod(f.get(), &version) || version != kModelVersion) {
+    ++integrity.version_mismatches;
+    return Status::FailedPrecondition("model cache version mismatch: " + path);
+  }
+
+  uint64_t payload_size = 0;
+  uint32_t payload_crc = 0;
+  bool ok = ReadPod(f.get(), &payload_size) && ReadPod(f.get(), &payload_crc);
+  // Validate the declared size against the actual file size before
+  // allocating: a bit-flipped length field must not drive a huge resize,
+  // and truncation or trailing garbage are both corruption.
+  if (ok) {
+    const long payload_start = std::ftell(f.get());
+    ok = payload_start >= 0 && std::fseek(f.get(), 0, SEEK_END) == 0;
+    if (ok) {
+      const long file_size = std::ftell(f.get());
+      ok = file_size >= payload_start &&
+           static_cast<uint64_t>(file_size - payload_start) == payload_size &&
+           std::fseek(f.get(), payload_start, SEEK_SET) == 0;
+    }
+  }
+  std::string payload;
+  if (ok && payload_size > 0) {
+    payload.resize(payload_size);
+    ok = std::fread(payload.data(), 1, payload.size(), f.get()) ==
+         payload.size();
+  }
+  if (ok) ok = Crc32(payload.data(), payload.size()) == payload_crc;
+  f.reset();
+  if (!ok) {
+    ++integrity.corrupt_files;
+    QuarantineModelFile(path);
+    return Status::DataCorruption("model file failed CRC verification: " +
+                                  path);
+  }
+
+  // The buffer is verified; parse it through the same FILE* readers.
+  std::FILE* pf = fmemopen(payload.data(), payload.size(), "rb");
+  if (pf == nullptr) {
+    ++integrity.corrupt_files;
+    QuarantineModelFile(path);
+    return Status::DataCorruption("empty model payload: " + path);
+  }
+  Result<WorkloadModel> wm = ParsePayload(pf, path);
+  std::fclose(pf);
+  if (!wm.ok()) {
+    ++integrity.corrupt_files;
+    QuarantineModelFile(path);
+    return Status::DataCorruption("model payload unparseable: " + path + ": " +
+                                  wm.status().message());
+  }
+  ++integrity.loads_ok;
+  return wm;
+}
+
+Result<WorkloadModel> WorkloadModel::ParsePayload(std::FILE* f,
+                                                  const std::string& path) {
+  uint32_t template_id = 0, removal = 0;
   WorkloadModel wm;
-  bool ok = ReadPod(f.get(), &magic) && magic == kModelMagic &&
-            ReadPod(f.get(), &version) && version == kModelVersion &&
-            ReadPod(f.get(), &wm.fingerprint_) &&
-            ReadPod(f.get(), &template_id);
-  ok = ok && ReadPod(f.get(), &wm.options_.embed_dim) &&
-       ReadPod(f.get(), &wm.options_.num_heads) &&
-       ReadPod(f.get(), &wm.options_.ffn_dim) &&
-       ReadPod(f.get(), &wm.options_.num_layers) &&
-       ReadPod(f.get(), &wm.options_.decoder_hidden) &&
-       ReadPod(f.get(), &wm.options_.pos_weight) &&
-       ReadPod(f.get(), &wm.options_.threshold) &&
-       ReadPod(f.get(), &wm.options_.seed) && ReadPod(f.get(), &removal);
+  bool ok = ReadPod(f, &wm.fingerprint_) &&
+            ReadPod(f, &template_id);
+  ok = ok && ReadPod(f, &wm.options_.embed_dim) &&
+       ReadPod(f, &wm.options_.num_heads) &&
+       ReadPod(f, &wm.options_.ffn_dim) &&
+       ReadPod(f, &wm.options_.num_layers) &&
+       ReadPod(f, &wm.options_.decoder_hidden) &&
+       ReadPod(f, &wm.options_.pos_weight) &&
+       ReadPod(f, &wm.options_.threshold) &&
+       ReadPod(f, &wm.options_.seed) && ReadPod(f, &removal);
   uint64_t num_models = 0, total_params = 0;
-  ok = ok && ReadPod(f.get(), &wm.report_.train_seconds) &&
-       ReadPod(f.get(), &num_models) && ReadPod(f.get(), &total_params) &&
-       ReadPod(f.get(), &wm.report_.mean_final_loss);
+  ok = ok && ReadPod(f, &wm.report_.train_seconds) &&
+       ReadPod(f, &num_models) && ReadPod(f, &total_params) &&
+       ReadPod(f, &wm.report_.mean_final_loss);
   if (!ok) return Status::IoError("corrupt model file: " + path);
   wm.template_id_ = static_cast<TemplateId>(template_id);
   wm.options_.removal = static_cast<SequentialRemoval>(removal);
@@ -457,18 +593,18 @@ Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
   wm.report_.total_parameters = total_params;
 
   uint32_t count = 0;
-  if (!ReadPod(f.get(), &count)) return Status::IoError("corrupt: " + path);
+  if (!ReadPod(f, &count)) return Status::IoError("corrupt: " + path);
   for (uint32_t i = 0; i < count; ++i) {
     ObjectId o = 0;
-    if (!ReadPod(f.get(), &o)) return Status::IoError("corrupt: " + path);
+    if (!ReadPod(f, &o)) return Status::IoError("corrupt: " + path);
     wm.modeled_objects_.push_back(o);
   }
 
-  if (!ReadPod(f.get(), &count)) return Status::IoError("corrupt: " + path);
+  if (!ReadPod(f, &count)) return Status::IoError("corrupt: " + path);
   std::vector<std::string> tokens;
   for (uint32_t i = 0; i < count; ++i) {
     std::string s;
-    if (!ReadString(f.get(), &s)) return Status::IoError("corrupt: " + path);
+    if (!ReadString(f, &s)) return Status::IoError("corrupt: " + path);
     tokens.push_back(std::move(s));
   }
   wm.vocab_.Add(tokens);  // [UNK] is id 0 in both
@@ -478,10 +614,10 @@ Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
 
   auto read_set = [&](std::unordered_set<std::string>* set) {
     uint32_t n = 0;
-    if (!ReadPod(f.get(), &n)) return false;
+    if (!ReadPod(f, &n)) return false;
     for (uint32_t i = 0; i < n; ++i) {
       std::string s;
-      if (!ReadString(f.get(), &s)) return false;
+      if (!ReadString(f, &s)) return false;
       set->insert(std::move(s));
     }
     return true;
@@ -491,16 +627,16 @@ Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
   }
 
   uint32_t num_units = 0;
-  if (!ReadPod(f.get(), &num_units)) return Status::IoError("corrupt");
+  if (!ReadPod(f, &num_units)) return Status::IoError("corrupt");
   wm.units_.resize(num_units);
   for (uint32_t u = 0; u < num_units; ++u) {
     Unit& unit = wm.units_[u];
     uint32_t num_outputs = 0;
-    if (!ReadPod(f.get(), &num_outputs)) return Status::IoError("corrupt");
+    if (!ReadPod(f, &num_outputs)) return Status::IoError("corrupt");
     unit.output_pages.reserve(num_outputs);
     for (uint32_t i = 0; i < num_outputs; ++i) {
       uint64_t packed = 0;
-      if (!ReadPod(f.get(), &packed)) return Status::IoError("corrupt");
+      if (!ReadPod(f, &packed)) return Status::IoError("corrupt");
       unit.output_pages.push_back(PageId::Unpack(packed));
     }
     PythiaModelConfig config;
@@ -514,7 +650,7 @@ Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
     config.pos_weight = wm.options_.pos_weight;
     config.seed = wm.options_.seed + 31 * u;
     unit.model = std::make_unique<PythiaModel>(config);
-    Status s = nn::ReadParams(f.get(), unit.model->Params());
+    Status s = nn::ReadParams(f, unit.model->Params());
     if (!s.ok()) return s;
   }
   return wm;
@@ -531,6 +667,11 @@ Result<WorkloadModel> GetOrTrainWorkloadModel(const std::string& cache_path,
     // Threshold may be swept without retraining: adopt the requested one.
     cached->set_threshold(options.threshold);
     return cached;
+  }
+  // A corrupt cache was quarantined by Load; the retrain below is the
+  // self-healing half of that story, so count it.
+  if (!cached.ok() && cached.status().code() == StatusCode::kDataCorruption) {
+    ++GlobalModelIntegrity().retrains_after_corruption;
   }
   Result<WorkloadModel> fresh = WorkloadModel::Train(db, workload, options);
   if (!fresh.ok()) return fresh;

@@ -15,6 +15,7 @@
 #ifndef PYTHIA_CORE_PREDICTOR_H_
 #define PYTHIA_CORE_PREDICTOR_H_
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -92,8 +93,17 @@ class WorkloadModel {
 
   // Serializes the trained model (options, vocabulary, workload profiles
   // and all unit weights) to `path`. The file embeds a fingerprint of the
-  // training configuration so stale caches are detected on load.
+  // training configuration so stale caches are detected on load, and is
+  // written atomically (temp file + rename) behind a magic/version/CRC-32
+  // header so a crashed or torn write can never leave a half-written model
+  // where a loader will find it.
   Status Save(const std::string& path);
+  // Loads and verifies a saved model. A file that fails verification
+  // (truncated, bit-flipped, unparseable) is quarantined — renamed to
+  // <path>.corrupt — and DataCorruption returned, so the caller falls back
+  // to retraining instead of aborting; a clean version mismatch returns
+  // FailedPrecondition without quarantining. Counters for both paths live
+  // in GlobalModelIntegrity() (util/metrics.h).
   static Result<WorkloadModel> Load(const std::string& path);
 
   // Fingerprint of (options, workload shape, db size) used to validate
@@ -132,6 +142,11 @@ class WorkloadModel {
   };
 
   WorkloadModel() = default;
+
+  // Everything after the integrity header, CRC-framed by Save/Load.
+  Status WritePayload(std::FILE* f);
+  static Result<WorkloadModel> ParsePayload(std::FILE* f,
+                                            const std::string& path);
 
   TemplateId template_id_ = TemplateId::kDsb18;
   PredictorOptions options_;

@@ -84,9 +84,16 @@ void PrefetchSession::Pump(SimTime now) {
     // many of these sequential follow-ons or OS-cache copies. A transient
     // error on this path is absorbed: the prefetch is dropped and the page
     // stays a future miss — never fail the query for a speculative read.
+    // Likewise a page that fails checksum verification: it is dropped
+    // before it can be installed, so a corrupt prefetch can never poison
+    // the buffer pool.
     const Result<OsReadResult> os = os_cache_->Read(page);
     if (!os.ok()) {
-      ++stats_.dropped_faulty;
+      if (os.status().code() == StatusCode::kDataCorruption) {
+        ++stats_.dropped_corrupt;
+      } else {
+        ++stats_.dropped_faulty;
+      }
       ++next_;
       continue;
     }

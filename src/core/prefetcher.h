@@ -58,6 +58,7 @@ struct PrefetchSessionStats {
   uint64_t skipped_budget = 0;
   uint64_t rejected_by_pool = 0;  // shed on buffer pressure
   uint64_t dropped_faulty = 0;    // speculative reads dropped on I/O error
+  uint64_t dropped_corrupt = 0;   // dropped on checksum/verification failure
   uint64_t timed_out = 0;         // outstanding pages past the deadline
 };
 

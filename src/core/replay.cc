@@ -23,6 +23,7 @@ BufferPoolStats StatsDelta(const BufferPoolStats& after,
       after.prefetches_rejected - before.prefetches_rejected;
   d.prefetch_wait_us = after.prefetch_wait_us - before.prefetch_wait_us;
   d.read_retries = after.read_retries - before.read_retries;
+  d.corrupt_retries = after.corrupt_retries - before.corrupt_retries;
   d.failed_fetches = after.failed_fetches - before.failed_fetches;
   return d;
 }
@@ -48,6 +49,11 @@ SimEnvironment::SimEnvironment(const SimOptions& options)
     injector_ = std::make_unique<FaultInjector>(options.faults);
     os_cache_->set_fault_injector(injector_.get());
     io_->set_fault_injector(injector_.get());
+  }
+  if (options.faults.corruption_enabled() || options.verify_page_checksums) {
+    disk_ = std::make_unique<SimulatedDisk>(options.disk_content_seed,
+                                            injector_.get());
+    os_cache_->set_disk(disk_.get());
   }
 }
 

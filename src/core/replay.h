@@ -20,6 +20,7 @@
 #include "storage/io_scheduler.h"
 #include "storage/latency_model.h"
 #include "storage/os_cache.h"
+#include "storage/sim_disk.h"
 
 namespace pythia {
 
@@ -34,6 +35,12 @@ struct SimOptions {
   // retry behaviour under injected errors is governed by `retry`.
   FaultConfig faults;
   RetryPolicy retry;
+  // Materialize checksummed page images and verify them on every device
+  // read even when no corruption fault is configured. Corruption faults
+  // imply verification regardless of this flag; the flag exists to measure
+  // the (virtual-time-free) verification overhead and to harden tests.
+  bool verify_page_checksums = false;
+  uint64_t disk_content_seed = 0x5eedd15c;
 };
 
 class SimEnvironment {
@@ -55,11 +62,14 @@ class SimEnvironment {
   IoScheduler& io() { return *io_; }
   // nullptr when fault injection is disabled.
   FaultInjector* fault_injector() { return injector_.get(); }
+  // nullptr unless corruption faults or verify_page_checksums are on.
+  SimulatedDisk* disk() { return disk_.get(); }
   const SimOptions& options() const { return options_; }
 
  private:
   SimOptions options_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<SimulatedDisk> disk_;
   std::unique_ptr<OsPageCache> os_cache_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<IoScheduler> io_;

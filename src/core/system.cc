@@ -18,8 +18,34 @@ void PythiaSystem::AddWorkload(const Workload& workload,
                                WorkloadModel&& model) {
   auto nn = std::make_unique<NearestNeighborBaseline>(
       workload, model.modeled_objects(), model.options().removal);
-  entries_.push_back(
-      std::make_unique<Entry>(std::move(model), std::move(nn)));
+  entries_.push_back(std::make_unique<Entry>(std::move(model), std::move(nn),
+                                             watchdog_options_));
+}
+
+void PythiaSystem::set_watchdog_options(const WatchdogOptions& o) {
+  watchdog_options_ = o;
+  for (auto& entry : entries_) entry->watchdog = PredictionWatchdog(o);
+}
+
+int64_t PythiaSystem::EntryIndex(const WorkloadModel* model) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (&entries_[i]->model == model) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+void PythiaSystem::HarvestWatchdogStats() {
+  robustness_.watchdog_demotions = 0;
+  robustness_.watchdog_probes = 0;
+  robustness_.watchdog_reinstatements = 0;
+  robustness_.watchdog_degraded_queries = 0;
+  for (const auto& entry : entries_) {
+    const WatchdogStats& ws = entry->watchdog.stats();
+    robustness_.watchdog_demotions += ws.demotions;
+    robustness_.watchdog_probes += ws.probes;
+    robustness_.watchdog_reinstatements += ws.reinstatements;
+    robustness_.watchdog_degraded_queries += ws.degraded_queries;
+  }
 }
 
 WorkloadModel* PythiaSystem::MatchWorkload(const WorkloadQuery& query) {
@@ -57,13 +83,8 @@ std::vector<PageId> PythiaSystem::PrefetchPlan(const WorkloadQuery& query,
     case RunMode::kPythia: {
       WorkloadModel* model = MatchWorkload(query);
       if (model == nullptr) return {};
-      uint64_t model_id = 0;
-      for (size_t i = 0; i < entries_.size(); ++i) {
-        if (&entries_[i]->model == model) {
-          model_id = i;
-          break;
-        }
-      }
+      const int64_t index = EntryIndex(model);
+      const uint64_t model_id = index >= 0 ? static_cast<uint64_t>(index) : 0;
       PredictionKey key{model_id, model->revision(),
                         PredictionCache::PlanKey(query.tokens)};
       std::vector<PageId> pages;
@@ -129,7 +150,23 @@ QueryRunMetrics PythiaSystem::RunQuery(
     ++robustness_.degraded_queries;
   }
 
-  std::vector<PageId> pages = PrefetchPlan(query, effective, &metrics);
+  // The watchdog guards model quality, so it only gates the learned mode:
+  // a demoted model's queries fall back to the sequential-readahead
+  // baseline (no learned prefetch; OS readahead still serves scans) until
+  // probation ends and probes prove the model useful again.
+  int64_t watchdog_entry = -1;
+  bool watchdog_blocked = false;
+  if (effective == RunMode::kPythia) {
+    watchdog_entry = EntryIndex(MatchWorkload(query));
+    if (watchdog_entry >= 0 &&
+        !entries_[watchdog_entry]->watchdog.AllowPrediction()) {
+      watchdog_blocked = true;
+      metrics.degraded_by_watchdog = true;
+    }
+  }
+
+  std::vector<PageId> pages;
+  if (!watchdog_blocked) pages = PrefetchPlan(query, effective, &metrics);
 
   PrefetcherOptions options = prefetch_options;
   if (effective == RunMode::kOracle) {
@@ -148,19 +185,33 @@ QueryRunMetrics PythiaSystem::RunQuery(
   if (effective != RunMode::kDefault && !pages.empty()) {
     breaker_.Record(IsHealthyPrefetch(replay.prefetch_stats, health_policy_));
   }
+  // Feed the matched model's watchdog the useful-prefetch ratio of its own
+  // session (consumed / attempted); tiny sessions are skipped inside.
+  if (watchdog_entry >= 0 && !watchdog_blocked && metrics.engaged) {
+    entries_[watchdog_entry]->watchdog.Record(
+        replay.prefetch_stats.issued + replay.prefetch_stats.already_buffered,
+        replay.prefetch_stats.consumed);
+  }
 
   robustness_.read_retries += replay.pool_stats.read_retries;
+  robustness_.corrupt_read_retries += replay.pool_stats.corrupt_retries;
   robustness_.failed_fetches += replay.pool_stats.failed_fetches;
   robustness_.dropped_prefetches += replay.prefetch_stats.dropped_faulty;
+  robustness_.corrupt_prefetch_drops += replay.prefetch_stats.dropped_corrupt;
   robustness_.shed_prefetches += replay.prefetch_stats.rejected_by_pool;
   robustness_.timed_out_prefetches += replay.prefetch_stats.timed_out;
   robustness_.breaker_trips = breaker_.stats().trips;
   robustness_.breaker_probes = breaker_.stats().probes;
+  robustness_.corrupt_page_reads = env_->os_cache().corrupt_reads();
   if (FaultInjector* injector = env_->fault_injector()) {
     robustness_.injected_errors = injector->stats().injected_errors;
     robustness_.injected_spikes = injector->stats().injected_spikes;
     robustness_.injected_stalls = injector->stats().injected_stalls;
+    robustness_.injected_bit_flips = injector->stats().injected_bit_flips;
+    robustness_.injected_torn_writes = injector->stats().injected_torn_writes;
+    robustness_.injected_stale_reads = injector->stats().injected_stale_reads;
   }
+  HarvestWatchdogStats();
   return metrics;
 }
 

@@ -17,6 +17,7 @@
 #include "core/prediction_cache.h"
 #include "core/predictor.h"
 #include "core/replay.h"
+#include "core/watchdog.h"
 #include "util/metrics.h"
 
 namespace pythia {
@@ -38,6 +39,9 @@ struct QueryRunMetrics {
   // The circuit breaker was open: the query ran as RunMode::kDefault even
   // though a prefetching mode was requested.
   bool degraded_by_breaker = false;
+  // The matched model's watchdog had demoted it: the query ran on the
+  // sequential-readahead baseline (no learned prefetch) instead.
+  bool degraded_by_watchdog = false;
   PrecisionRecall accuracy;      // prediction vs restricted ground truth
   size_t predicted_pages = 0;
   BufferPoolStats pool_stats;
@@ -82,6 +86,18 @@ class PythiaSystem {
     breaker_ = CircuitBreaker(o);
   }
 
+  // Per-model drift guardrail: when a model's sliding-window useful-prefetch
+  // ratio falls below the configured floor, its queries are degraded to the
+  // sequential-readahead baseline and re-probed after a probation period.
+  // Setting options resets every model's watchdog to the new policy.
+  void set_watchdog_options(const WatchdogOptions& o);
+  const WatchdogOptions& watchdog_options() const { return watchdog_options_; }
+  // Watchdog of the `index`-th registered workload (registration order).
+  PredictionWatchdog& watchdog(size_t index) {
+    return entries_[index]->watchdog;
+  }
+  size_t num_workloads() const { return entries_.size(); }
+
   // Fault-tolerance counters accumulated across every RunQuery call (the
   // storage-level injection counts come from the environment's injector).
   const RobustnessCounters& robustness() const { return robustness_; }
@@ -97,17 +113,25 @@ class PythiaSystem {
 
  private:
   struct Entry {
-    Entry(WorkloadModel&& m, std::unique_ptr<NearestNeighborBaseline> n)
-        : model(std::move(m)), nn(std::move(n)) {}
+    Entry(WorkloadModel&& m, std::unique_ptr<NearestNeighborBaseline> n,
+          const WatchdogOptions& w)
+        : model(std::move(m)), nn(std::move(n)), watchdog(w) {}
     WorkloadModel model;
     std::unique_ptr<NearestNeighborBaseline> nn;
+    PredictionWatchdog watchdog;
   };
+
+  // Index of the entry owning `model`, or -1.
+  int64_t EntryIndex(const WorkloadModel* model) const;
+  // Folds per-model watchdog stats into robustness_.
+  void HarvestWatchdogStats();
 
   SimEnvironment* env_;
   std::vector<std::unique_ptr<Entry>> entries_;
   double match_threshold_ = 0.9;
   CircuitBreaker breaker_;
   PrefetchHealthPolicy health_policy_;
+  WatchdogOptions watchdog_options_;
   RobustnessCounters robustness_;
   PredictionCache prediction_cache_;
 };

@@ -1,0 +1,89 @@
+#include "core/watchdog.h"
+
+#include "util/metrics.h"
+
+namespace pythia {
+
+const char* ModelHealthName(ModelHealth health) {
+  switch (health) {
+    case ModelHealth::kHealthy: return "healthy";
+    case ModelHealth::kDegraded: return "degraded";
+    case ModelHealth::kProbation: return "probation";
+  }
+  return "unknown";
+}
+
+bool PredictionWatchdog::AllowPrediction() {
+  switch (health_) {
+    case ModelHealth::kHealthy:
+      return true;
+    case ModelHealth::kDegraded:
+      ++stats_.degraded_queries;
+      if (probation_remaining_ > 0) --probation_remaining_;
+      if (probation_remaining_ == 0) {
+        health_ = ModelHealth::kProbation;
+        probe_successes_ = 0;
+      }
+      // This query still runs on the baseline; the *next* one may probe.
+      return false;
+    case ModelHealth::kProbation:
+      ++stats_.probes;
+      return true;
+  }
+  return true;
+}
+
+void PredictionWatchdog::Record(uint64_t attempted, uint64_t consumed) {
+  if (attempted < options_.min_attempted) return;
+  const double ratio = SafeDiv(static_cast<double>(consumed),
+                               static_cast<double>(attempted));
+  ++stats_.sessions_judged;
+  switch (health_) {
+    case ModelHealth::kHealthy:
+      window_.push_back(ratio);
+      while (window_.size() > options_.window) window_.pop_front();
+      if (window_.size() < options_.min_samples) return;
+      if (WindowRatio() < options_.min_useful_ratio) Demote();
+      return;
+    case ModelHealth::kDegraded:
+      // A session that was already running when the model was demoted; its
+      // outcome is moot.
+      return;
+    case ModelHealth::kProbation:
+      if (ratio < options_.min_useful_ratio) {
+        Demote();
+        return;
+      }
+      if (++probe_successes_ >= options_.required_probe_successes) {
+        health_ = ModelHealth::kHealthy;
+        window_.clear();
+        ++stats_.reinstatements;
+      }
+      return;
+  }
+}
+
+double PredictionWatchdog::WindowRatio() const {
+  if (window_.empty()) return 0.0;
+  double total = 0.0;
+  for (double r : window_) total += r;
+  return total / static_cast<double>(window_.size());
+}
+
+void PredictionWatchdog::Demote() {
+  health_ = ModelHealth::kDegraded;
+  probation_remaining_ = options_.probation_queries;
+  window_.clear();
+  probe_successes_ = 0;
+  ++stats_.demotions;
+}
+
+void PredictionWatchdog::Reset() {
+  health_ = ModelHealth::kHealthy;
+  window_.clear();
+  probation_remaining_ = 0;
+  probe_successes_ = 0;
+  stats_ = WatchdogStats();
+}
+
+}  // namespace pythia

@@ -1,0 +1,90 @@
+// Prediction-health watchdog: per-model guardrail against silent model
+// decay (healthy -> degraded -> probation).
+//
+// The PR 1 circuit breaker protects the system from I/O-level faults; this
+// watchdog generalizes the same closed/open/half-open idea to model-quality
+// faults. SeLeP and GrASP both observe that a learned prefetcher's accuracy
+// degrades silently as the workload drifts away from its training
+// distribution — the model keeps answering, the answers just stop being
+// useful. The watchdog tracks a sliding window of the useful-prefetch ratio
+// (pages consumed by the query ÷ pages the session attempted) per model:
+//  - healthy: the model's predictions drive prefetch. When the mean window
+//    ratio falls below `min_useful_ratio` (with at least `min_samples`
+//    judged sessions), the model is demoted;
+//  - degraded: queries matching this model fall back to the sequential-
+//    readahead baseline (plain buffer manager + OS readahead, i.e. what the
+//    paper calls DFLT) for `probation_queries` eligible queries;
+//  - probation: the model's predictions are tried again on probe queries.
+//    `required_probe_successes` consecutive useful probes reinstate it; one
+//    useless probe demotes it again for a fresh probation period.
+//
+// One watchdog instance guards one model; PythiaSystem owns one per
+// registered workload and exposes all state through RobustnessCounters.
+#ifndef PYTHIA_CORE_WATCHDOG_H_
+#define PYTHIA_CORE_WATCHDOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace pythia {
+
+enum class ModelHealth { kHealthy, kDegraded, kProbation };
+
+const char* ModelHealthName(ModelHealth health);
+
+struct WatchdogOptions {
+  size_t window = 8;              // recent engaged sessions considered
+  size_t min_samples = 4;         // don't demote on a near-empty window
+  double min_useful_ratio = 0.25; // floor on mean consumed/attempted
+  size_t min_attempted = 8;       // tiny sessions are never judged
+  size_t probation_queries = 16;  // demoted this many eligible queries
+  size_t required_probe_successes = 2;
+};
+
+struct WatchdogStats {
+  uint64_t demotions = 0;         // healthy/probation -> degraded
+  uint64_t probes = 0;            // queries allowed through while probing
+  uint64_t reinstatements = 0;    // probation -> healthy
+  uint64_t degraded_queries = 0;  // queries served by the baseline instead
+  uint64_t sessions_judged = 0;   // ratio samples recorded
+};
+
+class PredictionWatchdog {
+ public:
+  explicit PredictionWatchdog(const WatchdogOptions& options =
+                                  WatchdogOptions())
+      : options_(options) {}
+
+  // Called before each query that matched this model: may its predictions
+  // be used? Counts probation while degraded and admits probes after it.
+  bool AllowPrediction();
+
+  // Records the outcome of a prefetch session driven by this model.
+  // `attempted` = issued + already-buffered pages; `consumed` = how many of
+  // those the query actually fetched.
+  void Record(uint64_t attempted, uint64_t consumed);
+
+  // Mean useful-prefetch ratio over the current window (0 when empty).
+  double WindowRatio() const;
+
+  ModelHealth health() const { return health_; }
+  const WatchdogStats& stats() const { return stats_; }
+  const WatchdogOptions& options() const { return options_; }
+
+  void Reset();
+
+ private:
+  void Demote();
+
+  WatchdogOptions options_;
+  ModelHealth health_ = ModelHealth::kHealthy;
+  std::deque<double> window_;  // per-session useful ratios
+  size_t probation_remaining_ = 0;
+  size_t probe_successes_ = 0;
+  WatchdogStats stats_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_CORE_WATCHDOG_H_

@@ -9,13 +9,19 @@
 //  - tail-latency spikes: a disk read succeeds but takes a configurable
 //    multiple (default 10-50x) of its modeled latency;
 //  - stalled AIO channels: an async I/O worker freezes for a fixed virtual
-//    duration before servicing its request.
+//    duration before servicing its request;
+//  - silent corruption: the read "succeeds" but the bytes are wrong — a
+//    bit-flip somewhere in the page image, a torn write (the image mixes two
+//    page versions), or a stale read (a fully valid but outdated version).
+//    The SimulatedDisk materializes the corrupted image; checksum/header
+//    verification on the read path decides whether it is caught.
 //
 // Every decision is drawn from an explicitly seeded Pcg32 consumed in call
 // order, so two runs with identical seeds and identical call sequences
 // produce bit-identical fault patterns (and therefore identical metrics).
-// Retry-backoff jitter uses a separate stream so the retry policy cannot
-// perturb the fault sequence itself.
+// Retry-backoff jitter and corruption each use a separate stream so the
+// retry policy cannot perturb the fault sequence itself, and enabling
+// corruption does not shift the transient-error/spike sequence.
 #ifndef PYTHIA_STORAGE_FAULT_INJECTOR_H_
 #define PYTHIA_STORAGE_FAULT_INJECTOR_H_
 
@@ -39,11 +45,21 @@ struct FaultConfig {
   // for how long (virtual microseconds).
   double aio_stall_prob = 0.0;
   SimTime aio_stall_us = 20000;
+  // Silent-corruption probabilities, drawn once per device page read (and
+  // per kernel readahead page). bit_flip_prob is per *read*, not per bit:
+  // one read in 1/p returns an image with a single flipped bit.
+  double bit_flip_prob = 0.0;
+  double torn_write_prob = 0.0;
+  double stale_read_prob = 0.0;
   uint64_t seed = 0;
 
+  bool corruption_enabled() const {
+    return bit_flip_prob > 0.0 || torn_write_prob > 0.0 ||
+           stale_read_prob > 0.0;
+  }
   bool enabled() const {
     return transient_error_prob > 0.0 || tail_latency_prob > 0.0 ||
-           aio_stall_prob > 0.0;
+           aio_stall_prob > 0.0 || corruption_enabled();
   }
 };
 
@@ -52,8 +68,19 @@ struct FaultStats {
   uint64_t injected_errors = 0;
   uint64_t injected_spikes = 0;
   uint64_t injected_stalls = 0;
+  uint64_t injected_bit_flips = 0;
+  uint64_t injected_torn_writes = 0;
+  uint64_t injected_stale_reads = 0;
   SimTime injected_spike_us = 0;  // total extra latency from spikes
   SimTime injected_stall_us = 0;  // total extra latency from stalls
+};
+
+// What the device silently did to one page image it returned.
+enum class CorruptionKind {
+  kNone,
+  kBitFlip,    // one bit of the image flipped
+  kTornWrite,  // image mixes the current and the previous version
+  kStaleRead,  // fully valid image of the previous version
 };
 
 // Outcome of consulting the injector for one disk read.
@@ -76,7 +103,8 @@ class FaultInjector {
   explicit FaultInjector(const FaultConfig& config)
       : config_(config),
         rng_(config.seed, 0x705eca7a1ULL),
-        backoff_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL, 0xbac0ffULL) {}
+        backoff_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL, 0xbac0ffULL),
+        corruption_rng_(config.seed ^ 0xc0de2badc0de2badULL, 0xc42c42ULL) {}
 
   // Consulted once per disk read, with the latency the device would charge.
   DiskReadFault OnDiskRead(SimTime base_latency_us) {
@@ -110,6 +138,35 @@ class FaultInjector {
     return config_.aio_stall_us;
   }
 
+  // Consulted once per page image the device returns (including each page a
+  // kernel readahead pulls in): did the device silently corrupt it, and how?
+  // Draws from a dedicated stream so enabling corruption never perturbs the
+  // transient-error/spike/stall sequences.
+  CorruptionKind OnPageImage() {
+    if (!config_.corruption_enabled()) return CorruptionKind::kNone;
+    if (config_.bit_flip_prob > 0.0 &&
+        corruption_rng_.UniformDouble() < config_.bit_flip_prob) {
+      ++stats_.injected_bit_flips;
+      return CorruptionKind::kBitFlip;
+    }
+    if (config_.torn_write_prob > 0.0 &&
+        corruption_rng_.UniformDouble() < config_.torn_write_prob) {
+      ++stats_.injected_torn_writes;
+      return CorruptionKind::kTornWrite;
+    }
+    if (config_.stale_read_prob > 0.0 &&
+        corruption_rng_.UniformDouble() < config_.stale_read_prob) {
+      ++stats_.injected_stale_reads;
+      return CorruptionKind::kStaleRead;
+    }
+    return CorruptionKind::kNone;
+  }
+
+  // Bit position for a kBitFlip image of `image_bits` bits.
+  uint32_t CorruptBitIndex(uint32_t image_bits) {
+    return corruption_rng_.UniformU32(image_bits);
+  }
+
   // Backoff for the `attempt`-th retry (attempt >= 1) under `policy`:
   // capped exponential with +/-50% deterministic jitter.
   SimTime RetryBackoff(const RetryPolicy& policy, uint32_t attempt) {
@@ -131,6 +188,7 @@ class FaultInjector {
   void Reset() {
     rng_ = Pcg32(config_.seed, 0x705eca7a1ULL);
     backoff_rng_ = Pcg32(config_.seed ^ 0x9e3779b97f4a7c15ULL, 0xbac0ffULL);
+    corruption_rng_ = Pcg32(config_.seed ^ 0xc0de2badc0de2badULL, 0xc42c42ULL);
     stats_ = FaultStats();
   }
 
@@ -141,6 +199,7 @@ class FaultInjector {
   FaultConfig config_;
   Pcg32 rng_;
   Pcg32 backoff_rng_;
+  Pcg32 corruption_rng_;
   FaultStats stats_;
 };
 

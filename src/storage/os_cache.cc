@@ -35,12 +35,33 @@ Result<OsReadResult> OsPageCache::Read(PageId page) {
     result.latency_us += fault.extra_latency_us;
   }
 
+  // With a device attached the returned image is verified before anything
+  // is cached; a corrupt image is discarded, never served.
+  if (disk_ != nullptr) {
+    const Result<SimulatedDisk::PageImage> image = disk_->ReadPage(page);
+    if (!image.ok()) {
+      ++corrupt_reads_;
+      ++failed_reads_;
+      return image.status();
+    }
+  }
+
   if (sequential) {
     ++sequential_reads_;
     // The kernel reads ahead: the next `readahead_pages` pages of this file
-    // land in the cache and will be served as memory copies.
+    // land in the cache and will be served as memory copies. Each readahead
+    // image is its own device read and is verified too — the kernel drops
+    // (rather than caches) one that fails its checksum, so a later hit on a
+    // readahead page is always a hit on verified bytes.
     for (uint32_t i = 1; i <= options_.readahead_pages; ++i) {
-      Insert(PageId{page.object_id, page.page_no + i});
+      const PageId ahead{page.object_id, page.page_no + i};
+      if (disk_ != nullptr && map_.count(ahead) == 0) {
+        if (!disk_->ReadPage(ahead).ok()) {
+          ++readahead_dropped_corrupt_;
+          continue;
+        }
+      }
+      Insert(ahead);
     }
   } else {
     ++random_reads_;

@@ -14,6 +14,7 @@
 #include "storage/fault_injector.h"
 #include "storage/latency_model.h"
 #include "storage/page_id.h"
+#include "storage/sim_disk.h"
 #include "util/status.h"
 
 namespace pythia {
@@ -37,9 +38,12 @@ class OsPageCache {
   // Reads one page through the OS: returns the latency and where it was
   // served from, updating cache contents and per-object readahead state.
   // Fallible: with a fault injector attached, a disk read (never a cache
-  // hit) may fail with IoError or absorb a tail-latency spike. A failed
-  // read leaves the cache contents untouched — the data never arrived — but
-  // the head movement still updates the readahead run state.
+  // hit) may fail with IoError or absorb a tail-latency spike; with a
+  // SimulatedDisk attached, the returned image is checksum-verified and a
+  // corrupt one fails with DataCorruption instead of being cached. A failed
+  // read leaves the cache contents untouched — the data never arrived (or
+  // was discarded as unverifiable) — but the head movement still updates
+  // the readahead run state.
   Result<OsReadResult> Read(PageId page);
 
   // Attaches a fault injector consulted on every disk read. May be nullptr
@@ -47,6 +51,14 @@ class OsPageCache {
   // cache or be detached first.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
+
+  // Attaches the device with real page images. May be nullptr (the
+  // default): reads are then latency-only and never corrupt. Not owned.
+  // With a disk attached, every image entering the cache — demand reads and
+  // kernel readahead alike — is verified first, so the cache can only ever
+  // serve verified pages.
+  void set_disk(SimulatedDisk* disk) { disk_ = disk; }
+  SimulatedDisk* disk() const { return disk_; }
 
   // Drops all cached pages and readahead state — `echo 3 >
   // /proc/sys/vm/drop_caches` between experiment runs.
@@ -60,6 +72,10 @@ class OsPageCache {
   uint64_t sequential_reads() const { return sequential_reads_; }
   uint64_t random_reads() const { return random_reads_; }
   uint64_t failed_reads() const { return failed_reads_; }
+  uint64_t corrupt_reads() const { return corrupt_reads_; }
+  uint64_t readahead_dropped_corrupt() const {
+    return readahead_dropped_corrupt_;
+  }
 
  private:
   void Insert(PageId page);
@@ -68,6 +84,7 @@ class OsPageCache {
   Options options_;
   LatencyModel latency_;
   FaultInjector* injector_ = nullptr;
+  SimulatedDisk* disk_ = nullptr;
 
   // LRU: most recent at front.
   std::list<PageId> lru_;
@@ -79,6 +96,8 @@ class OsPageCache {
   uint64_t sequential_reads_ = 0;
   uint64_t random_reads_ = 0;
   uint64_t failed_reads_ = 0;
+  uint64_t corrupt_reads_ = 0;             // demand reads failing verification
+  uint64_t readahead_dropped_corrupt_ = 0; // readahead pages not cached
 };
 
 }  // namespace pythia

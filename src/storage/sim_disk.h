@@ -1,0 +1,90 @@
+// SimulatedDisk: the device behind the OS page cache, now with real bytes.
+//
+// The timing simulator historically modeled only latency; pages had no
+// contents, so "silent corruption" could not even be expressed. This class
+// gives every page a deterministic 512-byte image stamped with an integrity
+// header — magic, page identity, version, CRC-32 over the whole image — and
+// materializes what the device actually *returns* for a read, including the
+// corrupted image when the fault injector says the read went bad:
+//  - bit-flip: one bit of the image flipped (CRC-32 catches every single-bit
+//    error by construction);
+//  - torn write: the first half of the image is the current version, the
+//    second half the previous one (CRC mismatch);
+//  - stale read: a fully valid image of the previous version (CRC and page
+//    identity check out; only the version comparison catches it).
+//
+// `ReadPage` verifies the returned image and surfaces corruption as a
+// Status::DataCorruption, so no read path can ever hand unverified bytes to
+// the buffer pool. Page images are synthesized on demand from (content
+// seed, page id, version) — nothing is stored per page, so a simulated
+// multi-gigabyte database costs no memory.
+#ifndef PYTHIA_STORAGE_SIM_DISK_H_
+#define PYTHIA_STORAGE_SIM_DISK_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "storage/fault_injector.h"
+#include "storage/page_id.h"
+#include "util/status.h"
+
+namespace pythia {
+
+class SimulatedDisk {
+ public:
+  static constexpr size_t kPageBytes = 512;
+  static constexpr uint32_t kPageMagic = 0x50594447;  // "PYDG"
+
+  using PageImage = std::array<uint8_t, kPageBytes>;
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t verified_ok = 0;
+    uint64_t checksum_failures = 0;  // bit-flips and torn writes
+    uint64_t stale_reads_caught = 0; // version check failures
+  };
+
+  // `injector` may be nullptr (no corruption ever). Not owned; must outlive
+  // the disk or be detached by constructing a fresh disk.
+  explicit SimulatedDisk(uint64_t content_seed = 0x5eedd15c,
+                         FaultInjector* injector = nullptr)
+      : content_seed_(content_seed), injector_(injector) {}
+
+  // Canonical image of `page` at `version`: integrity header + seeded
+  // pseudo-random payload, CRC stamped over the whole image.
+  PageImage Materialize(PageId page, uint32_t version) const;
+
+  // Version the disk currently holds for `page` (pages start at 1).
+  uint32_t CurrentVersion(PageId page) const;
+
+  // Simulated in-place page update: bumps the version, so subsequent stale
+  // reads return the previous image.
+  void WritePage(PageId page);
+
+  // One device read: materializes the (possibly corrupted) image the device
+  // returns and verifies it. Ok with the verified image, or DataCorruption
+  // when the checksum, identity, or version check fails — the corrupt image
+  // is never returned to the caller.
+  Result<PageImage> ReadPage(PageId page);
+
+  // Verifies an image against the expected identity and version. Exposed
+  // for tests and for callers holding images from elsewhere.
+  Status VerifyImage(const PageImage& image, PageId expected,
+                     uint32_t expected_version) const;
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  uint64_t content_seed_;
+  FaultInjector* injector_;
+  // Only pages that have been written since "format time" are tracked;
+  // everything else is implicitly at version 1.
+  std::unordered_map<PageId, uint32_t> versions_;
+  Stats stats_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_STORAGE_SIM_DISK_H_

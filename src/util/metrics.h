@@ -36,7 +36,43 @@ struct RobustnessCounters {
   uint64_t breaker_trips = 0;
   uint64_t breaker_probes = 0;
   uint64_t degraded_queries = 0;    // queries forced to the plain bufmgr
+
+  // Integrity layer: silent corruption injected by the device and caught by
+  // checksum/header verification on the read paths. Corrupt pages are never
+  // served — foreground reads retry, speculative reads drop the page.
+  uint64_t injected_bit_flips = 0;
+  uint64_t injected_torn_writes = 0;
+  uint64_t injected_stale_reads = 0;
+  uint64_t corrupt_page_reads = 0;        // demand reads failing verification
+  uint64_t corrupt_read_retries = 0;      // foreground retries caused by those
+  uint64_t corrupt_prefetch_drops = 0;    // speculative reads dropped corrupt
+
+  // Prediction-health watchdog: per-model drift guardrail, summed over all
+  // registered models (core/watchdog.h).
+  uint64_t watchdog_demotions = 0;
+  uint64_t watchdog_probes = 0;
+  uint64_t watchdog_reinstatements = 0;
+  uint64_t watchdog_degraded_queries = 0;  // ran on the readahead baseline
 };
+
+// Process-wide counters for model-file integrity (the .pywm cache in
+// core/predictor.cc). A corrupt or truncated file is quarantined (renamed
+// to <path>.corrupt) and the model retrained; these counters are how that
+// self-healing is observed.
+struct ModelIntegrityCounters {
+  uint64_t loads_ok = 0;
+  uint64_t version_mismatches = 0;   // stale format: retrain, no quarantine
+  uint64_t corrupt_files = 0;        // CRC/size/parse failures on load
+  uint64_t quarantined = 0;          // files renamed to .corrupt
+  uint64_t retrains_after_corruption = 0;
+  uint64_t atomic_saves = 0;         // temp-file + rename completions
+  uint64_t failed_saves = 0;
+};
+
+inline ModelIntegrityCounters& GlobalModelIntegrity() {
+  static ModelIntegrityCounters counters;
+  return counters;
+}
 
 // Counters for the plan-fingerprint prediction memoization cache
 // (core/prediction_cache.h). An eviction is counted when an insert pushes

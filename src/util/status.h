@@ -21,6 +21,10 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kIoError,
+  // Data arrived but failed integrity verification (checksum or header
+  // mismatch). Distinct from kIoError so speculative readers can account
+  // corruption drops separately from transient device errors.
+  kDataCorruption,
 };
 
 // Value-semantic status. Cheap to copy for the OK case (empty message).
@@ -52,6 +56,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,6 +80,7 @@ class Status {
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIoError: return "IoError";
+      case StatusCode::kDataCorruption: return "DataCorruption";
     }
     return "Unknown";
   }

@@ -1,0 +1,78 @@
+#include "util/crc32.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pythia {
+namespace {
+
+TEST(Crc32Test, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Resuming from a running value over zero bytes is the identity.
+  EXPECT_EQ(Crc32(nullptr, 0, 0xdeadbeef), 0xdeadbeefu);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The standard CRC-32 (IEEE 802.3, zlib) check value.
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(check, std::strlen(check)), 0xCBF43926u);
+
+  const char* a = "a";
+  EXPECT_EQ(Crc32(a, 1), 0xE8B7BE43u);
+
+  const std::string quick = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(Crc32(quick.data(), quick.size()), 0x414FA339u);
+
+  // 32 zero bytes — exercises the table path with repeated input.
+  const std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32(zeros.data(), zeros.size()), 0x190A55ADu);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "pythia prefetcher integrity check payload";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  // Every split point, including the degenerate 0 / n and n / 0 splits,
+  // must resume to the same value — this is what lets callers stream tail
+  // bytes through the running CRC.
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t head = Crc32(data.data(), split);
+    const uint32_t resumed =
+        Crc32(data.data() + split, data.size() - split, head);
+    EXPECT_EQ(resumed, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, TailBytesChangeTheValue) {
+  // Any single trailing-byte change must be detected (CRC-32 detects all
+  // single-bit and all burst errors up to 32 bits).
+  std::string data = "block payload with a tail";
+  const uint32_t base = Crc32(data.data(), data.size());
+  for (int bit = 0; bit < 8; ++bit) {
+    std::string flipped = data;
+    flipped.back() = static_cast<char>(flipped.back() ^ (1 << bit));
+    EXPECT_NE(Crc32(flipped.data(), flipped.size()), base) << "bit " << bit;
+  }
+  // Truncating the tail byte changes the value too.
+  EXPECT_NE(Crc32(data.data(), data.size() - 1), base);
+}
+
+TEST(Crc32Test, SingleBitFlipsAnywhereDetected) {
+  std::vector<uint8_t> page(512);
+  for (size_t i = 0; i < page.size(); ++i) {
+    page[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  const uint32_t base = Crc32(page.data(), page.size());
+  for (size_t bit = 0; bit < page.size() * 8; bit += 97) {
+    std::vector<uint8_t> flipped = page;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32(flipped.data(), flipped.size()), base) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace pythia

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "core/baselines.h"
 #include "core/circuit_breaker.h"
+#include "core/predictor.h"
 #include "core/replay.h"
+#include "core/watchdog.h"
 #include "storage/fault_injector.h"
+#include "storage/sim_disk.h"
+#include "util/metrics.h"
 
 namespace pythia {
 namespace {
@@ -390,6 +397,407 @@ TEST(CircuitBreakerTest, TripsUnderSustainedFaultsAndRecovers) {
   EXPECT_EQ(breaker.state(), BreakerState::kClosed);
   EXPECT_EQ(breaker.stats().recoveries, 1u);
   EXPECT_EQ(breaker.stats().probes, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedDisk: page images, checksums, corruption classes.
+// ---------------------------------------------------------------------------
+
+TEST(SimulatedDiskTest, MaterializedImagesVerifyAndAreDeterministic) {
+  SimulatedDisk disk;
+  const PageId page{3, 17};
+  const SimulatedDisk::PageImage a = disk.Materialize(page, 1);
+  const SimulatedDisk::PageImage b = disk.Materialize(page, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(disk.VerifyImage(a, page, 1).ok());
+  // A different version or a different page yields a different image that
+  // fails verification against the original identity/version.
+  EXPECT_NE(disk.Materialize(page, 2), a);
+  EXPECT_FALSE(disk.VerifyImage(a, page, 2).ok());
+  EXPECT_FALSE(disk.VerifyImage(a, PageId{3, 18}, 1).ok());
+}
+
+TEST(SimulatedDiskTest, CleanReadsVerifyOk) {
+  SimulatedDisk disk;
+  for (uint32_t p = 0; p < 50; ++p) {
+    ASSERT_TRUE(disk.ReadPage(PageId{1, p}).ok());
+  }
+  EXPECT_EQ(disk.stats().reads, 50u);
+  EXPECT_EQ(disk.stats().verified_ok, 50u);
+  EXPECT_EQ(disk.stats().checksum_failures, 0u);
+}
+
+TEST(SimulatedDiskTest, WriteBumpsVersionAndOldImageIsStale) {
+  SimulatedDisk disk;
+  const PageId page{2, 9};
+  EXPECT_EQ(disk.CurrentVersion(page), 1u);
+  const SimulatedDisk::PageImage v1 = disk.Materialize(page, 1);
+  disk.WritePage(page);
+  EXPECT_EQ(disk.CurrentVersion(page), 2u);
+  // The old image is internally consistent (CRC and identity pass) but no
+  // longer the current version — exactly the stale-read failure mode.
+  const Status stale = disk.VerifyImage(v1, page, 2);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kDataCorruption);
+}
+
+TEST(SimulatedDiskTest, BitFlipsAreCaughtByChecksum) {
+  FaultConfig config;
+  config.bit_flip_prob = 1.0;
+  config.seed = 5;
+  FaultInjector injector(config);
+  SimulatedDisk disk(0x5eedd15c, &injector);
+  for (uint32_t p = 0; p < 20; ++p) {
+    const Result<SimulatedDisk::PageImage> r = disk.ReadPage(PageId{1, p});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDataCorruption);
+  }
+  EXPECT_EQ(disk.stats().checksum_failures, 20u);
+  EXPECT_EQ(injector.stats().injected_bit_flips, 20u);
+}
+
+TEST(SimulatedDiskTest, TornWritesAreCaughtByChecksum) {
+  FaultConfig config;
+  config.torn_write_prob = 1.0;
+  FaultInjector injector(config);
+  SimulatedDisk disk(0x5eedd15c, &injector);
+  const Result<SimulatedDisk::PageImage> r = disk.ReadPage(PageId{4, 2});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataCorruption);
+  EXPECT_EQ(disk.stats().checksum_failures, 1u);
+  EXPECT_EQ(injector.stats().injected_torn_writes, 1u);
+}
+
+TEST(SimulatedDiskTest, StaleReadsAreCaughtByVersionCheck) {
+  FaultConfig config;
+  config.stale_read_prob = 1.0;
+  FaultInjector injector(config);
+  SimulatedDisk disk(0x5eedd15c, &injector);
+  const PageId page{6, 1};
+  disk.WritePage(page);  // current version 2; a stale read returns v1
+  const Result<SimulatedDisk::PageImage> r = disk.ReadPage(page);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataCorruption);
+  EXPECT_EQ(disk.stats().stale_reads_caught, 1u);
+  EXPECT_EQ(disk.stats().checksum_failures, 0u);
+}
+
+TEST(SimulatedDiskTest, CorruptionStreamDoesNotPerturbErrorStream) {
+  // Enabling corruption must not change the transient-error/spike sequence:
+  // the injector draws corruption from its own RNG stream.
+  FaultConfig base;
+  base.transient_error_prob = 0.05;
+  base.tail_latency_prob = 0.02;
+  base.seed = 99;
+  FaultConfig with_corruption = base;
+  with_corruption.bit_flip_prob = 0.5;
+  FaultInjector a(base), b(with_corruption);
+  for (int i = 0; i < 2000; ++i) {
+    const DiskReadFault fa = a.OnDiskRead(900);
+    const DiskReadFault fb = b.OnDiskRead(900);
+    ASSERT_EQ(fa.transient_error, fb.transient_error) << i;
+    ASSERT_EQ(fa.extra_latency_us, fb.extra_latency_us) << i;
+    b.OnPageImage();  // interleave corruption draws
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption on the read paths: foreground retries, speculative drops.
+// ---------------------------------------------------------------------------
+
+SimOptions CorruptSim(double bit_flip_prob, uint64_t seed = 1234) {
+  SimOptions options;
+  options.buffer_pages = 512;
+  options.os_cache_pages = 2048;
+  options.faults.bit_flip_prob = bit_flip_prob;
+  options.faults.seed = seed;
+  return options;
+}
+
+TEST(CorruptReadTest, ForegroundReadRecoversViaRetry) {
+  // 20% of device reads come back corrupt; 0.2^8 makes exhausting all 8
+  // attempts effectively impossible, so every fetch eventually verifies.
+  const QueryTrace trace = MakeMixedTrace(40, 200);
+  SimEnvironment env(CorruptSim(0.20, 42));
+  const ReplayResult r = ReplayQuery(trace, {}, PrefetcherOptions{}, &env);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.completed_accesses, trace.accesses.size());
+  EXPECT_GT(r.pool_stats.corrupt_retries, 0u);
+  EXPECT_GT(env.os_cache().corrupt_reads(), 0u);
+  EXPECT_EQ(env.pool().pinned_frames(), 0u);
+  ASSERT_NE(env.disk(), nullptr);
+  EXPECT_GT(env.disk()->stats().checksum_failures, 0u);
+  // Every page the query received was verified.
+  EXPECT_GT(env.disk()->stats().verified_ok, 0u);
+}
+
+TEST(CorruptReadTest, PrefetchDropsCorruptPagesWithoutPinning) {
+  const QueryTrace trace = MakeMixedTrace(10, 150);
+  SimEnvironment env(CorruptSim(0.30, 77));
+  PrefetcherOptions options;
+  options.start_delay_us = 0;
+  const ReplayResult r =
+      ReplayQuery(trace, OraclePages(trace), options, &env);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.completed_accesses, trace.accesses.size());
+  // Corrupt speculative reads are dropped and classified separately from
+  // transient-fault drops; no corrupt page ever stays pinned.
+  EXPECT_GT(r.prefetch_stats.dropped_corrupt, 0u);
+  EXPECT_EQ(r.prefetch_stats.dropped_faulty, 0u);
+  EXPECT_EQ(env.pool().pinned_frames(), 0u);
+}
+
+TEST(CorruptReadTest, LowRateCorruptionIsTransparentToQueries) {
+  // The ISSUE acceptance rate: 1e-4 bit flips. Queries must complete with
+  // full accounting and the run must stay deterministic per seed.
+  const QueryTrace trace = MakeMixedTrace(60, 240);
+  auto run = [&](uint64_t seed) {
+    SimEnvironment env(CorruptSim(1e-4, seed));
+    PrefetcherOptions options;
+    options.start_delay_us = 0;
+    return ReplayQuery(trace, OraclePages(trace), options, &env);
+  };
+  const ReplayResult a = run(9), b = run(9);
+  ASSERT_TRUE(a.status.ok());
+  EXPECT_EQ(a.completed_accesses, trace.accesses.size());
+  EXPECT_EQ(a.elapsed_us, b.elapsed_us);
+  EXPECT_EQ(a.pool_stats.corrupt_retries, b.pool_stats.corrupt_retries);
+}
+
+TEST(CorruptReadTest, ReadaheadVerifiesBeforeInsert) {
+  LatencyModel latency;
+  FaultConfig config;
+  config.bit_flip_prob = 0.5;
+  config.seed = 13;
+  FaultInjector injector(config);
+  SimulatedDisk disk(0x5eedd15c, &injector);
+  OsPageCache cache(
+      OsPageCache::Options{.capacity_pages = 256, .readahead_pages = 8},
+      latency);
+  cache.set_disk(&disk);
+  // Sequential scan: the readahead window pulls pages ahead of the cursor
+  // and must drop (not cache) the ones that fail verification.
+  for (uint32_t p = 0; p < 64; ++p) {
+    cache.Read(PageId{1, p});
+  }
+  EXPECT_GT(cache.readahead_dropped_corrupt(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Model-file integrity: header verification, quarantine, retrain.
+// ---------------------------------------------------------------------------
+
+// Writes raw bytes to `path`.
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+TEST(ModelIntegrityTest, GarbageFileIsQuarantined) {
+  const std::string path = ::testing::TempDir() + "/garbage.pywm";
+  WriteFile(path, "this is not a model file at all");
+  const uint64_t quarantined_before = GlobalModelIntegrity().quarantined;
+  const Result<WorkloadModel> r = WorkloadModel::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataCorruption);
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(FileExists(path + ".corrupt"));
+  EXPECT_EQ(GlobalModelIntegrity().quarantined, quarantined_before + 1);
+  std::remove((path + ".corrupt").c_str());
+}
+
+TEST(ModelIntegrityTest, VersionMismatchRetrainsWithoutQuarantine) {
+  // Magic is right, version is old: a stale cache, not corruption. The file
+  // must be left in place for the retrain path to overwrite.
+  const std::string path = ::testing::TempDir() + "/oldversion.pywm";
+  std::string bytes;
+  const uint32_t magic = 0x5059574d;  // "PYWM"
+  const uint32_t old_version = 2;
+  bytes.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  bytes.append(reinterpret_cast<const char*>(&old_version),
+               sizeof(old_version));
+  WriteFile(path, bytes);
+  const Result<WorkloadModel> r = WorkloadModel::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".corrupt"));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIntegrityTest, TruncatedFileIsQuarantined) {
+  // Valid magic and version but a payload length the file cannot back: the
+  // torn-write / truncation case.
+  const std::string path = ::testing::TempDir() + "/truncated.pywm";
+  std::string bytes;
+  const uint32_t magic = 0x5059574d;
+  const uint32_t version = 3;
+  const uint64_t claimed_size = 4096;  // file ends long before this
+  const uint32_t crc = 0;
+  bytes.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  bytes.append(reinterpret_cast<const char*>(&claimed_size),
+               sizeof(claimed_size));
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  bytes.append("short payload");
+  WriteFile(path, bytes);
+  const uint64_t corrupt_before = GlobalModelIntegrity().corrupt_files;
+  const Result<WorkloadModel> r = WorkloadModel::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataCorruption);
+  EXPECT_TRUE(FileExists(path + ".corrupt"));
+  EXPECT_EQ(GlobalModelIntegrity().corrupt_files, corrupt_before + 1);
+  std::remove((path + ".corrupt").c_str());
+}
+
+TEST(ModelIntegrityTest, BitFlippedCacheIsQuarantinedAndRetrained) {
+  // Full self-healing path: train + save, flip one payload byte, then ask
+  // the cache layer again — it must quarantine the corrupt file, retrain
+  // transparently, and rewrite a loadable cache.
+  auto db = BuildDsbDatabase(DsbConfig{5, 42});
+  WorkloadOptions wopts;
+  wopts.num_queries = 30;
+  wopts.test_fraction = 0.1;
+  Result<Workload> wl = GenerateWorkload(*db, TemplateId::kDsb91, wopts);
+  ASSERT_TRUE(wl.ok());
+  PredictorOptions popts;
+  popts.epochs = 1;
+  popts.num_threads = 1;
+  const std::string path = ::testing::TempDir() + "/selfheal.pywm";
+  std::remove(path.c_str());
+  std::remove((path + ".corrupt").c_str());
+
+  Result<WorkloadModel> first =
+      GetOrTrainWorkloadModel(path, *db, *wl, popts);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(FileExists(path));
+
+  // Flip one bit in the middle of the payload.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    ASSERT_GT(size, 64);
+    const std::streamoff target = size / 2;
+    f.seekg(target);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x10;
+    f.seekp(target);
+    f.write(&byte, 1);
+  }
+
+  const ModelIntegrityCounters before = GlobalModelIntegrity();
+  Result<WorkloadModel> healed =
+      GetOrTrainWorkloadModel(path, *db, *wl, popts);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  const ModelIntegrityCounters& after = GlobalModelIntegrity();
+  EXPECT_EQ(after.corrupt_files, before.corrupt_files + 1);
+  EXPECT_EQ(after.quarantined, before.quarantined + 1);
+  EXPECT_EQ(after.retrains_after_corruption,
+            before.retrains_after_corruption + 1);
+  EXPECT_TRUE(FileExists(path + ".corrupt"));
+  // The retrain rewrote a valid cache; a third call loads it cleanly.
+  EXPECT_TRUE(FileExists(path));
+  Result<WorkloadModel> reloaded = WorkloadModel::Load(path);
+  EXPECT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(after.atomic_saves, before.atomic_saves + 1);
+  std::remove(path.c_str());
+  std::remove((path + ".corrupt").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Prediction-health watchdog.
+// ---------------------------------------------------------------------------
+
+WatchdogOptions SmallWatchdog() {
+  WatchdogOptions o;
+  o.window = 4;
+  o.min_samples = 4;
+  o.min_useful_ratio = 0.25;
+  o.min_attempted = 8;
+  o.probation_queries = 3;
+  o.required_probe_successes = 2;
+  return o;
+}
+
+TEST(WatchdogTest, HealthyModelStaysHealthy) {
+  PredictionWatchdog dog(SmallWatchdog());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(dog.AllowPrediction());
+    dog.Record(100, 80);
+  }
+  EXPECT_EQ(dog.health(), ModelHealth::kHealthy);
+  EXPECT_EQ(dog.stats().demotions, 0u);
+  EXPECT_NEAR(dog.WindowRatio(), 0.8, 1e-9);
+}
+
+TEST(WatchdogTest, TinySessionsAreNeverJudged) {
+  PredictionWatchdog dog(SmallWatchdog());
+  for (int i = 0; i < 50; ++i) {
+    dog.Record(4, 0);  // below min_attempted: useless but tiny
+  }
+  EXPECT_EQ(dog.health(), ModelHealth::kHealthy);
+  EXPECT_EQ(dog.stats().sessions_judged, 0u);
+}
+
+TEST(WatchdogTest, SustainedUselessnessDemotes) {
+  PredictionWatchdog dog(SmallWatchdog());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(dog.AllowPrediction());
+    dog.Record(100, 5);  // 5% useful, floor is 25%
+  }
+  EXPECT_EQ(dog.health(), ModelHealth::kDegraded);
+  EXPECT_EQ(dog.stats().demotions, 1u);
+  // Degraded: predictions denied for the probation period.
+  EXPECT_FALSE(dog.AllowPrediction());
+  EXPECT_EQ(dog.stats().degraded_queries, 1u);
+}
+
+TEST(WatchdogTest, ProbationProbesAndReinstates) {
+  PredictionWatchdog dog(SmallWatchdog());
+  for (int i = 0; i < 4; ++i) dog.Record(100, 0);
+  ASSERT_EQ(dog.health(), ModelHealth::kDegraded);
+  // Burn down probation (3 queries run on the baseline).
+  EXPECT_FALSE(dog.AllowPrediction());
+  EXPECT_FALSE(dog.AllowPrediction());
+  EXPECT_FALSE(dog.AllowPrediction());
+  EXPECT_EQ(dog.health(), ModelHealth::kProbation);
+  // Two useful probes reinstate.
+  EXPECT_TRUE(dog.AllowPrediction());
+  dog.Record(100, 60);
+  EXPECT_EQ(dog.health(), ModelHealth::kProbation);
+  EXPECT_TRUE(dog.AllowPrediction());
+  dog.Record(100, 60);
+  EXPECT_EQ(dog.health(), ModelHealth::kHealthy);
+  EXPECT_EQ(dog.stats().reinstatements, 1u);
+  EXPECT_EQ(dog.stats().probes, 2u);
+}
+
+TEST(WatchdogTest, UselessProbeDemotesAgain) {
+  PredictionWatchdog dog(SmallWatchdog());
+  for (int i = 0; i < 4; ++i) dog.Record(100, 0);
+  for (int i = 0; i < 3; ++i) dog.AllowPrediction();
+  ASSERT_EQ(dog.health(), ModelHealth::kProbation);
+  EXPECT_TRUE(dog.AllowPrediction());
+  dog.Record(100, 0);  // probe still useless
+  EXPECT_EQ(dog.health(), ModelHealth::kDegraded);
+  EXPECT_EQ(dog.stats().demotions, 2u);
+}
+
+TEST(WatchdogTest, ResetRestoresHealthy) {
+  PredictionWatchdog dog(SmallWatchdog());
+  for (int i = 0; i < 4; ++i) dog.Record(100, 0);
+  ASSERT_EQ(dog.health(), ModelHealth::kDegraded);
+  dog.Reset();
+  EXPECT_EQ(dog.health(), ModelHealth::kHealthy);
+  EXPECT_TRUE(dog.AllowPrediction());
+  EXPECT_EQ(dog.stats().demotions, 0u);
 }
 
 TEST(CircuitBreakerTest, UnhealthyProbeReopens) {
