@@ -8,7 +8,10 @@
 #   (unset) | address   ASan + UBSan, non-recoverable — the fault-injection
 #                       and error-propagation paths
 #   thread  | tsan      ThreadSanitizer — the ThreadPool-driven parallel
-#                       training and inference paths
+#                       training and inference paths, and
+#                       metrics_registry_test's concurrent-increment tests
+#                       (the proof that the registry fixed the old
+#                       GlobalModelIntegrity counter races)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "util/trace.h"
+
 namespace pythia {
 
 BufferPool::BufferPool(const Options& options, OsPageCache* os_cache,
@@ -51,6 +53,8 @@ Result<FetchResult> BufferPool::FetchPage(PageId page, SimTime now) {
       // Block until the async read lands.
       result.prefetch_wait_us = f.arrival - now;
       stats_.prefetch_wait_us += result.prefetch_wait_us;
+      PYTHIA_TRACE_INSTANT("bufmgr", "prefetch.wait", now, "wait_us",
+                           result.prefetch_wait_us, "page", page.page_no);
     }
     f.in_flight = false;
     result.latency_us = result.prefetch_wait_us + latency_.buffer_hit_us;
@@ -85,6 +89,8 @@ Result<FetchResult> BufferPool::FetchPage(PageId page, SimTime now) {
     if (r.status().code() == StatusCode::kDataCorruption) {
       ++stats_.corrupt_retries;
     }
+    PYTHIA_TRACE_INSTANT("bufmgr", "read.retry", now, "attempt", attempt,
+                         "page", page.page_no);
     ++result.retries;
     retry_penalty_us += latency_.disk_random_read_us;
     FaultInjector* injector = os_cache_->fault_injector();
@@ -94,6 +100,15 @@ Result<FetchResult> BufferPool::FetchPage(PageId page, SimTime now) {
   }
   result.latency_us = retry_penalty_us + os.latency_us;
   result.source = os.source;
+  // One span per demand miss that reached the device, on the executor lane:
+  // the query is blocked from `now` for the whole retry + read latency.
+  // OS-cache copies are deliberately not recorded — they are the hot
+  // majority on scan-heavy replays and each is a ~memcpy; tracing them
+  // would cost more than they take.
+  if (os.source != AccessSource::kOsCache) {
+    PYTHIA_TRACE_SPAN("bufmgr", "fetch.miss", now, now + result.latency_us,
+                      "obj", page.object_id, "page", page.page_no);
+  }
   switch (os.source) {
     case AccessSource::kOsCache: ++stats_.os_cache_copies; break;
     case AccessSource::kDiskSequential: ++stats_.disk_seq_reads; break;

@@ -1,5 +1,7 @@
 #include "core/circuit_breaker.h"
 
+#include "util/trace.h"
+
 namespace pythia {
 
 const char* BreakerStateName(BreakerState state) {
@@ -75,6 +77,8 @@ void CircuitBreaker::Record(bool healthy) {
         state_ = BreakerState::kClosed;
         window_.clear();
         ++stats_.recoveries;
+        PYTHIA_TRACE_INSTANT_CTX("breaker", "recover", "recoveries",
+                                 stats_.recoveries);
       }
       return;
   }
@@ -86,6 +90,7 @@ void CircuitBreaker::TripOpen() {
   window_.clear();
   probe_successes_ = 0;
   ++stats_.trips;
+  PYTHIA_TRACE_INSTANT_CTX("breaker", "trip", "trips", stats_.trips);
 }
 
 void CircuitBreaker::Reset() {

@@ -12,7 +12,9 @@
 #include "util/crc32.h"
 #include "util/hash.h"
 #include "util/metrics.h"
+#include "util/metrics_registry.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace pythia {
 
@@ -29,6 +31,14 @@ ObjectId BaseObjectOf(const Database& db, ObjectId object) {
     }
   }
   return object;
+}
+
+// Registry-backed integrity counters: model files are saved/loaded from
+// wherever a bench or test pleases — including ThreadPool lanes — so these
+// must be atomic, not plain fields (the old GlobalModelIntegrity() struct
+// raced under TSan).
+Counter& IntegrityCounter(const char* name) {
+  return MetricsRegistry::Global().counter(name);
 }
 
 }  // namespace
@@ -316,7 +326,8 @@ void QuarantineModelFile(const std::string& path) {
   const std::string quarantine = path + ".corrupt";
   std::remove(quarantine.c_str());
   if (std::rename(path.c_str(), quarantine.c_str()) == 0) {
-    ++GlobalModelIntegrity().quarantined;
+    IntegrityCounter("model.quarantined").Increment();
+    PYTHIA_TRACE_INSTANT_CTX("model", "quarantine");
     std::fprintf(stderr, "warning: quarantined corrupt model file %s -> %s\n",
                  path.c_str(), quarantine.c_str());
   }
@@ -446,22 +457,20 @@ Status WorkloadModel::WritePayload(std::FILE* f) {
 }
 
 Status WorkloadModel::Save(const std::string& path) {
-  ModelIntegrityCounters& integrity = GlobalModelIntegrity();
-
   // Serialize the payload into memory first: the header needs its size and
   // CRC-32, and a memory buffer means the temp file is written in one pass.
   char* buf = nullptr;
   size_t len = 0;
   std::FILE* mem = open_memstream(&buf, &len);
   if (mem == nullptr) {
-    ++integrity.failed_saves;
+    IntegrityCounter("model.failed_saves").Increment();
     return Status::Internal("open_memstream failed");
   }
   Status payload_status = WritePayload(mem);
   std::fclose(mem);  // flushes buf/len
   std::unique_ptr<char, decltype(&std::free)> owned(buf, &std::free);
   if (!payload_status.ok()) {
-    ++integrity.failed_saves;
+    IntegrityCounter("model.failed_saves").Increment();
     return payload_status;
   }
 
@@ -472,7 +481,7 @@ Status WorkloadModel::Save(const std::string& path) {
   {
     FilePtr f(std::fopen(tmp.c_str(), "wb"));
     if (!f) {
-      ++integrity.failed_saves;
+      IntegrityCounter("model.failed_saves").Increment();
       return Status::IoError("cannot open for write: " + tmp);
     }
     const uint64_t payload_size = len;
@@ -485,28 +494,27 @@ Status WorkloadModel::Save(const std::string& path) {
     if (!ok) {
       f.reset();
       std::remove(tmp.c_str());
-      ++integrity.failed_saves;
+      IntegrityCounter("model.failed_saves").Increment();
       return Status::IoError("write failed: " + tmp);
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    ++integrity.failed_saves;
+    IntegrityCounter("model.failed_saves").Increment();
     return Status::IoError("rename failed: " + tmp + " -> " + path);
   }
-  ++integrity.atomic_saves;
+  IntegrityCounter("model.atomic_saves").Increment();
   return Status::OK();
 }
 
 Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::NotFound("no cached model at: " + path);
-  ModelIntegrityCounters& integrity = GlobalModelIntegrity();
 
   uint32_t magic = 0;
   if (!ReadPod(f.get(), &magic) || magic != kModelMagic) {
     f.reset();
-    ++integrity.corrupt_files;
+    IntegrityCounter("model.corrupt_files").Increment();
     QuarantineModelFile(path);
     return Status::DataCorruption("bad magic in model file: " + path);
   }
@@ -514,7 +522,7 @@ Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
   // retrains and overwrites, and the old file is left alone (no quarantine).
   uint32_t version = 0;
   if (!ReadPod(f.get(), &version) || version != kModelVersion) {
-    ++integrity.version_mismatches;
+    IntegrityCounter("model.version_mismatches").Increment();
     return Status::FailedPrecondition("model cache version mismatch: " + path);
   }
 
@@ -543,7 +551,7 @@ Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
   if (ok) ok = Crc32(payload.data(), payload.size()) == payload_crc;
   f.reset();
   if (!ok) {
-    ++integrity.corrupt_files;
+    IntegrityCounter("model.corrupt_files").Increment();
     QuarantineModelFile(path);
     return Status::DataCorruption("model file failed CRC verification: " +
                                   path);
@@ -552,19 +560,19 @@ Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
   // The buffer is verified; parse it through the same FILE* readers.
   std::FILE* pf = fmemopen(payload.data(), payload.size(), "rb");
   if (pf == nullptr) {
-    ++integrity.corrupt_files;
+    IntegrityCounter("model.corrupt_files").Increment();
     QuarantineModelFile(path);
     return Status::DataCorruption("empty model payload: " + path);
   }
   Result<WorkloadModel> wm = ParsePayload(pf, path);
   std::fclose(pf);
   if (!wm.ok()) {
-    ++integrity.corrupt_files;
+    IntegrityCounter("model.corrupt_files").Increment();
     QuarantineModelFile(path);
     return Status::DataCorruption("model payload unparseable: " + path + ": " +
                                   wm.status().message());
   }
-  ++integrity.loads_ok;
+  IntegrityCounter("model.loads_ok").Increment();
   return wm;
 }
 
@@ -671,7 +679,8 @@ Result<WorkloadModel> GetOrTrainWorkloadModel(const std::string& cache_path,
   // A corrupt cache was quarantined by Load; the retrain below is the
   // self-healing half of that story, so count it.
   if (!cached.ok() && cached.status().code() == StatusCode::kDataCorruption) {
-    ++GlobalModelIntegrity().retrains_after_corruption;
+    IntegrityCounter("model.retrains_after_corruption").Increment();
+    PYTHIA_TRACE_INSTANT_CTX("model", "retrain_after_corruption");
   }
   Result<WorkloadModel> fresh = WorkloadModel::Train(db, workload, options);
   if (!fresh.ok()) return fresh;

@@ -103,7 +103,7 @@ class WorkloadModel {
   // <path>.corrupt — and DataCorruption returned, so the caller falls back
   // to retraining instead of aborting; a clean version mismatch returns
   // FailedPrecondition without quarantining. Counters for both paths live
-  // in GlobalModelIntegrity() (util/metrics.h).
+  // under "model.*" in MetricsRegistry (util/metrics_registry.h).
   static Result<WorkloadModel> Load(const std::string& path);
 
   // Fingerprint of (options, workload shape, db size) used to validate

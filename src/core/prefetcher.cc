@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace pythia {
 
 PrefetchSession::PrefetchSession(std::vector<PageId> pages,
@@ -55,6 +57,8 @@ void PrefetchSession::ExpireTimedOut(SimTime now) {
         now - it->second > options_.prefetch_timeout_us) {
       pool_->Unpin(it->first);
       ++stats_.timed_out;
+      PYTHIA_TRACE_INSTANT("prefetch", "timeout", now, "obj",
+                           it->first.object_id, "page", it->first.page_no);
       it = outstanding_.erase(it);
     } else {
       ++it;
@@ -91,8 +95,12 @@ void PrefetchSession::Pump(SimTime now) {
     if (!os.ok()) {
       if (os.status().code() == StatusCode::kDataCorruption) {
         ++stats_.dropped_corrupt;
+        PYTHIA_TRACE_INSTANT("prefetch", "drop.corrupt", now, "obj",
+                             page.object_id, "page", page.page_no);
       } else {
         ++stats_.dropped_faulty;
+        PYTHIA_TRACE_INSTANT("prefetch", "drop.faulty", now, "obj",
+                             page.object_id, "page", page.page_no);
       }
       ++next_;
       continue;
@@ -104,10 +112,14 @@ void PrefetchSession::Pump(SimTime now) {
       // erroring — stop pumping for now and retry on the next Pump, when
       // pins may have been released.
       ++stats_.rejected_by_pool;
+      PYTHIA_TRACE_INSTANT("prefetch", "shed", now, "obj", page.object_id,
+                           "page", page.page_no);
       return;
     }
     outstanding_.emplace(page, now);
     ++stats_.issued;
+    PYTHIA_TRACE_INSTANT("prefetch", "issue", now, "obj", page.object_id,
+                         "page", page.page_no);
     ++next_;
   }
 }
@@ -119,6 +131,8 @@ void PrefetchSession::OnFetch(PageId page, SimTime now) {
   outstanding_.erase(it);
   pool_->Unpin(page);
   ++stats_.consumed;
+  PYTHIA_TRACE_INSTANT("prefetch", "consume", now, "obj", page.object_id,
+                       "page", page.page_no);
   Pump(now);
 }
 

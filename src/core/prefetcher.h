@@ -95,7 +95,12 @@ class PrefetchSession {
   void Finish();
 
   const PrefetchSessionStats& stats() const { return stats_; }
+  // Total pages this session will attempt (the budget-trimmed plan). This is
+  // a constant for the session's lifetime; it used to double as "work left",
+  // which mislabelled progress displays — use remaining() for that.
   size_t planned() const { return queue_.size(); }
+  // Pages planned but not yet issued; shrinks as Pump advances the cursor.
+  size_t remaining() const { return queue_.size() - next_; }
   size_t outstanding() const { return outstanding_.size(); }
   bool finished() const { return finished_; }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/trace.h"
+
 namespace pythia {
 
 namespace {
@@ -87,6 +89,9 @@ ReplayResult ReplayQuery(const QueryTrace& trace,
   for (const PageAccess& access : trace.accesses) {
     now += static_cast<SimTime>(access.cpu_tuples_before) *
            latency.cpu_per_tuple_us;
+    // Keep the tracer's context time fresh for record sites below this layer
+    // that carry no clock of their own (OS cache, simulated disk).
+    PYTHIA_TRACE_SET_TIME(now);
     if (session != nullptr) session->Pump(now);
     const Result<FetchResult> fetch = env->pool().FetchPage(access.page, now);
     if (!fetch.ok()) {
@@ -104,6 +109,8 @@ ReplayResult ReplayQuery(const QueryTrace& trace,
     result.prefetch_stats = session->stats();
   }
   result.elapsed_us = now;
+  PYTHIA_TRACE_SPAN("query", "replay", 0, now, "accesses",
+                    result.completed_accesses);
   result.pool_stats = StatsDelta(env->pool().stats(), before);
   return result;
 }
@@ -124,6 +131,15 @@ ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
   result.start_us.resize(n);
   result.end_us.resize(n);
   result.statuses.resize(n);
+
+  // Each concurrent query gets its own trace track; the event loop switches
+  // the tracer's current track as it context-switches between queries.
+  Tracer& tracer = Tracer::Global();
+  const bool tracing = tracer.enabled();
+  std::vector<uint32_t> tracks(tracing ? n : 0, 0);
+  if (tracing) {
+    for (size_t i = 0; i < n; ++i) tracks[i] = tracer.StartQueryTrack();
+  }
 
   for (size_t i = 0; i < n; ++i) {
     states[i].clock = queries[i].arrival_us;
@@ -155,10 +171,15 @@ ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
     if (pick == n) break;
 
     QueryState& st = states[pick];
+    if (tracing) {
+      tracer.SetTrack(tracks[pick]);
+      tracer.SetTime(st.clock);
+    }
     const PageAccess& access =
         queries[pick].trace->accesses[st.next_access];
     st.clock += static_cast<SimTime>(access.cpu_tuples_before) *
                 latency.cpu_per_tuple_us;
+    PYTHIA_TRACE_SET_TIME(st.clock);
     if (st.session != nullptr) st.session->Pump(st.clock);
     const Result<FetchResult> fetch =
         env->pool().FetchPage(access.page, st.clock);
@@ -169,6 +190,8 @@ ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
       st.done = true;
       if (st.session != nullptr) st.session->Finish();
       result.end_us[pick] = st.clock;
+      PYTHIA_TRACE_SPAN("query", "replay", queries[pick].arrival_us, st.clock,
+                        "accesses", st.next_access);
       continue;
     }
     st.clock += fetch->latency_us;
@@ -178,6 +201,8 @@ ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
       st.done = true;
       if (st.session != nullptr) st.session->Finish();
       result.end_us[pick] = st.clock;
+      PYTHIA_TRACE_SPAN("query", "replay", queries[pick].arrival_us, st.clock,
+                        "accesses", st.next_access);
     }
   }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/metrics_registry.h"
+#include "util/trace.h"
+
 namespace pythia {
 
 const char* RunModeName(RunMode mode) {
@@ -140,6 +143,15 @@ QueryRunMetrics PythiaSystem::RunQuery(
     const PrefetcherOptions& prefetch_options, bool cold) {
   QueryRunMetrics metrics;
 
+  // Each query gets its own trace track; its virtual clock starts at 0.
+  {
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled()) {
+      tracer.StartQueryTrack();
+      tracer.SetTime(0);
+    }
+  }
+
   // Guardrail: while the breaker is open, prefetch-eligible queries run
   // against the plain buffer manager (RunMode::kDefault behaviour) instead
   // of prediction + prefetch.
@@ -148,6 +160,7 @@ QueryRunMetrics PythiaSystem::RunQuery(
     effective = RunMode::kDefault;
     metrics.degraded_by_breaker = true;
     ++robustness_.degraded_queries;
+    PYTHIA_TRACE_INSTANT("system", "degraded.breaker", 0);
   }
 
   // The watchdog guards model quality, so it only gates the learned mode:
@@ -162,11 +175,17 @@ QueryRunMetrics PythiaSystem::RunQuery(
         !entries_[watchdog_entry]->watchdog.AllowPrediction()) {
       watchdog_blocked = true;
       metrics.degraded_by_watchdog = true;
+      PYTHIA_TRACE_INSTANT("system", "degraded.watchdog", 0);
     }
   }
 
   std::vector<PageId> pages;
-  if (!watchdog_blocked) pages = PrefetchPlan(query, effective, &metrics);
+  if (!watchdog_blocked) {
+    pages = PrefetchPlan(query, effective, &metrics);
+    if (metrics.engaged) {
+      PYTHIA_TRACE_INSTANT("system", "predict", 0, "pages", pages.size());
+    }
+  }
 
   PrefetcherOptions options = prefetch_options;
   if (effective == RunMode::kOracle) {
@@ -212,6 +231,26 @@ QueryRunMetrics PythiaSystem::RunQuery(
     robustness_.injected_stale_reads = injector->stats().injected_stale_reads;
   }
   HarvestWatchdogStats();
+
+  // Mirror the per-query outcome into the process-wide registry, so one
+  // snapshot answers "what has this process done so far" across benches and
+  // tests without threading struct references around.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.counter("query.runs").Increment();
+  if (metrics.degraded_by_breaker || metrics.degraded_by_watchdog) {
+    reg.counter("query.degraded").Increment();
+  }
+  reg.counter("prefetch.issued").Increment(replay.prefetch_stats.issued);
+  reg.counter("prefetch.consumed").Increment(replay.prefetch_stats.consumed);
+  reg.counter("prefetch.dropped_faulty")
+      .Increment(replay.prefetch_stats.dropped_faulty);
+  reg.counter("prefetch.dropped_corrupt")
+      .Increment(replay.prefetch_stats.dropped_corrupt);
+  reg.counter("prefetch.shed").Increment(replay.prefetch_stats.rejected_by_pool);
+  reg.counter("prefetch.timed_out").Increment(replay.prefetch_stats.timed_out);
+  reg.histogram("query.elapsed_us").Record(replay.elapsed_us);
+  reg.gauge("bufmgr.pinned_frames")
+      .Set(static_cast<int64_t>(env_->pool().pinned_frames()));
   return metrics;
 }
 

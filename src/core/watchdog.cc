@@ -1,6 +1,7 @@
 #include "core/watchdog.h"
 
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace pythia {
 
@@ -58,6 +59,8 @@ void PredictionWatchdog::Record(uint64_t attempted, uint64_t consumed) {
         health_ = ModelHealth::kHealthy;
         window_.clear();
         ++stats_.reinstatements;
+        PYTHIA_TRACE_INSTANT_CTX("watchdog", "reinstate", "reinstatements",
+                                 stats_.reinstatements);
       }
       return;
   }
@@ -76,6 +79,8 @@ void PredictionWatchdog::Demote() {
   window_.clear();
   probe_successes_ = 0;
   ++stats_.demotions;
+  PYTHIA_TRACE_INSTANT_CTX("watchdog", "demote", "demotions",
+                           stats_.demotions);
 }
 
 void PredictionWatchdog::Reset() {

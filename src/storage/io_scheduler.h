@@ -13,6 +13,7 @@
 
 #include "storage/fault_injector.h"
 #include "storage/sim_clock.h"
+#include "util/trace.h"
 
 namespace pythia {
 
@@ -37,6 +38,10 @@ class IoScheduler {
         injector_ != nullptr ? injector_->OnAioSchedule() : 0;
     free_at_[best] = start + stall + latency_us;
     ++scheduled_ops_;
+    // The span covers queueing + stall + device time, so in the trace the
+    // async read visibly overlaps the executor lane it was issued from.
+    PYTHIA_TRACE_IO_SPAN("io", "aio", now, free_at_[best], "channel", best,
+                         "stall_us", stall);
     return free_at_[best];
   }
 

@@ -1,5 +1,7 @@
 #include "storage/os_cache.h"
 
+#include "util/trace.h"
+
 namespace pythia {
 
 Result<OsReadResult> OsPageCache::Read(PageId page) {
@@ -30,6 +32,8 @@ Result<OsReadResult> OsPageCache::Read(PageId page) {
     const DiskReadFault fault = injector_->OnDiskRead(result.latency_us);
     if (fault.transient_error) {
       ++failed_reads_;
+      PYTHIA_TRACE_INSTANT_CTX("storage", "read.error", "obj", page.object_id,
+                               "page", page.page_no);
       return Status::IoError("transient disk read error");
     }
     result.latency_us += fault.extra_latency_us;
@@ -42,6 +46,8 @@ Result<OsReadResult> OsPageCache::Read(PageId page) {
     if (!image.ok()) {
       ++corrupt_reads_;
       ++failed_reads_;
+      PYTHIA_TRACE_INSTANT_CTX("storage", "read.corrupt", "obj",
+                               page.object_id, "page", page.page_no);
       return image.status();
     }
   }
@@ -58,6 +64,8 @@ Result<OsReadResult> OsPageCache::Read(PageId page) {
       if (disk_ != nullptr && map_.count(ahead) == 0) {
         if (!disk_->ReadPage(ahead).ok()) {
           ++readahead_dropped_corrupt_;
+          PYTHIA_TRACE_INSTANT_CTX("storage", "readahead.drop_corrupt", "obj",
+                                   ahead.object_id, "page", ahead.page_no);
           continue;
         }
       }

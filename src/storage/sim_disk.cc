@@ -5,6 +5,7 @@
 
 #include "util/crc32.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace pythia {
 
@@ -122,6 +123,8 @@ Result<SimulatedDisk::PageImage> SimulatedDisk::ReadPage(PageId page) {
     } else {
       ++stats_.checksum_failures;
     }
+    PYTHIA_TRACE_INSTANT_CTX("storage", "page.verify_failed", "obj",
+                             page.object_id, "page", page.page_no);
     return verify;
   }
   ++stats_.verified_ok;

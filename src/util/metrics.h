@@ -24,6 +24,11 @@ inline double SafeDiv(double numerator, double denominator) {
 
 // Counters for the fault-tolerance layer, aggregated across the storage,
 // buffer-manager, prefetcher and system layers by whoever reports them.
+// Thread-safety contract: this is a per-PythiaSystem aggregate written only
+// on the query thread (RunQuery), never from ThreadPool lanes — counters
+// that ARE reachable from lanes (model save/load/retrain) live behind the
+// atomic MetricsRegistry ("model.*"), and RunQuery mirrors the hot
+// prefetch/query facts into the registry too ("prefetch.*", "query.*").
 struct RobustnessCounters {
   uint64_t injected_errors = 0;     // transient I/O errors injected
   uint64_t injected_spikes = 0;     // tail-latency spikes injected
@@ -55,24 +60,11 @@ struct RobustnessCounters {
   uint64_t watchdog_degraded_queries = 0;  // ran on the readahead baseline
 };
 
-// Process-wide counters for model-file integrity (the .pywm cache in
-// core/predictor.cc). A corrupt or truncated file is quarantined (renamed
-// to <path>.corrupt) and the model retrained; these counters are how that
-// self-healing is observed.
-struct ModelIntegrityCounters {
-  uint64_t loads_ok = 0;
-  uint64_t version_mismatches = 0;   // stale format: retrain, no quarantine
-  uint64_t corrupt_files = 0;        // CRC/size/parse failures on load
-  uint64_t quarantined = 0;          // files renamed to .corrupt
-  uint64_t retrains_after_corruption = 0;
-  uint64_t atomic_saves = 0;         // temp-file + rename completions
-  uint64_t failed_saves = 0;
-};
-
-inline ModelIntegrityCounters& GlobalModelIntegrity() {
-  static ModelIntegrityCounters counters;
-  return counters;
-}
+// Model-file integrity counters moved behind the atomic MetricsRegistry
+// ("model.*" counters; snapshot via ModelIntegritySnapshot() in
+// util/metrics_registry.h). The old GlobalModelIntegrity() singleton of
+// plain uint64 fields was a data race once model save/load/retrain could
+// run on ThreadPool lanes.
 
 // Counters for the plan-fingerprint prediction memoization cache
 // (core/prediction_cache.h). An eviction is counted when an insert pushes
@@ -148,7 +140,10 @@ struct Summary {
   size_t n = 0;
 };
 
-inline double Quantile(std::vector<double> sorted, double q) {
+// `sorted` must already be in ascending order; taking it by const reference
+// matters — Summarize calls this four times per sample, and the old
+// by-value signature copied the entire vector each time.
+inline double Quantile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   if (sorted.size() == 1) return sorted[0];
   double pos = q * (sorted.size() - 1);

@@ -1,0 +1,124 @@
+#include "util/metrics_registry.h"
+
+#include <bit>
+
+namespace pythia {
+
+void Histogram::Record(uint64_t sample) {
+  const size_t b = static_cast<size_t>(std::bit_width(sample));
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < sample &&
+         !max_.compare_exchange_weak(prev, sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile (1-based), then walk buckets until the
+  // cumulative count covers it and interpolate linearly inside the bucket.
+  const double rank = q * static_cast<double>(n - 1) + 1.0;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    const uint64_t in_bucket = bucket(b);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+    const double hi = b == 0 ? 0.0 : lo * 2.0 - 1.0;
+    const double frac =
+        (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * frac;
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c.value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g.value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.count = h.count();
+    row.sum = h.sum();
+    row.max = h.max();
+    row.mean = h.Mean();
+    row.p50 = h.Quantile(0.5);
+    row.p90 = h.Quantile(0.9);
+    row.p99 = h.Quantile(0.99);
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+ModelIntegrityCounters ModelIntegritySnapshot() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  ModelIntegrityCounters c;
+  c.loads_ok = reg.counter("model.loads_ok").value();
+  c.version_mismatches = reg.counter("model.version_mismatches").value();
+  c.corrupt_files = reg.counter("model.corrupt_files").value();
+  c.quarantined = reg.counter("model.quarantined").value();
+  c.retrains_after_corruption =
+      reg.counter("model.retrains_after_corruption").value();
+  c.atomic_saves = reg.counter("model.atomic_saves").value();
+  c.failed_saves = reg.counter("model.failed_saves").value();
+  return c;
+}
+
+}  // namespace pythia

@@ -1,0 +1,250 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace pythia {
+
+namespace {
+
+void AppendArg(std::string* out, const char* name, uint64_t value,
+               bool first) {
+  if (!first) *out += ',';
+  *out += '"';
+  *out += name;
+  *out += "\":";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+// Pre-reserved event capacity: enough for a traced benchmark pass without
+// any reallocation mid-recording (the buffer still grows past this if a run
+// records more).
+constexpr size_t kReserveEvents = 1 << 17;
+
+}  // namespace
+
+void Tracer::Enable() {
+  Lock();
+  if (events_.capacity() < kReserveEvents) events_.reserve(kReserveEvents);
+  Unlock();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  Lock();
+  events_.clear();
+  next_track_ = 0;
+  track_ = 0;
+  time_ = 0;
+  Unlock();
+}
+
+uint32_t Tracer::StartQueryTrack() {
+  Lock();
+  const uint32_t track = next_track_++;
+  track_ = track;
+  time_ = 0;
+  Unlock();
+  return track;
+}
+
+void Tracer::RecordSpan(const char* category, const char* name, SimTime start,
+                        SimTime end, bool io_lane, const char* arg1_name,
+                        uint64_t arg1, const char* arg2_name, uint64_t arg2) {
+  TraceEvent e;
+  e.phase = 'X';
+  e.ts = start;
+  e.dur = end > start ? end - start : 0;
+  e.lane = 2 * track_ + (io_lane ? 1 : 0);
+  e.category = category;
+  e.name = name;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Lock();
+  events_.push_back(e);
+  Unlock();
+}
+
+void Tracer::RecordInstant(const char* category, const char* name, SimTime ts,
+                           const char* arg1_name, uint64_t arg1,
+                           const char* arg2_name, uint64_t arg2) {
+  TraceEvent e;
+  e.phase = 'i';
+  e.ts = ts;
+  e.lane = 2 * track_;
+  e.category = category;
+  e.name = name;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Lock();
+  events_.push_back(e);
+  Unlock();
+}
+
+size_t Tracer::size() const {
+  Lock();
+  const size_t n = events_.size();
+  Unlock();
+  return n;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  Lock();
+  std::vector<TraceEvent> out = events_;
+  Unlock();
+  return out;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // Thread-name metadata first, so viewers label the lanes. Tracks are
+  // derived from the events themselves (lane / 2), kept in sorted order for
+  // byte-stable output.
+  std::map<uint32_t, bool> tracks;  // track -> has io-lane events
+  for (const TraceEvent& e : events) {
+    const uint32_t track = e.lane / 2;
+    auto [it, inserted] = tracks.emplace(track, false);
+    if (e.lane % 2 == 1) it->second = true;
+  }
+  bool first = true;
+  char buf[64];
+  for (const auto& [track, has_io] : tracks) {
+    for (int io = 0; io <= (has_io ? 1 : 0); ++io) {
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(buf, sizeof(buf), "%u", 2 * track + io);
+      out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+      out += buf;
+      out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"q";
+      std::snprintf(buf, sizeof(buf), "%u", track);
+      out += buf;
+      out += io == 0 ? " exec\"}}" : " io\"}}";
+    }
+  }
+
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%u", e.lane);
+    out += buf;
+    out += ",\"ts\":";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(e.ts));
+    out += buf;
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(e.dur));
+      out += buf;
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";  // instant scoped to thread
+    out += ",\"cat\":\"";
+    out += e.category;
+    out += "\",\"name\":\"";
+    out += e.name;
+    out += '"';
+    if (e.arg1_name != nullptr) {
+      out += ",\"args\":{";
+      AppendArg(&out, e.arg1_name, e.arg1, /*first=*/true);
+      if (e.arg2_name != nullptr) {
+        AppendArg(&out, e.arg2_name, e.arg2, /*first=*/false);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+      std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+std::vector<QueryTimeline> Tracer::Timelines() const {
+  const std::vector<TraceEvent> events = Events();
+  std::map<uint32_t, QueryTimeline> by_query;
+  for (const TraceEvent& e : events) {
+    const uint32_t q = e.lane / 2;
+    auto [it, inserted] = by_query.emplace(q, QueryTimeline{});
+    QueryTimeline& t = it->second;
+    if (inserted) {
+      t.query = q;
+      t.begin_us = e.ts;
+    }
+    t.begin_us = std::min(t.begin_us, e.ts);
+    t.end_us = std::max(t.end_us, e.ts + e.dur);
+    if (std::strcmp(e.name, "fetch.miss") == 0) {
+      ++t.demand_misses;
+    } else if (std::strcmp(e.name, "issue") == 0) {
+      ++t.prefetch_issued;
+    } else if (std::strcmp(e.name, "consume") == 0) {
+      ++t.prefetch_consumed;
+    } else if (std::strcmp(e.name, "drop.faulty") == 0 ||
+               std::strcmp(e.name, "drop.corrupt") == 0 ||
+               std::strcmp(e.name, "shed") == 0) {
+      ++t.prefetch_dropped;
+    } else if (std::strcmp(e.name, "timeout") == 0) {
+      ++t.prefetch_timed_out;
+    } else if (std::strcmp(e.name, "prefetch.wait") == 0) {
+      t.prefetch_wait_us += e.arg1;
+    } else if (std::strcmp(e.name, "aio") == 0) {
+      t.prefetch_io_us += e.dur;
+    }
+  }
+  std::vector<QueryTimeline> out;
+  out.reserve(by_query.size());
+  for (const auto& [q, t] : by_query) out.push_back(t);
+  return out;
+}
+
+std::string Tracer::TimelineSummary() const {
+  std::string out;
+  char line[256];
+  for (const QueryTimeline& t : Timelines()) {
+    std::snprintf(
+        line, sizeof(line),
+        "q%-4u [%8llu..%10llu us] miss=%-5llu issue=%-5llu consume=%-5llu "
+        "drop=%-4llu timeout=%-4llu wait=%-8llu io=%llu\n",
+        t.query, static_cast<unsigned long long>(t.begin_us),
+        static_cast<unsigned long long>(t.end_us),
+        static_cast<unsigned long long>(t.demand_misses),
+        static_cast<unsigned long long>(t.prefetch_issued),
+        static_cast<unsigned long long>(t.prefetch_consumed),
+        static_cast<unsigned long long>(t.prefetch_dropped),
+        static_cast<unsigned long long>(t.prefetch_timed_out),
+        static_cast<unsigned long long>(t.prefetch_wait_us),
+        static_cast<unsigned long long>(t.prefetch_io_us));
+    out += line;
+  }
+  return out;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace pythia

@@ -11,6 +11,7 @@
 #include "storage/fault_injector.h"
 #include "storage/sim_disk.h"
 #include "util/metrics.h"
+#include "util/metrics_registry.h"
 
 namespace pythia {
 namespace {
@@ -601,13 +602,13 @@ bool FileExists(const std::string& path) {
 TEST(ModelIntegrityTest, GarbageFileIsQuarantined) {
   const std::string path = ::testing::TempDir() + "/garbage.pywm";
   WriteFile(path, "this is not a model file at all");
-  const uint64_t quarantined_before = GlobalModelIntegrity().quarantined;
+  const uint64_t quarantined_before = ModelIntegritySnapshot().quarantined;
   const Result<WorkloadModel> r = WorkloadModel::Load(path);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDataCorruption);
   EXPECT_FALSE(FileExists(path));
   EXPECT_TRUE(FileExists(path + ".corrupt"));
-  EXPECT_EQ(GlobalModelIntegrity().quarantined, quarantined_before + 1);
+  EXPECT_EQ(ModelIntegritySnapshot().quarantined, quarantined_before + 1);
   std::remove((path + ".corrupt").c_str());
 }
 
@@ -646,12 +647,12 @@ TEST(ModelIntegrityTest, TruncatedFileIsQuarantined) {
   bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
   bytes.append("short payload");
   WriteFile(path, bytes);
-  const uint64_t corrupt_before = GlobalModelIntegrity().corrupt_files;
+  const uint64_t corrupt_before = ModelIntegritySnapshot().corrupt_files;
   const Result<WorkloadModel> r = WorkloadModel::Load(path);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDataCorruption);
   EXPECT_TRUE(FileExists(path + ".corrupt"));
-  EXPECT_EQ(GlobalModelIntegrity().corrupt_files, corrupt_before + 1);
+  EXPECT_EQ(ModelIntegritySnapshot().corrupt_files, corrupt_before + 1);
   std::remove((path + ".corrupt").c_str());
 }
 
@@ -692,11 +693,11 @@ TEST(ModelIntegrityTest, BitFlippedCacheIsQuarantinedAndRetrained) {
     f.write(&byte, 1);
   }
 
-  const ModelIntegrityCounters before = GlobalModelIntegrity();
+  const ModelIntegrityCounters before = ModelIntegritySnapshot();
   Result<WorkloadModel> healed =
       GetOrTrainWorkloadModel(path, *db, *wl, popts);
   ASSERT_TRUE(healed.ok()) << healed.status().ToString();
-  const ModelIntegrityCounters& after = GlobalModelIntegrity();
+  const ModelIntegrityCounters after = ModelIntegritySnapshot();
   EXPECT_EQ(after.corrupt_files, before.corrupt_files + 1);
   EXPECT_EQ(after.quarantined, before.quarantined + 1);
   EXPECT_EQ(after.retrains_after_corruption,

@@ -1,0 +1,175 @@
+// MetricsRegistry tests. The concurrency tests are the TSan proof for the
+// counter-race fix: many ThreadPool lanes hammering the same named counter
+// and histogram must produce exact totals and no reported races (run under
+// scripts/run_sanitized_tests.sh thread). The old GlobalModelIntegrity()
+// singleton of plain uint64 fields failed exactly this.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/metrics_registry.h"
+#include "util/thread_pool.h"
+
+namespace pythia {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -3);  // gauges are levels, they may go negative
+}
+
+TEST(HistogramTest, BucketsAndStats) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(1024);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 206.0);
+  EXPECT_EQ(h.bucket(0), 1u);   // the value 0
+  EXPECT_EQ(h.bucket(1), 1u);   // [1, 2)
+  EXPECT_EQ(h.bucket(2), 2u);   // [2, 4)
+  EXPECT_EQ(h.bucket(11), 1u);  // [1024, 2048)
+}
+
+TEST(HistogramTest, QuantileIsBucketAccurate) {
+  // 100 samples at ~10us, 1 at ~10000us: p50 lands in the 10us bucket
+  // [8, 16), p99+ reaches the outlier's bucket [8192, 16384).
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(10);
+  h.Record(10000);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LT(p50, 16.0);
+  const double p999 = h.Quantile(0.999);
+  EXPECT_GE(p999, 8192.0);
+  EXPECT_LT(p999, 16384.0);
+}
+
+TEST(HistogramTest, QuantileEndpoints) {
+  Histogram h;
+  h.Record(5);
+  EXPECT_GE(h.Quantile(0.0), 4.0);
+  EXPECT_LT(h.Quantile(1.0), 8.0);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);  // same name, same counter
+  a.Increment();
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+  EXPECT_NE(&reg.counter("y"), &a);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsLexicographic) {
+  MetricsRegistry reg;
+  reg.counter("b.second").Increment(2);
+  reg.counter("a.first").Increment(1);
+  reg.gauge("z.level").Set(-5);
+  reg.histogram("lat").Record(100);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[0].second, 1u);
+  EXPECT_EQ(snap.counters[1].first, "b.second");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].sum, 100u);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesKeepsHandles) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.Increment(7);
+  reg.histogram("h").Record(3);
+  reg.ResetAll();
+  EXPECT_EQ(c.value(), 0u);  // the old handle still points at the metric
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+  c.Increment();
+  EXPECT_EQ(reg.counter("c").value(), 1u);
+}
+
+// The race regression: concurrent increments through the registry from
+// ThreadPool lanes (the same pool model save/load/retrain runs on) must be
+// exact. With the old plain-field counters this loses updates and TSan
+// reports the race.
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  constexpr size_t kTasks = 64;
+  constexpr uint64_t kPerTask = 5000;
+  ThreadPool::Global().ParallelFor(0, kTasks, [&](size_t) {
+    Counter& c = reg.counter("contended");  // create-or-get under the mutex
+    for (uint64_t i = 0; i < kPerTask; ++i) c.Increment();
+  });
+  EXPECT_EQ(reg.counter("contended").value(), kTasks * kPerTask);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHistogramRecordsAreExact) {
+  MetricsRegistry reg;
+  constexpr size_t kTasks = 32;
+  constexpr uint64_t kPerTask = 2000;
+  ThreadPool::Global().ParallelFor(0, kTasks, [&](size_t t) {
+    Histogram& h = reg.histogram("lat");
+    for (uint64_t i = 0; i < kPerTask; ++i) h.Record(t * 100 + i % 7);
+  });
+  const Histogram& h = reg.histogram("lat");
+  EXPECT_EQ(h.count(), kTasks * kPerTask);
+  uint64_t bucket_total = 0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) bucket_total += h.bucket(b);
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+// Mixed create-or-get under contention: lanes race to create distinct and
+// shared names; every handle must come back usable and distinct names must
+// stay distinct.
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry reg;
+  constexpr size_t kTasks = 48;
+  ThreadPool::Global().ParallelFor(0, kTasks, [&](size_t t) {
+    reg.counter("shared").Increment();
+    reg.counter("lane." + std::to_string(t % 8)).Increment();
+  });
+  EXPECT_EQ(reg.counter("shared").value(), kTasks);
+  uint64_t lane_total = 0;
+  for (int i = 0; i < 8; ++i) {
+    lane_total += reg.counter("lane." + std::to_string(i)).value();
+  }
+  EXPECT_EQ(lane_total, kTasks);
+}
+
+TEST(ModelIntegrityTest, SnapshotReadsRegistryCounters) {
+  // The snapshot is a view over the global registry's "model.*" counters.
+  const ModelIntegrityCounters before = ModelIntegritySnapshot();
+  MetricsRegistry::Global().counter("model.loads_ok").Increment();
+  MetricsRegistry::Global().counter("model.quarantined").Increment(2);
+  const ModelIntegrityCounters after = ModelIntegritySnapshot();
+  EXPECT_EQ(after.loads_ok, before.loads_ok + 1);
+  EXPECT_EQ(after.quarantined, before.quarantined + 2);
+}
+
+}  // namespace
+}  // namespace pythia

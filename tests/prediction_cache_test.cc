@@ -72,6 +72,36 @@ TEST(PredictionCacheTest, InsertOverwritesInPlace) {
   EXPECT_EQ(got, Pages({9, 10}));
 }
 
+TEST(PredictionCacheTest, OverwriteRefreshesLruPosition) {
+  // Overwriting an existing key must move it to the MRU end: after the
+  // overwrite, "a" is the freshest entry, so the next insert evicts "b".
+  PredictionCache cache(2);
+  cache.Insert(Key(0, 0, "a"), Pages({1}));
+  cache.Insert(Key(0, 0, "b"), Pages({2}));
+  cache.Insert(Key(0, 0, "a"), Pages({3}));  // overwrite, not a new entry
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.Insert(Key(0, 0, "c"), Pages({4}));  // evicts b, the true LRU
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  std::vector<PageId> got;
+  EXPECT_TRUE(cache.Lookup(Key(0, 0, "a"), &got));
+  EXPECT_EQ(got, Pages({3}));
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, "b"), &got));
+  EXPECT_TRUE(cache.Lookup(Key(0, 0, "c"), &got));
+}
+
+TEST(PredictionCacheTest, OverwriteAtCapacityNeitherEvictsNorGrows) {
+  PredictionCache cache(2);
+  cache.Insert(Key(0, 0, "a"), Pages({1}));
+  cache.Insert(Key(0, 0, "b"), Pages({2}));
+  cache.Insert(Key(0, 0, "b"), Pages({5, 6}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  std::vector<PageId> got;
+  EXPECT_TRUE(cache.Lookup(Key(0, 0, "a"), &got));
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, "b"), &got));
+  EXPECT_EQ(got, Pages({5, 6}));
+}
+
 TEST(PredictionCacheTest, ZeroCapacityDisables) {
   PredictionCache cache(0);
   cache.Insert(Key(0, 0, "a"), Pages({1}));

@@ -256,5 +256,33 @@ TEST_F(PrefetcherTest, PinLeakStressRandomInterleavings) {
   }
 }
 
+// Regression for the planned()/remaining() split: planned() used to be read
+// as "work left" by progress displays, but it is (and stays) the total
+// budget-trimmed plan. remaining() is the part the cursor has not issued.
+TEST_F(PrefetcherTest, PlannedIsConstantWhileRemainingShrinks) {
+  PrefetcherOptions options;
+  options.start_delay_us = 0;
+  options.readahead_window = 2;
+  std::vector<PageId> pages;
+  for (uint32_t p = 0; p < 6; ++p) pages.push_back(PageId{1, p});
+  PrefetchSession session = MakeSession(pages, options);
+  EXPECT_EQ(session.planned(), 6u);
+  EXPECT_EQ(session.remaining(), 6u);
+
+  session.Pump(0);  // fills the window: 2 issued
+  EXPECT_EQ(session.planned(), 6u);
+  EXPECT_EQ(session.remaining(), 4u);
+
+  session.OnFetch(PageId{1, 0}, 100);  // consume slides the window by one
+  EXPECT_EQ(session.planned(), 6u);
+  EXPECT_EQ(session.remaining(), 3u);
+
+  session.OnFetch(PageId{1, 1}, 200);
+  session.OnFetch(PageId{1, 2}, 300);
+  session.OnFetch(PageId{1, 3}, 400);
+  EXPECT_EQ(session.remaining(), 0u);
+  EXPECT_EQ(session.planned(), 6u);
+}
+
 }  // namespace
 }  // namespace pythia

@@ -265,6 +265,29 @@ TEST(SummaryTest, EmptyInput) {
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
 }
 
+// Regression for the Quantile signature fix (by-value -> const&): the edge
+// cases a copy bug is most likely to hide behind — a single-element sample
+// and the exact q=0 / q=1 endpoints.
+TEST(QuantileTest, SingleElement) {
+  const std::vector<double> one = {7.5};
+  EXPECT_DOUBLE_EQ(Quantile(one, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(Quantile(one, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(Quantile(one, 1.0), 7.5);
+}
+
+TEST(QuantileTest, Endpoints) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 10.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenRanks) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.75), 7.5);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
 TEST(TablePrinterTest, AlignsColumns) {
   TablePrinter t({"name", "value"});
   t.AddRow({"x", "1"});
