@@ -2,6 +2,7 @@
 // the same time. Gains grow with concurrency — pages prefetched for one
 // query help the others — until resource contention flattens the curve.
 #include "bench/common.h"
+#include "bench/json_writer.h"
 
 namespace pythia::bench {
 namespace {
@@ -17,6 +18,11 @@ void Run() {
 
   TablePrinter table({"concurrent queries", "DFLT total (ms)",
                       "PYTHIA total (ms)", "speedup"});
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "fig13b_concurrent_single");
+  json.Field("template", "dsb_t91");
+  json.Key("levels").BeginArray();
   for (size_t level : {2, 4, 6, 8}) {
     std::vector<ConcurrentQuery> plain, fetched;
     for (size_t i = 0; i < level; ++i) {
@@ -45,7 +51,20 @@ void Run() {
                                pythia.total_query_us,
                            2) +
              "x"});
+    json.BeginObject();
+    json.Field("concurrency", static_cast<uint64_t>(level));
+    json.Field("dflt_total_us", static_cast<uint64_t>(base.total_query_us));
+    json.Field("pythia_total_us",
+               static_cast<uint64_t>(pythia.total_query_us));
+    json.Field("dflt_makespan_us", static_cast<uint64_t>(base.makespan_us));
+    json.Field("pythia_makespan_us",
+               static_cast<uint64_t>(pythia.makespan_us));
+    json.Field("speedup", static_cast<double>(base.total_query_us) /
+                              pythia.total_query_us);
+    json.EndObject();
   }
+  json.EndArray();
+  json.EndObject();
 
   std::printf("=== Figure 13b: concurrent queries from a single template "
               "(dsb_t91, simultaneous arrival) ===\n");
@@ -53,6 +72,11 @@ void Run() {
   std::printf("\nPaper shape: gains rise with concurrency (prefetches of "
               "one query serve others from the same template), then "
               "plateau as contention grows.\n");
+  if (json.WriteToFile("BENCH_fig13b.json")) {
+    std::printf("wrote BENCH_fig13b.json\n");
+  } else {
+    std::fprintf(stderr, "warning: could not write BENCH_fig13b.json\n");
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // the buffer instead of helping each other, so gains shrink with
 // concurrency before leveling out.
 #include "bench/common.h"
+#include "bench/json_writer.h"
 
 namespace pythia::bench {
 namespace {
@@ -25,6 +26,11 @@ void Run() {
   TablePrinter table({"concurrent queries", "DFLT total (ms)",
                       "PYTHIA total (ms)", "speedup"});
   Pcg32 rng(31, 0x13c);
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "fig13c_concurrent_multi");
+  json.Field("templates", "dsb_t18+dsb_t19+dsb_t91");
+  json.Key("levels").BeginArray();
   for (size_t level : {3, 6, 9}) {
     std::vector<ConcurrentQuery> plain, fetched;
     for (size_t i = 0; i < level; ++i) {
@@ -53,7 +59,20 @@ void Run() {
                                pythia.total_query_us,
                            2) +
              "x"});
+    json.BeginObject();
+    json.Field("concurrency", static_cast<uint64_t>(level));
+    json.Field("dflt_total_us", static_cast<uint64_t>(base.total_query_us));
+    json.Field("pythia_total_us",
+               static_cast<uint64_t>(pythia.total_query_us));
+    json.Field("dflt_makespan_us", static_cast<uint64_t>(base.makespan_us));
+    json.Field("pythia_makespan_us",
+               static_cast<uint64_t>(pythia.makespan_us));
+    json.Field("speedup", static_cast<double>(base.total_query_us) /
+                              pythia.total_query_us);
+    json.EndObject();
   }
+  json.EndArray();
+  json.EndObject();
 
   std::printf("=== Figure 13c: concurrent queries from multiple templates "
               "(t18+t19+t91, simultaneous arrival) ===\n");
@@ -61,6 +80,11 @@ void Run() {
   std::printf("\nPaper shape: Pythia still helps, but mixed templates "
               "hinder each other in the buffer, so gains shrink with "
               "concurrency before valleying out.\n");
+  if (json.WriteToFile("BENCH_fig13c.json")) {
+    std::printf("wrote BENCH_fig13c.json\n");
+  } else {
+    std::fprintf(stderr, "warning: could not write BENCH_fig13c.json\n");
+  }
 }
 
 }  // namespace

@@ -121,10 +121,10 @@ inline void CheckRun(const QueryRunMetrics& m, RunMode mode, size_t ti) {
 // Same contract for concurrent batches: every query in the batch must have
 // replayed to completion.
 inline void CheckConcurrent(const ConcurrentResult& r, const char* label) {
-  for (size_t i = 0; i < r.statuses.size(); ++i) {
-    if (r.statuses[i].ok()) continue;
+  for (size_t i = 0; i < r.queries.size(); ++i) {
+    if (r.queries[i].status.ok()) continue;
     std::fprintf(stderr, "%s query %zu failed: %s\n", label, i,
-                 r.statuses[i].ToString().c_str());
+                 r.queries[i].status.ToString().c_str());
     std::exit(1);
   }
 }

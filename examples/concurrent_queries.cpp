@@ -14,10 +14,10 @@ namespace {
 // Per-query statuses: with faults disabled these are always OK, but the
 // replay API is fallible and a demo should model the checking, too.
 bool AllOk(const pythia::ConcurrentResult& r, const char* label) {
-  for (size_t i = 0; i < r.statuses.size(); ++i) {
-    if (!r.statuses[i].ok()) {
+  for (size_t i = 0; i < r.queries.size(); ++i) {
+    if (!r.queries[i].status.ok()) {
       std::fprintf(stderr, "%s query %zu failed: %s\n", label, i,
-                   r.statuses[i].ToString().c_str());
+                   r.queries[i].status.ToString().c_str());
       return false;
     }
   }

@@ -198,6 +198,16 @@ size_t BufferPool::pinned_frames() const {
   return n;
 }
 
+double BufferPool::UnevictablePressure(SimTime now) const {
+  if (options_.capacity_pages == 0) return 0.0;
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (!f.valid) continue;
+    if (f.pin_count > 0 || (f.in_flight && f.arrival > now)) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(options_.capacity_pages);
+}
+
 void BufferPool::Reset() {
   for (size_t i = 0; i < frames_.size(); ++i) {
     if (frames_[i].valid) policy_->OnRemove(i);

@@ -99,6 +99,12 @@ class BufferPool {
   size_t used_frames() const { return page_table_.size(); }
   size_t pinned_frames() const;
 
+  // Fraction of capacity unavailable to demand reads at `now`: frames that
+  // are pinned or hold an in-flight prefetch that has not landed yet. The
+  // overload governor's pool-pressure signal — at 1.0 a new fetch must
+  // bypass the pool entirely (uncached_reads).
+  double UnevictablePressure(SimTime now) const;
+
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats(); }
 

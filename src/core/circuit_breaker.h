@@ -21,10 +21,19 @@
 #include <deque>
 
 #include "core/prefetcher.h"
+#include "core/query_metrics.h"
 
 namespace pythia {
 
 enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+// Where an open breaker sits on the graceful-degradation ladder
+// (core/query_metrics.h): no learned prefetch, sequential scans keep OS
+// readahead. The overload governor combines this rung with its own via
+// max(), so the breaker is one input to a single ladder rather than an
+// independent on/off switch.
+inline constexpr DegradationRung kBreakerDegradedRung =
+    DegradationRung::kReadahead;
 
 const char* BreakerStateName(BreakerState state);
 

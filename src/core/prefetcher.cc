@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/governor.h"
 #include "util/trace.h"
 
 namespace pythia {
@@ -30,6 +31,10 @@ PrefetchSession::PrefetchSession(std::vector<PageId> pages,
     stats_.skipped_budget = queue_.size() - budget_;
     queue_.resize(budget_);
   }
+  if (options_.governor != nullptr) {
+    governor_id_ =
+        options_.governor->RegisterSession(this, options_.priority);
+  }
 }
 
 PrefetchSession::PrefetchSession(PrefetchSession&& other) noexcept
@@ -43,11 +48,17 @@ PrefetchSession::PrefetchSession(PrefetchSession&& other) noexcept
       latency_(other.latency_),
       outstanding_(std::move(other.outstanding_)),
       stats_(other.stats_),
-      finished_(other.finished_) {
+      finished_(other.finished_),
+      governor_id_(other.governor_id_) {
   // The moved-from session no longer owns any pins; its destructor's
-  // Finish() must be a no-op.
+  // Finish() must be a no-op, and the governor must shed from (and
+  // unregister) the live object, not the husk.
   other.outstanding_.clear();
   other.finished_ = true;
+  other.governor_id_ = 0;
+  if (options_.governor != nullptr && governor_id_ != 0) {
+    options_.governor->ReattachSession(governor_id_, this);
+  }
 }
 
 void PrefetchSession::ExpireTimedOut(SimTime now) {
@@ -56,6 +67,9 @@ void PrefetchSession::ExpireTimedOut(SimTime now) {
     if (now > it->second &&
         now - it->second > options_.prefetch_timeout_us) {
       pool_->Unpin(it->first);
+      if (options_.governor != nullptr) {
+        options_.governor->ReleasePin(governor_id_);
+      }
       ++stats_.timed_out;
       PYTHIA_TRACE_INSTANT("prefetch", "timeout", now, "obj",
                            it->first.object_id, "page", it->first.page_no);
@@ -69,9 +83,27 @@ void PrefetchSession::ExpireTimedOut(SimTime now) {
 void PrefetchSession::Pump(SimTime now) {
   if (finished_ || now < options_.start_delay_us) return;
   ExpireTimedOut(now);
+  PrefetchGovernor* governor = options_.governor;
+  if (governor != nullptr) {
+    // Ladder check: at kReadahead or below the system has shed learned
+    // prefetch entirely — keep existing pins (the pages are already paid
+    // for) but issue nothing new until the ladder recovers.
+    const DegradationRung rung = governor->Evaluate(now);
+    if (static_cast<int>(rung) >=
+        static_cast<int>(DegradationRung::kReadahead)) {
+      return;
+    }
+  }
   while (next_ < queue_.size() &&
          outstanding_.size() < options_.readahead_window) {
     const PageId page = queue_[next_];
+    // One governor token per speculative page, both paths below. A denial
+    // means the global budget is exhausted and nothing lower-priority is
+    // left to shed: stop pumping and retry on a later Pump.
+    if (governor != nullptr && !governor->TryAcquirePin(governor_id_, now)) {
+      ++stats_.denied_by_governor;
+      return;
+    }
     if (pool_->Contains(page)) {
       // Already buffered (maybe the query itself read it first): nothing
       // happens except a usage-count bump and a pin (Section 3.3, design
@@ -80,6 +112,8 @@ void PrefetchSession::Pump(SimTime now) {
       if (s.ok()) {
         ++stats_.already_buffered;
         outstanding_.emplace(page, now);
+      } else if (governor != nullptr) {
+        governor->ReleasePin(governor_id_);
       }
       ++next_;
       continue;
@@ -102,6 +136,7 @@ void PrefetchSession::Pump(SimTime now) {
         PYTHIA_TRACE_INSTANT("prefetch", "drop.faulty", now, "obj",
                              page.object_id, "page", page.page_no);
       }
+      if (governor != nullptr) governor->ReleasePin(governor_id_);
       ++next_;
       continue;
     }
@@ -112,10 +147,12 @@ void PrefetchSession::Pump(SimTime now) {
       // erroring — stop pumping for now and retry on the next Pump, when
       // pins may have been released.
       ++stats_.rejected_by_pool;
+      if (governor != nullptr) governor->ReleasePin(governor_id_);
       PYTHIA_TRACE_INSTANT("prefetch", "shed", now, "obj", page.object_id,
                            "page", page.page_no);
       return;
     }
+    if (governor != nullptr) governor->OnAsyncIssued(completion);
     outstanding_.emplace(page, now);
     ++stats_.issued;
     PYTHIA_TRACE_INSTANT("prefetch", "issue", now, "obj", page.object_id,
@@ -130,17 +167,51 @@ void PrefetchSession::OnFetch(PageId page, SimTime now) {
   if (it == outstanding_.end()) return;
   outstanding_.erase(it);
   pool_->Unpin(page);
+  if (options_.governor != nullptr) {
+    options_.governor->ReleasePin(governor_id_);
+  }
   ++stats_.consumed;
   PYTHIA_TRACE_INSTANT("prefetch", "consume", now, "obj", page.object_id,
                        "page", page.page_no);
   Pump(now);
 }
 
+size_t PrefetchSession::ShedForGovernor(size_t max_pages, SimTime now) {
+  if (finished_ || outstanding_.empty() || max_pages == 0) return 0;
+  size_t shed = 0;
+  while (shed < max_pages && !outstanding_.empty()) {
+    // Oldest first: the longest-unconsumed page is the least likely to be
+    // about to pay off.
+    auto oldest = outstanding_.begin();
+    for (auto it = std::next(outstanding_.begin()); it != outstanding_.end();
+         ++it) {
+      if (it->second < oldest->second) oldest = it;
+    }
+    pool_->Unpin(oldest->first);
+    ++stats_.shed_by_governor;
+    PYTHIA_TRACE_INSTANT("prefetch", "shed.governor", now, "obj",
+                         oldest->first.object_id, "page",
+                         oldest->first.page_no);
+    outstanding_.erase(oldest);
+    ++shed;
+  }
+  return shed;
+}
+
 void PrefetchSession::Finish() {
   if (finished_) return;
   finished_ = true;
-  for (const auto& entry : outstanding_) pool_->Unpin(entry.first);
+  for (const auto& entry : outstanding_) {
+    pool_->Unpin(entry.first);
+    if (options_.governor != nullptr) {
+      options_.governor->ReleasePin(governor_id_);
+    }
+  }
   outstanding_.clear();
+  if (options_.governor != nullptr && governor_id_ != 0) {
+    options_.governor->UnregisterSession(governor_id_);
+    governor_id_ = 0;
+  }
 }
 
 }  // namespace pythia

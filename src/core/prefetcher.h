@@ -28,6 +28,8 @@
 
 namespace pythia {
 
+class PrefetchGovernor;
+
 enum class PrefetchOrder {
   kFileOffset,   // Pythia: sort by (object, page) — OS-readahead friendly
   kAccessOrder,  // ORCL: the exact order the query will request pages in
@@ -49,6 +51,15 @@ struct PrefetcherOptions {
   // slides on), so a badly mispredicted or stalled prefetch cannot hold
   // buffer pins for the rest of the query. 0 disables the deadline.
   SimTime prefetch_timeout_us = 0;
+  // Overload protection (core/governor.h). When set, the session acquires
+  // one governor pin token per speculative page (and may be shed or denied
+  // under global pressure), reports its async reads, and stops issuing
+  // while the degradation ladder sits at kReadahead or below. Not owned;
+  // must outlive the session. nullptr = ungoverned (previous behaviour).
+  PrefetchGovernor* governor = nullptr;
+  // Shed order under governor saturation: strictly-lower-priority sessions
+  // are shed first; equal priority is never shed for a peer.
+  int priority = 0;
 };
 
 struct PrefetchSessionStats {
@@ -60,6 +71,8 @@ struct PrefetchSessionStats {
   uint64_t dropped_faulty = 0;    // speculative reads dropped on I/O error
   uint64_t dropped_corrupt = 0;   // dropped on checksum/verification failure
   uint64_t timed_out = 0;         // outstanding pages past the deadline
+  uint64_t shed_by_governor = 0;  // pages unpinned for higher-priority work
+  uint64_t denied_by_governor = 0;  // pin requests the governor refused
 };
 
 class PrefetchSession {
@@ -94,6 +107,12 @@ class PrefetchSession {
   // Idempotent: calling it again, or Pump/OnFetch afterwards, is safe.
   void Finish();
 
+  // Governor callback: unpins up to `max_pages` of this session's oldest
+  // outstanding pages so a higher-priority session can pin. Returns how
+  // many were shed. The governor adjusts its own pin ledger for the shed
+  // pages — this method must NOT call ReleasePin back into it.
+  size_t ShedForGovernor(size_t max_pages, SimTime now);
+
   const PrefetchSessionStats& stats() const { return stats_; }
   // Total pages this session will attempt (the budget-trimmed plan). This is
   // a constant for the session's lifetime; it used to double as "work left",
@@ -122,6 +141,7 @@ class PrefetchSession {
   std::unordered_map<PageId, SimTime> outstanding_;
   PrefetchSessionStats stats_;
   bool finished_ = false;
+  uint64_t governor_id_ = 0;  // 0 = not registered
 };
 
 }  // namespace pythia

@@ -7,6 +7,12 @@
 // behaviour (Section 5.1). `SimEnvironment::ColdRestart()` reproduces that
 // protocol; the multi-query simulator (Section 5.4) keeps caches warm
 // across a batch instead.
+//
+// The concurrent replay additionally models overload protection: bounded
+// admission (concurrent queries past a cap wait in a FIFO queue; past the
+// queue bound they are rejected), per-query deadline budgets (a query past
+// its budget sheds its prefetch session and finishes on demand reads), and
+// the PrefetchGovernor's graceful-degradation ladder.
 #ifndef PYTHIA_CORE_REPLAY_H_
 #define PYTHIA_CORE_REPLAY_H_
 
@@ -14,7 +20,9 @@
 #include <vector>
 
 #include "bufmgr/buffer_pool.h"
+#include "core/governor.h"
 #include "core/prefetcher.h"
+#include "core/query_metrics.h"
 #include "exec/trace.h"
 #include "storage/fault_injector.h"
 #include "storage/io_scheduler.h"
@@ -99,22 +107,72 @@ struct ConcurrentQuery {
   std::vector<PageId> prefetch_pages;  // empty = no prefetch for this query
   SimTime arrival_us = 0;
   PrefetcherOptions prefetch_options;
+  // Deadline budget in virtual µs, measured from admission (not arrival):
+  // past it the query sheds its prefetch session (pins released) and
+  // finishes on demand reads. 0 = inherit ConcurrentOptions'
+  // default_deadline_us; 0 there too = no deadline.
+  SimTime deadline_us = 0;
+  // Planning-time metrics seed (rung the planner chose, breaker/watchdog
+  // degradation flags, prediction accuracy) — typically filled by
+  // PythiaSystem::PlanConcurrentQuery. The replay copies it into the
+  // query's result slot at admission and then overlays run-time facts:
+  // the recorded rung becomes max(planned.rung, worst governor rung
+  // observed while running).
+  QueryRunMetrics planned;
+};
+
+struct ConcurrentOptions {
+  // Shared overload governor. Injected into every session whose
+  // PrefetcherOptions did not already carry one; also drives the ladder
+  // checks in the event loop. Not owned; may be nullptr (ungoverned).
+  PrefetchGovernor* governor = nullptr;
+  // Admission control: at most this many queries run concurrently; 0 means
+  // unlimited (no admission control, the pre-overload behaviour).
+  size_t max_active_queries = 0;
+  // Bounded FIFO wait queue for arrivals beyond the cap. An arrival that
+  // finds the queue full is rejected with ResourceExhausted — the paper's
+  // "fail fast under saturation" alternative to unbounded queueing.
+  size_t admission_queue_limit = 16;
+  // Default per-query deadline budget (µs from admission); 0 = none.
+  SimTime default_deadline_us = 0;
+};
+
+// Batch-level admission/overload accounting for one ReplayConcurrent call.
+struct AdmissionStats {
+  uint64_t admitted_immediately = 0;
+  uint64_t admitted_after_wait = 0;  // spent time in the admission queue
+  uint64_t rejected = 0;             // queue full on arrival
+  uint64_t deadline_stops = 0;       // sessions shed by the deadline budget
+  SimTime max_queue_wait_us = 0;
 };
 
 struct ConcurrentResult {
+  // Per query (same index as the input batch): admission time (arrival +
+  // queue wait; equals arrival for rejected queries) and completion time.
   std::vector<SimTime> start_us;
   std::vector<SimTime> end_us;
-  // Per-query replay status; a query that hits an unrecoverable read error
-  // ends at the failing access, the rest of the batch keeps running.
-  std::vector<Status> statuses;
+  // Full per-query outcome. status is ResourceExhausted for a rejected
+  // query (which never ran), the replay error for one that died mid-run,
+  // OK otherwise. pool_stats stays zero here: the pool is shared, so
+  // per-query deltas are not separable in an interleaved batch —
+  // prefetch_stats (from the query's own session) are exact per query.
+  std::vector<QueryRunMetrics> queries;
+  AdmissionStats admission;
   SimTime makespan_us = 0;      // last end
-  SimTime total_query_us = 0;   // sum of per-query elapsed times
+  SimTime total_query_us = 0;   // sum of per-query run times (end - start)
 };
 
 // Event-driven interleaved replay of several queries sharing the buffer
 // pool, OS cache and I/O channels (Section 5.4). Queries run "in parallel":
 // each advances its own virtual clock; shared state is updated in global
-// time order.
+// time order. Every admitted query completes — admission, deadlines and
+// governor shedding degrade service, never abandon work.
+ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
+                                  const ConcurrentOptions& options,
+                                  SimEnvironment* env);
+
+// Pre-overload-protection behaviour: unlimited admission, no deadlines, no
+// governor.
 ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
                                   SimEnvironment* env);
 

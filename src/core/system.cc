@@ -30,11 +30,26 @@ void PythiaSystem::set_watchdog_options(const WatchdogOptions& o) {
   for (auto& entry : entries_) entry->watchdog = PredictionWatchdog(o);
 }
 
+PrefetchGovernor& PythiaSystem::EnableGovernor(const GovernorOptions& options) {
+  governor_ = std::make_unique<PrefetchGovernor>(
+      options, &env_->pool(), &env_->io(), &env_->os_cache());
+  return *governor_;
+}
+
 int64_t PythiaSystem::EntryIndex(const WorkloadModel* model) const {
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (&entries_[i]->model == model) return static_cast<int64_t>(i);
   }
   return -1;
+}
+
+void PythiaSystem::HarvestGovernorStats() {
+  if (governor_ == nullptr) return;
+  const GovernorStats& gs = governor_->stats();
+  robustness_.governor_pin_denials = gs.pin_denials + gs.aio_deferrals;
+  robustness_.governor_pages_shed = gs.pages_shed;
+  robustness_.governor_rung_degrades = gs.rung_degrades;
+  robustness_.governor_rung_recoveries = gs.rung_recoveries;
 }
 
 void PythiaSystem::HarvestWatchdogStats() {
@@ -138,6 +153,115 @@ std::vector<PageId> PythiaSystem::PrefetchPlan(const WorkloadQuery& query,
   return {};
 }
 
+std::vector<PageId> PythiaSystem::CachedPlanOnly(const WorkloadQuery& query,
+                                                 RunMode mode,
+                                                 QueryRunMetrics* metrics) {
+  if (mode != RunMode::kPythia) return {};
+  WorkloadModel* model = MatchWorkload(query);
+  if (model == nullptr) return {};
+  const int64_t index = EntryIndex(model);
+  const uint64_t model_id = index >= 0 ? static_cast<uint64_t>(index) : 0;
+  PredictionKey key{model_id, model->revision(),
+                    PredictionCache::PlanKey(query.tokens)};
+  std::vector<PageId> pages;
+  if (!prediction_cache_.Lookup(key, &pages)) return {};
+  if (metrics != nullptr) {
+    const std::unordered_set<PageId> predicted(pages.begin(), pages.end());
+    const std::unordered_set<PageId> truth = model->RestrictToModeled(
+        ProcessTrace(query.trace, model->options().removal));
+    metrics->engaged = true;
+    metrics->accuracy = ComputeSetMetrics(predicted, truth);
+    metrics->predicted_pages = pages.size();
+  }
+  return pages;
+}
+
+DegradationRung PythiaSystem::PlanRung(const WorkloadQuery& query,
+                                       RunMode mode, QueryRunMetrics* metrics,
+                                       int64_t* watchdog_entry) {
+  if (watchdog_entry != nullptr) *watchdog_entry = -1;
+  // One ladder, several sensors: the governor's load rung, the circuit
+  // breaker (prefetch-health) and the watchdog (model-quality) fold
+  // together via max(), so whichever guardrail demands the most degraded
+  // service wins.
+  DegradationRung rung = DegradationRung::kFullNeural;
+  if (governor_ != nullptr) {
+    rung = governor_->rung();
+    if (rung != DegradationRung::kFullNeural) {
+      metrics->degraded_by_governor = true;
+      PYTHIA_TRACE_INSTANT("system", "degraded.governor", 0, "rung",
+                           static_cast<uint64_t>(static_cast<int>(rung)));
+    }
+  }
+  if (mode != RunMode::kDefault && !breaker_.AllowPrefetch()) {
+    rung = MaxRung(rung, kBreakerDegradedRung);
+    metrics->degraded_by_breaker = true;
+    ++robustness_.degraded_queries;
+    PYTHIA_TRACE_INSTANT("system", "degraded.breaker", 0);
+  }
+  // The watchdog guards model quality, so it only gates the learned mode —
+  // and only while learned predictions could still be used (below
+  // kReadahead); AllowPrediction has probation side effects, so it must not
+  // run for queries that cannot engage anyway.
+  if (mode == RunMode::kPythia &&
+      static_cast<int>(rung) < static_cast<int>(DegradationRung::kReadahead)) {
+    const int64_t idx = EntryIndex(MatchWorkload(query));
+    if (watchdog_entry != nullptr) *watchdog_entry = idx;
+    if (idx >= 0 && !entries_[idx]->watchdog.AllowPrediction()) {
+      rung = MaxRung(rung, kWatchdogDegradedRung);
+      metrics->degraded_by_watchdog = true;
+      PYTHIA_TRACE_INSTANT("system", "degraded.watchdog", 0);
+    }
+  }
+  metrics->rung = rung;
+  return rung;
+}
+
+ConcurrentQuery PythiaSystem::PlanConcurrentQuery(
+    const WorkloadQuery& query, RunMode mode, SimTime arrival_us,
+    const PrefetcherOptions& options) {
+  ConcurrentQuery cq;
+  cq.trace = &query.trace;
+  cq.arrival_us = arrival_us;
+  cq.prefetch_options = options;
+  if (cq.prefetch_options.governor == nullptr && governor_ != nullptr) {
+    cq.prefetch_options.governor = governor_.get();
+  }
+  const DegradationRung rung =
+      PlanRung(query, mode, &cq.planned, /*watchdog_entry=*/nullptr);
+  if (rung == DegradationRung::kFullNeural) {
+    cq.prefetch_pages = PrefetchPlan(query, mode, &cq.planned);
+  } else if (rung == DegradationRung::kCachedOnly) {
+    cq.prefetch_pages = CachedPlanOnly(query, mode, &cq.planned);
+  }
+  if (mode == RunMode::kOracle) {
+    cq.prefetch_options.order = PrefetchOrder::kAccessOrder;
+  }
+  return cq;
+}
+
+void PythiaSystem::AbsorbConcurrentResult(const ConcurrentResult& result) {
+  for (const QueryRunMetrics& m : result.queries) {
+    robustness_.dropped_prefetches += m.prefetch_stats.dropped_faulty;
+    robustness_.corrupt_prefetch_drops += m.prefetch_stats.dropped_corrupt;
+    robustness_.shed_prefetches += m.prefetch_stats.rejected_by_pool;
+    robustness_.timed_out_prefetches += m.prefetch_stats.timed_out;
+    if (m.degraded_by_governor) ++robustness_.governor_degraded_queries;
+  }
+  robustness_.deadline_stopped_queries += result.admission.deadline_stops;
+  robustness_.admission_rejected_queries += result.admission.rejected;
+  robustness_.corrupt_page_reads = env_->os_cache().corrupt_reads();
+  if (FaultInjector* injector = env_->fault_injector()) {
+    robustness_.injected_errors = injector->stats().injected_errors;
+    robustness_.injected_spikes = injector->stats().injected_spikes;
+    robustness_.injected_stalls = injector->stats().injected_stalls;
+    robustness_.injected_bit_flips = injector->stats().injected_bit_flips;
+    robustness_.injected_torn_writes = injector->stats().injected_torn_writes;
+    robustness_.injected_stale_reads = injector->stats().injected_stale_reads;
+  }
+  HarvestGovernorStats();
+}
+
 QueryRunMetrics PythiaSystem::RunQuery(
     const WorkloadQuery& query, RunMode mode,
     const PrefetcherOptions& prefetch_options, bool cold) {
@@ -152,61 +276,66 @@ QueryRunMetrics PythiaSystem::RunQuery(
     }
   }
 
-  // Guardrail: while the breaker is open, prefetch-eligible queries run
-  // against the plain buffer manager (RunMode::kDefault behaviour) instead
-  // of prediction + prefetch.
-  RunMode effective = mode;
-  if (mode != RunMode::kDefault && !breaker_.AllowPrefetch()) {
-    effective = RunMode::kDefault;
-    metrics.degraded_by_breaker = true;
-    ++robustness_.degraded_queries;
-    PYTHIA_TRACE_INSTANT("system", "degraded.breaker", 0);
-  }
-
-  // The watchdog guards model quality, so it only gates the learned mode:
-  // a demoted model's queries fall back to the sequential-readahead
-  // baseline (no learned prefetch; OS readahead still serves scans) until
-  // probation ends and probes prove the model useful again.
   int64_t watchdog_entry = -1;
-  bool watchdog_blocked = false;
-  if (effective == RunMode::kPythia) {
-    watchdog_entry = EntryIndex(MatchWorkload(query));
-    if (watchdog_entry >= 0 &&
-        !entries_[watchdog_entry]->watchdog.AllowPrediction()) {
-      watchdog_blocked = true;
-      metrics.degraded_by_watchdog = true;
-      PYTHIA_TRACE_INSTANT("system", "degraded.watchdog", 0);
-    }
-  }
+  const DegradationRung rung =
+      PlanRung(query, mode, &metrics, &watchdog_entry);
 
   std::vector<PageId> pages;
-  if (!watchdog_blocked) {
-    pages = PrefetchPlan(query, effective, &metrics);
-    if (metrics.engaged) {
-      PYTHIA_TRACE_INSTANT("system", "predict", 0, "pages", pages.size());
-    }
+  if (rung == DegradationRung::kFullNeural) {
+    pages = PrefetchPlan(query, mode, &metrics);
+  } else if (rung == DegradationRung::kCachedOnly) {
+    pages = CachedPlanOnly(query, mode, &metrics);
+  }
+  // kReadahead and below: no learned prefetch — the query runs on the
+  // plain buffer manager (OS readahead still serves scans; at kNoPrefetch
+  // the governor suppresses even that).
+  if (metrics.engaged) {
+    PYTHIA_TRACE_INSTANT("system", "predict", 0, "pages", pages.size());
   }
 
   PrefetcherOptions options = prefetch_options;
-  if (effective == RunMode::kOracle) {
+  if (options.governor == nullptr && governor_ != nullptr) {
+    options.governor = governor_.get();
+  }
+  if (mode == RunMode::kOracle) {
     // The oracle knows the exact access sequence; issue in that order.
     options.order = PrefetchOrder::kAccessOrder;
   }
-  if (cold) env_->ColdRestart();
+  if (cold) {
+    env_->ColdRestart();
+    // Virtual clocks restart at 0 with the environment; async completions
+    // recorded against the previous run's timeline would otherwise never
+    // prune and read as phantom AIO pressure forever.
+    if (governor_ != nullptr) governor_->OnEnvironmentRestart();
+  }
   const ReplayResult replay =
       ReplayQuery(query.trace, pages, options, env_);
   metrics.status = replay.status;
   metrics.elapsed_us = replay.elapsed_us;
   metrics.pool_stats = replay.pool_stats;
   metrics.prefetch_stats = replay.prefetch_stats;
+  if (governor_ != nullptr) {
+    // The rung that served the query is the worst the ladder reached while
+    // it ran, not just the one it was planned at.
+    metrics.rung = MaxRung(metrics.rung, governor_->rung());
+    if (metrics.rung != DegradationRung::kFullNeural ||
+        replay.prefetch_stats.shed_by_governor > 0 ||
+        replay.prefetch_stats.denied_by_governor > 0) {
+      metrics.degraded_by_governor = true;
+    }
+    if (metrics.degraded_by_governor) {
+      ++robustness_.governor_degraded_queries;
+    }
+  }
 
   // Feed the breaker the health verdict of the session that actually ran.
-  if (effective != RunMode::kDefault && !pages.empty()) {
+  if (mode != RunMode::kDefault && !pages.empty()) {
     breaker_.Record(IsHealthyPrefetch(replay.prefetch_stats, health_policy_));
   }
   // Feed the matched model's watchdog the useful-prefetch ratio of its own
   // session (consumed / attempted); tiny sessions are skipped inside.
-  if (watchdog_entry >= 0 && !watchdog_blocked && metrics.engaged) {
+  if (watchdog_entry >= 0 && !metrics.degraded_by_watchdog &&
+      metrics.engaged) {
     entries_[watchdog_entry]->watchdog.Record(
         replay.prefetch_stats.issued + replay.prefetch_stats.already_buffered,
         replay.prefetch_stats.consumed);
@@ -231,15 +360,20 @@ QueryRunMetrics PythiaSystem::RunQuery(
     robustness_.injected_stale_reads = injector->stats().injected_stale_reads;
   }
   HarvestWatchdogStats();
+  HarvestGovernorStats();
 
   // Mirror the per-query outcome into the process-wide registry, so one
   // snapshot answers "what has this process done so far" across benches and
   // tests without threading struct references around.
   MetricsRegistry& reg = MetricsRegistry::Global();
   reg.counter("query.runs").Increment();
-  if (metrics.degraded_by_breaker || metrics.degraded_by_watchdog) {
+  if (metrics.degraded_by_breaker || metrics.degraded_by_watchdog ||
+      metrics.degraded_by_governor) {
     reg.counter("query.degraded").Increment();
   }
+  reg.counter(std::string("overload.served.") +
+              DegradationRungName(metrics.rung))
+      .Increment();
   reg.counter("prefetch.issued").Increment(replay.prefetch_stats.issued);
   reg.counter("prefetch.consumed").Increment(replay.prefetch_stats.consumed);
   reg.counter("prefetch.dropped_faulty")

@@ -14,8 +14,10 @@
 
 #include "core/baselines.h"
 #include "core/circuit_breaker.h"
+#include "core/governor.h"
 #include "core/prediction_cache.h"
 #include "core/predictor.h"
+#include "core/query_metrics.h"
 #include "core/replay.h"
 #include "core/watchdog.h"
 #include "util/metrics.h"
@@ -31,22 +33,8 @@ enum class RunMode {
 
 const char* RunModeName(RunMode mode);
 
-struct QueryRunMetrics {
-  // Non-OK when the replay aborted on an unrecoverable read error.
-  Status status;
-  SimTime elapsed_us = 0;
-  bool engaged = false;          // Pythia matched a workload and prefetched
-  // The circuit breaker was open: the query ran as RunMode::kDefault even
-  // though a prefetching mode was requested.
-  bool degraded_by_breaker = false;
-  // The matched model's watchdog had demoted it: the query ran on the
-  // sequential-readahead baseline (no learned prefetch) instead.
-  bool degraded_by_watchdog = false;
-  PrecisionRecall accuracy;      // prediction vs restricted ground truth
-  size_t predicted_pages = 0;
-  BufferPoolStats pool_stats;
-  PrefetchSessionStats prefetch_stats;
-};
+// QueryRunMetrics lives in core/query_metrics.h (shared with the concurrent
+// replay path, which reports one per batch query).
 
 class PythiaSystem {
  public:
@@ -68,6 +56,30 @@ class PythiaSystem {
   // assemble ConcurrentQuery specs themselves.
   std::vector<PageId> PrefetchPlan(const WorkloadQuery& query, RunMode mode,
                                    QueryRunMetrics* metrics);
+
+  // PrefetchPlan restricted to the prediction memoization cache: a plan-
+  // cache hit returns the memoized pages (filling metrics like PrefetchPlan
+  // does), a miss returns empty WITHOUT running any transformer forwards.
+  // This is the kCachedOnly rung of the degradation ladder — inference cost
+  // is shed, hot plans keep their prefetch benefit. Only RunMode::kPythia
+  // has inference to shed; other modes return empty.
+  std::vector<PageId> CachedPlanOnly(const WorkloadQuery& query, RunMode mode,
+                                     QueryRunMetrics* metrics);
+
+  // Builds a ConcurrentQuery spec for `query` under `mode`, applying the
+  // same guardrail ladder RunQuery applies (breaker, watchdog, governor
+  // rung) at planning time. Breaker/watchdog Record() feedback does not
+  // apply in batch mode — sessions interleave, so per-session health is
+  // attributed when the batch result is folded back via
+  // AbsorbConcurrentResult.
+  ConcurrentQuery PlanConcurrentQuery(const WorkloadQuery& query,
+                                      RunMode mode, SimTime arrival_us,
+                                      const PrefetcherOptions& options);
+
+  // Folds a finished batch into the robustness counters and the metrics
+  // registry (governor sheds, deadline stops, admission rejections,
+  // per-query degradation flags).
+  void AbsorbConcurrentResult(const ConcurrentResult& result);
 
   // Algorithm 3 line 3: the workload this query belongs to, or nullptr.
   WorkloadModel* MatchWorkload(const WorkloadQuery& query);
@@ -98,6 +110,14 @@ class PythiaSystem {
   }
   size_t num_workloads() const { return entries_.size(); }
 
+  // Overload protection: creates (or reconfigures) the PrefetchGovernor
+  // bound to this system's environment. Every subsequent RunQuery /
+  // PlanConcurrentQuery session is governed; the ladder rung it reports
+  // folds into each query's effective rung via max().
+  PrefetchGovernor& EnableGovernor(const GovernorOptions& options);
+  // nullptr until EnableGovernor is called (ungoverned — prior behaviour).
+  PrefetchGovernor* governor() { return governor_.get(); }
+
   // Fault-tolerance counters accumulated across every RunQuery call (the
   // storage-level injection counts come from the environment's injector).
   const RobustnessCounters& robustness() const { return robustness_; }
@@ -125,6 +145,14 @@ class PythiaSystem {
   int64_t EntryIndex(const WorkloadModel* model) const;
   // Folds per-model watchdog stats into robustness_.
   void HarvestWatchdogStats();
+  // Folds the governor's cumulative stats into robustness_.
+  void HarvestGovernorStats();
+  // The ladder rung a query under `mode` should be planned at right now
+  // (governor rung + breaker + watchdog folded via max), with the
+  // degradation flags recorded into `metrics`. Also counts breaker/
+  // watchdog/governor degradations in robustness_.
+  DegradationRung PlanRung(const WorkloadQuery& query, RunMode mode,
+                           QueryRunMetrics* metrics, int64_t* watchdog_entry);
 
   SimEnvironment* env_;
   std::vector<std::unique_ptr<Entry>> entries_;
@@ -134,6 +162,7 @@ class PythiaSystem {
   WatchdogOptions watchdog_options_;
   RobustnessCounters robustness_;
   PredictionCache prediction_cache_;
+  std::unique_ptr<PrefetchGovernor> governor_;
 };
 
 }  // namespace pythia

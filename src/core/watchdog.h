@@ -27,9 +27,18 @@
 #include <cstdint>
 #include <deque>
 
+#include "core/query_metrics.h"
+
 namespace pythia {
 
 enum class ModelHealth { kHealthy, kDegraded, kProbation };
+
+// Where a demoted model sits on the graceful-degradation ladder
+// (core/query_metrics.h): its queries run on the sequential-readahead
+// baseline. Combined with the governor/breaker rungs via max() — one
+// ladder, several sensors.
+inline constexpr DegradationRung kWatchdogDegradedRung =
+    DegradationRung::kReadahead;
 
 const char* ModelHealthName(ModelHealth health);
 

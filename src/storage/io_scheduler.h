@@ -55,6 +55,19 @@ class IoScheduler {
     return best > now ? best : now;
   }
 
+  // Measured queue depth at `now`: total virtual time of work already
+  // committed to the channels but not yet completed, summed across
+  // channels. This is the overload governor's AIO-pressure signal — a
+  // growing backlog means speculative reads are queuing behind each other
+  // (and behind injected stalls) faster than the device retires them.
+  SimTime QueueBacklogUs(SimTime now) const {
+    SimTime backlog = 0;
+    for (SimTime t : free_at_) {
+      if (t > now) backlog += t - now;
+    }
+    return backlog;
+  }
+
   size_t num_channels() const { return free_at_.size(); }
   uint64_t scheduled_ops() const { return scheduled_ops_; }
 

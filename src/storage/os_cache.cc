@@ -58,8 +58,12 @@ Result<OsReadResult> OsPageCache::Read(PageId page) {
     // land in the cache and will be served as memory copies. Each readahead
     // image is its own device read and is verified too — the kernel drops
     // (rather than caches) one that fails its checksum, so a later hit on a
-    // readahead page is always a hit on verified bytes.
-    for (uint32_t i = 1; i <= options_.readahead_pages; ++i) {
+    // readahead page is always a hit on verified bytes. Under governor
+    // suppression (kNoPrefetch rung) the scan still pays sequential device
+    // time but nothing is pulled ahead.
+    const uint32_t ahead_pages =
+        readahead_suppressed_ ? 0 : options_.readahead_pages;
+    for (uint32_t i = 1; i <= ahead_pages; ++i) {
       const PageId ahead{page.object_id, page.page_no + i};
       if (disk_ != nullptr && map_.count(ahead) == 0) {
         if (!disk_->ReadPage(ahead).ok()) {

@@ -64,6 +64,15 @@ class OsPageCache {
   // /proc/sys/vm/drop_caches` between experiment runs.
   void DropCaches();
 
+  // Overload governor hook (kNoPrefetch rung): while suppressed, a
+  // sequential read charges its device time but pulls nothing ahead into
+  // the cache — strictly demand I/O. Run state keeps updating so readahead
+  // resumes seamlessly when the ladder recovers.
+  void set_readahead_suppressed(bool suppressed) {
+    readahead_suppressed_ = suppressed;
+  }
+  bool readahead_suppressed() const { return readahead_suppressed_; }
+
   bool Contains(PageId page) const { return map_.count(page) > 0; }
   size_t cached_pages() const { return map_.size(); }
 
@@ -85,6 +94,7 @@ class OsPageCache {
   LatencyModel latency_;
   FaultInjector* injector_ = nullptr;
   SimulatedDisk* disk_ = nullptr;
+  bool readahead_suppressed_ = false;
 
   // LRU: most recent at front.
   std::list<PageId> lru_;

@@ -58,6 +58,18 @@ struct RobustnessCounters {
   uint64_t watchdog_probes = 0;
   uint64_t watchdog_reinstatements = 0;
   uint64_t watchdog_degraded_queries = 0;  // ran on the readahead baseline
+
+  // Overload governor (core/governor.h): global speculative-I/O budgets and
+  // the graceful-degradation ladder, snapshotted from the governor's own
+  // stats after each query; the admission/deadline counters come from the
+  // concurrent replay loop.
+  uint64_t governor_pin_denials = 0;       // pin requests refused outright
+  uint64_t governor_pages_shed = 0;        // victim pages unpinned for budget
+  uint64_t governor_rung_degrades = 0;     // ladder moves toward no-prefetch
+  uint64_t governor_rung_recoveries = 0;   // ladder moves back toward full
+  uint64_t governor_degraded_queries = 0;  // served below full-neural
+  uint64_t deadline_stopped_queries = 0;   // prefetch shed by deadline budget
+  uint64_t admission_rejected_queries = 0; // bounced off the full wait queue
 };
 
 // Model-file integrity counters moved behind the atomic MetricsRegistry

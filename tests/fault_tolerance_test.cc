@@ -297,9 +297,9 @@ TEST(FaultyReplayTest, ConcurrentBatchSurvivesFaults) {
   a.prefetch_options.start_delay_us = 0;
   b.prefetch_options.start_delay_us = 0;
   const ConcurrentResult r = ReplayConcurrent({a, b}, &env);
-  ASSERT_EQ(r.statuses.size(), 2u);
-  EXPECT_TRUE(r.statuses[0].ok());
-  EXPECT_TRUE(r.statuses[1].ok());
+  ASSERT_EQ(r.queries.size(), 2u);
+  EXPECT_TRUE(r.queries[0].status.ok());
+  EXPECT_TRUE(r.queries[1].status.ok());
   EXPECT_EQ(env.pool().pinned_frames(), 0u);
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/system.h"
+#include "util/metrics_registry.h"
 
 namespace pythia {
 namespace {
@@ -200,6 +201,138 @@ TEST_F(SystemTest, BreakerDegradesToDefaultAndRecovers) {
   const QueryRunMetrics m = system_->RunQuery(q, RunMode::kOracle, healthy);
   EXPECT_FALSE(m.degraded_by_breaker);
   EXPECT_GT(m.prefetch_stats.issued, 0u);
+}
+
+TEST_F(SystemTest, CachedPlanOnlyServesHitsWithoutInference) {
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+  // Cold plan cache: the cached-only rung sheds inference entirely, so a
+  // miss returns no pages (and does not engage).
+  QueryRunMetrics miss;
+  EXPECT_TRUE(system_->CachedPlanOnly(q, RunMode::kPythia, &miss).empty());
+  EXPECT_FALSE(miss.engaged);
+
+  // A full plan memoizes the prediction; the cached-only rung now serves
+  // the identical page list with full metrics.
+  QueryRunMetrics full;
+  const std::vector<PageId> planned =
+      system_->PrefetchPlan(q, RunMode::kPythia, &full);
+  QueryRunMetrics hit;
+  const std::vector<PageId> cached =
+      system_->CachedPlanOnly(q, RunMode::kPythia, &hit);
+  EXPECT_EQ(cached, planned);
+  EXPECT_EQ(hit.engaged, full.engaged);
+  EXPECT_EQ(hit.predicted_pages, full.predicted_pages);
+
+  // Only the learned mode has inference to shed.
+  QueryRunMetrics oracle;
+  EXPECT_TRUE(system_->CachedPlanOnly(q, RunMode::kOracle, &oracle).empty());
+}
+
+TEST_F(SystemTest, GovernorRungDegradesAndRecoversRunQuery) {
+  // Budget well above what one query's session pins, so only the ballast
+  // below (not the query's own speculation) can move the ladder.
+  GovernorOptions gopts;
+  gopts.max_pinned_pages = 400;
+  gopts.max_outstanding_aio = 10000;  // AIO pacing is not under test here
+  PrefetchGovernor& governor = system_->EnableGovernor(gopts);
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+
+  // Ballast pins drive pressure to 1.0: the ladder jumps to its last rung
+  // and every query is served without any speculation.
+  const uint64_t ballast = governor.RegisterSession(nullptr, 0);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(governor.TryAcquirePin(ballast, 0));
+  }
+  ASSERT_EQ(governor.Evaluate(0), DegradationRung::kNoPrefetch);
+
+  const QueryRunMetrics degraded =
+      system_->RunQuery(q, RunMode::kPythia, PrefetcherOptions{});
+  ASSERT_TRUE(degraded.status.ok());
+  EXPECT_EQ(degraded.rung, DegradationRung::kNoPrefetch);
+  EXPECT_TRUE(degraded.degraded_by_governor);
+  EXPECT_FALSE(degraded.engaged);
+  EXPECT_EQ(degraded.prefetch_stats.issued, 0u);
+  EXPECT_EQ(system_->robustness().governor_degraded_queries, 1u);
+  EXPECT_GT(system_->robustness().governor_rung_degrades, 0u);
+
+  // Pressure gone: the ladder climbs back (one rung per evaluation) and
+  // full neural service resumes.
+  for (int i = 0; i < 400; ++i) governor.ReleasePin(ballast);
+  governor.UnregisterSession(ballast);
+  for (int i = 0; i < kNumDegradationRungs; ++i) governor.Evaluate(0);
+  ASSERT_EQ(governor.rung(), DegradationRung::kFullNeural);
+  const QueryRunMetrics healthy =
+      system_->RunQuery(q, RunMode::kPythia, PrefetcherOptions{});
+  ASSERT_TRUE(healthy.status.ok());
+  EXPECT_EQ(healthy.rung, DegradationRung::kFullNeural);
+  EXPECT_FALSE(healthy.degraded_by_governor);
+  EXPECT_TRUE(healthy.engaged);
+}
+
+TEST_F(SystemTest, ConcurrentPlanAndAbsorbRoundTrip) {
+  GovernorOptions gopts;
+  PrefetchGovernor& governor = system_->EnableGovernor(gopts);
+  env_->ColdRestart();
+
+  // Four queries, staggered arrivals, two slots, a one-deep queue and a
+  // 1 us deadline: three admissions (one after a wait), one rejection, and
+  // every admitted session is deadline-stopped on its first step.
+  PrefetcherOptions popts;
+  popts.start_delay_us = 0;
+  std::vector<ConcurrentQuery> batch;
+  for (size_t i = 0; i < 4; ++i) {
+    const WorkloadQuery& q =
+        w91_->queries[w91_->test_indices[i % w91_->test_indices.size()]];
+    ConcurrentQuery cq = system_->PlanConcurrentQuery(
+        q, RunMode::kOracle, /*arrival_us=*/0, popts);
+    ASSERT_FALSE(cq.prefetch_pages.empty());
+    EXPECT_EQ(cq.prefetch_options.governor, &governor);
+    EXPECT_TRUE(cq.planned.engaged);
+    batch.push_back(std::move(cq));
+  }
+
+  ConcurrentOptions copts;
+  copts.governor = &governor;
+  copts.max_active_queries = 2;
+  copts.admission_queue_limit = 1;
+  copts.default_deadline_us = 1;
+  const ConcurrentResult r = ReplayConcurrent(batch, copts, env_.get());
+
+  EXPECT_EQ(r.admission.admitted_immediately, 2u);
+  EXPECT_EQ(r.admission.admitted_after_wait, 1u);
+  EXPECT_EQ(r.admission.rejected, 1u);
+  EXPECT_EQ(r.admission.deadline_stops, 3u);
+  uint64_t ok = 0, rejected = 0;
+  for (const QueryRunMetrics& m : r.queries) {
+    if (m.status.ok()) {
+      ++ok;
+      EXPECT_TRUE(m.engaged);  // planning-time seed survived the replay
+      EXPECT_TRUE(m.deadline_exceeded);
+    } else {
+      ++rejected;
+      EXPECT_EQ(m.status.code(), StatusCode::kResourceExhausted);
+    }
+  }
+  EXPECT_EQ(ok, 3u);
+  EXPECT_EQ(rejected, 1u);
+  EXPECT_EQ(env_->pool().pinned_frames(), 0u);
+  EXPECT_EQ(governor.pinned_pages(), 0u);
+
+  system_->AbsorbConcurrentResult(r);
+  EXPECT_EQ(system_->robustness().deadline_stopped_queries, 3u);
+  EXPECT_EQ(system_->robustness().admission_rejected_queries, 1u);
+}
+
+TEST_F(SystemTest, ServedRungCounterMirrorsRuns) {
+  MetricsRegistry::Global().ResetAll();
+  const WorkloadQuery& q = w91_->queries[w91_->test_indices[0]];
+  const QueryRunMetrics m =
+      system_->RunQuery(q, RunMode::kDefault, PrefetcherOptions{});
+  ASSERT_TRUE(m.status.ok());
+  EXPECT_EQ(MetricsRegistry::Global()
+                .counter("overload.served.full-neural")
+                .value(),
+            1u);
 }
 
 TEST_F(SystemTest, MatchThresholdAdjustable) {
