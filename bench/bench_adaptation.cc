@@ -1,0 +1,399 @@
+// Drift-recovery chaos harness: the query mix shifts mid-run away from the
+// trained model's distribution, with and without the online adaptation loop
+// (core/adaptation.h).
+//
+// Scenario: one DSB t91 workload is split by page-region concentration into
+// region A (low page numbers) and region B (high). The model trains on
+// region A only; the stream serves A queries (phase 1), then shifts to B
+// queries it has never seen (phase 2). Post-shift the stale model's
+// prefetches stop being useful, the watchdog demotes it, and:
+//  - adaptation OFF: the system is stuck on the degraded rungs for the rest
+//    of the run — speedup over DFLT collapses toward 1x and stays there;
+//  - adaptation ON: captured post-shift traces retrain a candidate off the
+//    hot path, shadow validation gates it, a hot swap installs it, and the
+//    speedup recovers.
+//
+// Self-checking, exit 1 on violation:
+//  - the ON arm performs at least one retrain and one hot swap, and its
+//    trailing post-shift speedup recovers to >= 80% of the pre-shift level;
+//  - the OFF arm stays degraded (trailing post-shift speedup below the same
+//    recovery bar);
+//  - determinism: the ON arm reruns from identical seeds and the full JSON
+//    payload — every speedup sample, every adaptation event and its virtual
+//    lane timestamp — must be byte-identical.
+//
+// Results land in BENCH_adaptation.json. `--smoke` shrinks the workload for
+// the CI adaptation-smoke arm: same checks, seconds not minutes.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/adaptation.h"
+#include "core/system.h"
+#include "util/table_printer.h"
+
+#include "bench/common.h"
+#include "bench/json_writer.h"
+
+namespace pythia {
+namespace {
+
+struct DriftConfig {
+  int scale_factor = 40;
+  size_t num_queries = 120;   // split into region A / region B halves
+  size_t phase1 = 20;         // pre-shift stream length (region A)
+  size_t phase2 = 90;         // post-shift stream length (region B)
+  // Trailing-mean window for recovery tracking. Wide enough to smooth
+  // per-query variance (individual region-B queries differ 2-3x in how
+  // prefetchable they are) without hiding a sustained regression.
+  size_t trailing = 16;
+  double recovery_fraction = 0.8;
+  int train_epochs = 12;      // offline model (region A only)
+};
+
+AdaptationOptions DriftAdaptation() {
+  AdaptationOptions opts;
+  // Wide enough that by the second retrain the window spans every distinct
+  // drifted query the stream cycles — the candidate memorizes the new
+  // region rather than extrapolating to it.
+  opts.window_capacity = 64;
+  opts.retrain_after = 12;
+  opts.holdout_fraction = 0.25;
+  opts.min_holdout = 4;
+  opts.trigger_window = 8;
+  opts.trigger_useful_ratio = 0.35;  // only retrain when the stream is sick
+  // Match the offline recipe's strength: the candidate must learn a region
+  // it has never seen from a window's worth of samples.
+  opts.train.epochs = 20;
+  opts.train.lr = 2e-3f;
+  // A candidate that grew its vocabulary over-fires on the new region;
+  // calibration trades a little recall for the precision the watchdog's
+  // useful-ratio gate actually judges (see IncrementalTrainOptions).
+  opts.train.calibration_min_precision = 0.40f;
+  opts.train_cost_per_sample_us = 20;
+  opts.probation_sessions = 8;
+  opts.cooldown_captures = 8;
+  return opts;
+}
+
+// Mean non-sequential page number of a query — the "region" its predicate
+// concentrates on. The A/B split along this axis makes phase 2 touch pages
+// the phase-1 model has mostly never emitted.
+double RegionCenter(const WorkloadQuery& q) {
+  double total = 0.0;
+  size_t n = 0;
+  for (const PageAccess& a : q.trace.accesses) {
+    if (a.sequential) continue;
+    total += static_cast<double>(a.page.page_no);
+    ++n;
+  }
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+double TrailingMean(const std::vector<double>& values, size_t window) {
+  if (values.empty()) return 0.0;
+  const size_t n = std::min(window, values.size());
+  double total = 0.0;
+  for (size_t i = values.size() - n; i < values.size(); ++i) total += values[i];
+  return total / static_cast<double>(n);
+}
+
+struct ArmOutcome {
+  std::vector<double> pre_speedups;   // phase 1, per streamed query
+  std::vector<double> post_speedups;  // phase 2, per streamed query
+  double pre_shift = 0.0;             // trailing mean at end of phase 1
+  double post_final = 0.0;            // trailing mean at end of phase 2
+  // First phase-2 position (1-based) where the trailing mean reached the
+  // recovery bar; -1 = never recovered.
+  int64_t recovered_after = -1;
+  AdaptationStats stats;
+  std::vector<AdaptationEvent> events;
+  uint64_t final_revision = 0;
+  uint64_t watchdog_demotions = 0;
+};
+
+// Streams phase 1 (region A) then phase 2 (region B) through a fresh
+// system. Per streamed query the speedup is DFLT cold / PYTHIA cold — both
+// replayed through the same system so the PYTHIA run feeds the watchdog and
+// (when on) the adaptation manager.
+ArmOutcome RunArm(const Workload& wl,
+                  const std::vector<size_t>& a_eval,
+                  const std::vector<size_t>& b_stream, WorkloadModel&& model,
+                  const DriftConfig& cfg, bool adaptation_on) {
+  SimEnvironment env(bench::DefaultSim());
+  PythiaSystem system(&env);
+  system.AddWorkload(wl, std::move(model));
+  // Region-B plans drift far from the match profiles built on region A;
+  // the threshold must admit them or nothing downstream ever observes the
+  // drifted stream.
+  system.set_match_threshold(0.2);
+  // The drift signal in this scenario is the watchdog's useful-ratio gate:
+  // region-B prefetches of the region-A model are mostly wasted, so the
+  // watchdog demotes and the adaptation trigger sees the sick stream. 0.20
+  // keeps a clear margin on both sides — the stale model sits well below it
+  // (~0.15) and a calibrated candidate well above (~0.30).
+  WatchdogOptions wopts;
+  wopts.min_useful_ratio = 0.20;
+  system.set_watchdog_options(wopts);
+  AdaptationManager* manager = nullptr;
+  if (adaptation_on) manager = &system.EnableAdaptation(DriftAdaptation());
+
+  PrefetcherOptions prefetch;
+  const double bar_fraction = cfg.recovery_fraction;
+
+  ArmOutcome out;
+  auto stream_one = [&](size_t qi, std::vector<double>* speedups) {
+    const WorkloadQuery& q = wl.queries[qi];
+    const QueryRunMetrics dflt =
+        system.RunQuery(q, RunMode::kDefault, prefetch);
+    bench::CheckRun(dflt, RunMode::kDefault, qi);
+    const QueryRunMetrics pyth = system.RunQuery(q, RunMode::kPythia, prefetch);
+    bench::CheckRun(pyth, RunMode::kPythia, qi);
+    speedups->push_back(SafeDiv(static_cast<double>(dflt.elapsed_us),
+                                static_cast<double>(pyth.elapsed_us)));
+  };
+
+  for (size_t i = 0; i < cfg.phase1; ++i) {
+    stream_one(a_eval[i % a_eval.size()], &out.pre_speedups);
+  }
+  out.pre_shift = TrailingMean(out.pre_speedups, cfg.trailing);
+  const double bar = bar_fraction * out.pre_shift;
+
+  for (size_t i = 0; i < cfg.phase2; ++i) {
+    stream_one(b_stream[i % b_stream.size()], &out.post_speedups);
+  }
+  out.post_final = TrailingMean(out.post_speedups, cfg.trailing);
+  // Recovered = the trailing mean crossed the bar and STAYED there through
+  // the end of the run. A transient crossing before the watchdog notices
+  // the drift (the stale model limps through its first few region-B
+  // queries) does not count.
+  for (size_t i = cfg.trailing; i <= out.post_speedups.size(); ++i) {
+    const std::vector<double> prefix(out.post_speedups.begin(),
+                                     out.post_speedups.begin() + i);
+    if (TrailingMean(prefix, cfg.trailing) >= bar) {
+      if (out.recovered_after < 0) out.recovered_after = static_cast<int64_t>(i);
+    } else {
+      out.recovered_after = -1;
+    }
+  }
+  if (manager != nullptr) {
+    out.stats = manager->stats();
+    out.events = manager->events();
+  }
+  out.final_revision = system.model(0).revision();
+  out.watchdog_demotions = system.watchdog(0).stats().demotions;
+  return out;
+}
+
+void WriteArmJson(bench::JsonWriter& json, const char* name,
+                  const ArmOutcome& arm) {
+  json.Key(name).BeginObject();
+  json.Field("pre_shift_speedup", arm.pre_shift);
+  json.Field("post_final_speedup", arm.post_final);
+  json.Key("recovered_after_queries").Int(arm.recovered_after);
+  json.Field("final_revision", arm.final_revision);
+  json.Field("watchdog_demotions", arm.watchdog_demotions);
+  json.Key("adaptation").BeginObject();
+  json.Field("captured", arm.stats.captured);
+  json.Field("retrains_started", arm.stats.retrains_started);
+  json.Field("retrains_completed", arm.stats.retrains_completed);
+  json.Field("validations_passed", arm.stats.validations_passed);
+  json.Field("validations_failed", arm.stats.validations_failed);
+  json.Field("swaps", arm.stats.swaps);
+  json.Field("commits", arm.stats.commits);
+  json.Field("rollbacks", arm.stats.rollbacks);
+  json.EndObject();
+  json.Key("events").BeginArray();
+  for (const AdaptationEvent& ev : arm.events) {
+    json.BeginObject();
+    json.Field("kind", AdaptationEventName(ev.kind));
+    json.Field("lane_us", static_cast<uint64_t>(ev.lane_us));
+    json.Field("revision", ev.revision);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("pre_speedups").BeginArray();
+  for (double s : arm.pre_speedups) json.Double(s);
+  json.EndArray();
+  json.Key("post_speedups").BeginArray();
+  for (double s : arm.post_speedups) json.Double(s);
+  json.EndArray();
+  json.EndObject();
+}
+
+}  // namespace
+}  // namespace pythia
+
+int main(int argc, char** argv) {
+  using namespace pythia;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  DriftConfig cfg;
+  if (smoke) {
+    cfg.scale_factor = 15;
+    cfg.num_queries = 60;
+    cfg.phase1 = 14;
+    cfg.phase2 = 60;
+    cfg.trailing = 6;
+    cfg.train_epochs = 8;
+  }
+
+  std::unique_ptr<Database> db = bench::Dsb(cfg.scale_factor);
+  Workload wl = bench::MakeWorkload(*db, TemplateId::kDsb91,
+                                    static_cast<int>(cfg.num_queries));
+
+  // Region split: sort by the page region each query's non-sequential
+  // accesses concentrate on; low half = region A, high half = region B.
+  std::vector<size_t> order(wl.queries.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return RegionCenter(wl.queries[a]) < RegionCenter(wl.queries[b]);
+  });
+  const size_t half = order.size() / 2;
+  std::vector<size_t> region_a(order.begin(),
+                               order.begin() + static_cast<ptrdiff_t>(half));
+  std::vector<size_t> region_b(order.begin() + static_cast<ptrdiff_t>(half),
+                               order.end());
+
+  // The model trains on most of region A; the rest of A is the pre-shift
+  // evaluation stream (unseen but in-distribution).
+  const size_t a_eval_count = std::max<size_t>(6, region_a.size() / 5);
+  std::vector<size_t> a_train(region_a.begin(),
+                              region_a.end() - static_cast<ptrdiff_t>(a_eval_count));
+  std::vector<size_t> a_eval(region_a.end() - static_cast<ptrdiff_t>(a_eval_count),
+                             region_a.end());
+  wl.train_indices = a_train;
+  wl.test_indices = a_eval;
+
+  PredictorOptions popts = bench::DefaultPredictor();
+  popts.epochs = cfg.train_epochs;
+  const std::string key = std::string("adaptation_a_sf") +
+                          std::to_string(cfg.scale_factor) + "_q" +
+                          std::to_string(cfg.num_queries) + "_e" +
+                          std::to_string(cfg.train_epochs);
+  WorkloadModel model = bench::CachedModel(*db, wl, popts, key);
+
+  std::fprintf(stderr,
+               "[drift] %zu queries: region A %zu (train %zu / eval %zu), "
+               "region B %zu\n",
+               wl.queries.size(), region_a.size(), a_train.size(),
+               a_eval.size(), region_b.size());
+
+  const ArmOutcome off = RunArm(wl, a_eval, region_b, model.Clone(), cfg,
+                                /*adaptation_on=*/false);
+  const ArmOutcome on = RunArm(wl, a_eval, region_b, model.Clone(), cfg,
+                               /*adaptation_on=*/true);
+
+  std::fprintf(stderr,
+               "[on-arm] captured=%llu retrains=%llu/%llu passed=%llu "
+               "failed=%llu swaps=%llu commits=%llu rollbacks=%llu "
+               "wd_demotions=%llu\n",
+               static_cast<unsigned long long>(on.stats.captured),
+               static_cast<unsigned long long>(on.stats.retrains_completed),
+               static_cast<unsigned long long>(on.stats.retrains_started),
+               static_cast<unsigned long long>(on.stats.validations_passed),
+               static_cast<unsigned long long>(on.stats.validations_failed),
+               static_cast<unsigned long long>(on.stats.swaps),
+               static_cast<unsigned long long>(on.stats.commits),
+               static_cast<unsigned long long>(on.stats.rollbacks),
+               static_cast<unsigned long long>(on.watchdog_demotions));
+
+  // --- Self checks ---------------------------------------------------------
+  const double on_bar = cfg.recovery_fraction * on.pre_shift;
+  const double off_bar = cfg.recovery_fraction * off.pre_shift;
+  if (on.pre_shift <= 1.05) {
+    std::fprintf(stderr,
+                 "FATAL: pre-shift speedup %.3f too small to measure drift\n",
+                 on.pre_shift);
+    return 1;
+  }
+  if (on.stats.retrains_completed == 0 || on.stats.swaps == 0) {
+    std::fprintf(stderr,
+                 "FATAL: adaptation never retrained/swapped (retrains=%llu "
+                 "swaps=%llu)\n",
+                 static_cast<unsigned long long>(on.stats.retrains_completed),
+                 static_cast<unsigned long long>(on.stats.swaps));
+    return 1;
+  }
+  if (on.post_final < on_bar || on.recovered_after < 0) {
+    std::fprintf(stderr,
+                 "FATAL: adaptation-on did not recover: trailing %.3f < bar "
+                 "%.3f (pre-shift %.3f)\n",
+                 on.post_final, on_bar, on.pre_shift);
+    return 1;
+  }
+  if (off.post_final >= off_bar) {
+    std::fprintf(stderr,
+                 "FATAL: adaptation-off recovered on its own: trailing %.3f "
+                 ">= bar %.3f — the drift scenario is too easy\n",
+                 off.post_final, off_bar);
+    return 1;
+  }
+
+  auto build_json = [&](const ArmOutcome& off_arm, const ArmOutcome& on_arm) {
+    bench::JsonWriter json;
+    json.BeginObject();
+    json.Field("bench", "adaptation");
+    json.Field("smoke", smoke);
+    json.Field("scale_factor", static_cast<uint64_t>(cfg.scale_factor));
+    json.Field("num_queries", static_cast<uint64_t>(cfg.num_queries));
+    json.Field("phase1", static_cast<uint64_t>(cfg.phase1));
+    json.Field("phase2", static_cast<uint64_t>(cfg.phase2));
+    json.Field("trailing_window", static_cast<uint64_t>(cfg.trailing));
+    json.Field("recovery_fraction", cfg.recovery_fraction);
+    WriteArmJson(json, "adaptation_off", off_arm);
+    WriteArmJson(json, "adaptation_on", on_arm);
+    json.EndObject();
+    return json;
+  };
+  const bench::JsonWriter json = build_json(off, on);
+
+  // Determinism: the ON arm — background training lane, shadow validation,
+  // hot swap timing and all — reruns byte-identically from the same seeds.
+  const ArmOutcome on2 = RunArm(wl, a_eval, region_b, model.Clone(), cfg,
+                                /*adaptation_on=*/true);
+  if (build_json(off, on2).str() != json.str()) {
+    std::fprintf(stderr, "FATAL: same-seed rerun is not byte-identical\n");
+    return 1;
+  }
+
+  TablePrinter table({"arm", "pre-shift", "post trailing", "recovered after",
+                      "retrains", "swaps", "rollbacks", "wd demotions"});
+  auto row = [&](const char* name, const ArmOutcome& arm) {
+    table.AddRow({name, TablePrinter::Num(arm.pre_shift, 3),
+                  TablePrinter::Num(arm.post_final, 3),
+                  arm.recovered_after < 0
+                      ? std::string("never")
+                      : std::to_string(arm.recovered_after) + " queries",
+                  std::to_string(arm.stats.retrains_completed),
+                  std::to_string(arm.stats.swaps),
+                  std::to_string(arm.stats.rollbacks),
+                  std::to_string(arm.watchdog_demotions)});
+  };
+  std::printf("=== Drift recovery: t91 region shift after %zu queries, "
+              "adaptation on vs off ===\n",
+              cfg.phase1);
+  row("adaptation off", off);
+  row("adaptation on", on);
+  table.Print();
+  std::printf("\nall checks passed: adaptation-on recovered to %.3fx "
+              "(>= %.0f%% of pre-shift %.3fx) after %lld post-shift queries; "
+              "adaptation-off stayed at %.3fx; same-seed rerun "
+              "byte-identical\n",
+              on.post_final, cfg.recovery_fraction * 100.0, on.pre_shift,
+              static_cast<long long>(on.recovered_after), off.post_final);
+
+  if (!json.WriteToFile("BENCH_adaptation.json")) {
+    std::fprintf(stderr, "warning: could not write BENCH_adaptation.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_adaptation.json\n");
+  return 0;
+}

@@ -36,3 +36,12 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
+
+# The TSan arm additionally soaks the background training lane: the
+# adaptation smoke bench trains candidates on ThreadPool background tasks
+# while the foreground replays queries against the incumbent — the main
+# producer/consumer handoff the unit tests only exercise briefly.
+if [[ "${MODE}" == thread ]]; then
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_adaptation
+  "${BUILD_DIR}/bench/bench_adaptation" --smoke
+fi

@@ -160,6 +160,13 @@ double PrefetchGovernor::RungThreshold(DegradationRung rung) const {
 void PrefetchGovernor::SetRung(DegradationRung next, SimTime now) {
   if (next == rung_) return;
   MetricsRegistry& reg = MetricsRegistry::Global();
+  // How long the outgoing rung was dwelt on, in virtual µs (saturating:
+  // restarts rewind the clock, and a 0-length dwell is still a sample).
+  const SimTime dwell = now >= rung_since_ ? now - rung_since_ : 0;
+  reg.histogram(std::string("overload.rung_dwell.") +
+                DegradationRungName(rung_))
+      .Record(dwell);
+  rung_since_ = now;
   if (static_cast<int>(next) > static_cast<int>(rung_)) {
     ++stats_.rung_degrades;
     reg.counter("overload.rung_degrades").Increment();
@@ -209,6 +216,7 @@ void PrefetchGovernor::Reset() {
     os_cache_->set_readahead_suppressed(false);
   }
   rung_ = DegradationRung::kFullNeural;
+  rung_since_ = 0;
   stats_ = GovernorStats();
   MetricsRegistry::Global().gauge("overload.rung").Set(0);
 }

@@ -138,8 +138,13 @@ class PrefetchGovernor {
 
   // Cold environment restart: virtual clocks rewind to 0, so async
   // completions recorded against the old timeline would never prune —
-  // drop them. Rung, stats and session registrations are untouched.
-  void OnEnvironmentRestart() { aio_completions_ = {}; }
+  // drop them. Rung, stats and session registrations are untouched. The
+  // dwell anchor rewinds with the clock so per-rung dwell histograms never
+  // see a negative (wrapped) duration.
+  void OnEnvironmentRestart() {
+    aio_completions_ = {};
+    rung_since_ = 0;
+  }
 
   // Back to kFullNeural with empty ledgers (environment restart between
   // experiment arms). Live sessions must have been finished first.
@@ -173,6 +178,9 @@ class PrefetchGovernor {
       aio_completions_;
 
   DegradationRung rung_ = DegradationRung::kFullNeural;
+  // Virtual time the current rung was entered; SetRung records the elapsed
+  // dwell into the "overload.rung_dwell.<rung>" histogram on exit.
+  SimTime rung_since_ = 0;
   GovernorStats stats_;
 };
 

@@ -82,6 +82,29 @@ void PythiaModel::PredictInto(const std::vector<int32_t>& tokens,
   }
 }
 
+std::unique_ptr<PythiaModel> PythiaModel::Clone() {
+  auto clone = std::make_unique<PythiaModel>(config_);
+  // The constructor re-derives the architecture from the config; overwrite
+  // its fresh initialization with this model's trained weights. Params()
+  // walks layers in a fixed order, so the lists line up index for index.
+  nn::ParamList src = Params();
+  nn::ParamList dst = clone->Params();
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i]->value = src[i]->value;
+    dst[i]->grad = src[i]->grad;
+  }
+  // Copy the RNG state too, so a later GrowVocab on the clone draws the
+  // same initialization it would have drawn on the original.
+  clone->rng_ = rng_;
+  return clone;
+}
+
+void PythiaModel::GrowVocab(size_t new_vocab_size) {
+  if (new_vocab_size <= config_.vocab_size) return;
+  embedding_.GrowVocab(new_vocab_size, &rng_);
+  config_.vocab_size = new_vocab_size;
+}
+
 nn::ParamList PythiaModel::Params() {
   nn::ParamList params;
   nn::AppendParams(&params, embedding_.Params());

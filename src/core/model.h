@@ -64,6 +64,18 @@ class PythiaModel {
   nn::ParamList Params();
   const PythiaModelConfig& config() const { return config_; }
 
+  // Deep copy: a fresh model with identical config, weights and RNG state.
+  // The clone is fully independent — training it never perturbs the
+  // original — which is what the online-adaptation path needs to build a
+  // candidate model off the live one.
+  std::unique_ptr<PythiaModel> Clone();
+
+  // Grows the embedding table for an extended vocabulary (ids
+  // [old, new_vocab_size) become valid). Existing weights are untouched, so
+  // predictions for already-known tokens are bit-identical until further
+  // training. No-op when new_vocab_size <= config().vocab_size.
+  void GrowVocab(size_t new_vocab_size);
+
   // Number of trainable scalars (reported by Table-1-style diagnostics).
   size_t NumParameters();
 

@@ -252,6 +252,172 @@ Result<WorkloadModel> WorkloadModel::Train(const Database& db,
   return wm;
 }
 
+WorkloadModel WorkloadModel::Clone() {
+  WorkloadModel copy;
+  copy.template_id_ = template_id_;
+  copy.options_ = options_;
+  copy.vocab_ = vocab_;
+  copy.modeled_objects_ = modeled_objects_;
+  copy.token_profile_ = token_profile_;
+  copy.structure_profile_ = structure_profile_;
+  copy.report_ = report_;
+  copy.fingerprint_ = fingerprint_;
+  copy.revision_ = revision_;
+  copy.units_.resize(units_.size());
+  for (size_t u = 0; u < units_.size(); ++u) {
+    copy.units_[u].model = units_[u].model->Clone();
+    copy.units_[u].output_pages = units_[u].output_pages;
+    // incremental_opt is deliberately not cloned: it holds pointers into
+    // the *original* model's parameters. The clone lazily builds its own on
+    // its first incremental round.
+  }
+  return copy;
+}
+
+IncrementalTrainReport WorkloadModel::IncrementalTrain(
+    const std::vector<IncrementalSample>& samples,
+    const IncrementalTrainOptions& options) {
+  IncrementalTrainReport report;
+  report.samples = samples.size();
+  report.threshold = options_.threshold;
+  if (samples.empty() || units_.empty()) {
+    ++revision_;
+    return report;
+  }
+
+  // Extend the vocabulary and match profiles with what the recent window
+  // actually contains — drifted parameter tokens stop mapping to [UNK], and
+  // drifted plan structures start matching the workload again.
+  const size_t old_vocab = vocab_.size();
+  for (const IncrementalSample& s : samples) {
+    vocab_.Add(*s.tokens);
+    for (const std::string& t : *s.tokens) token_profile_.insert(t);
+    if (s.structure_key != nullptr) {
+      structure_profile_.insert(*s.structure_key);
+    }
+  }
+  report.new_tokens = vocab_.size() - old_vocab;
+  report.grew_vocab = report.new_tokens > 0;
+  report.optimizer_reset = options.reset_optimizer_state || report.grew_vocab;
+
+  // Encode inputs and derive labels once, shared read-only by all units.
+  std::vector<std::vector<int32_t>> encoded(samples.size());
+  std::vector<ObjectPageSets> labels(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    encoded[i] = vocab_.Encode(*samples[i].tokens);
+    labels[i] = ProcessTrace(*samples[i].trace, options_.removal);
+  }
+
+  std::vector<double> final_losses(units_.size(), 0.0);
+  auto train_unit = [&](size_t u) {
+    Unit& unit = units_[u];
+    if (report.grew_vocab) unit.model->GrowVocab(vocab_.size());
+
+    std::unordered_map<PageId, uint32_t> to_output;
+    to_output.reserve(unit.output_pages.size());
+    for (uint32_t i = 0; i < unit.output_pages.size(); ++i) {
+      to_output[unit.output_pages[i]] = i;
+    }
+    std::vector<std::vector<uint32_t>> positives(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+      for (const auto& [object, pages] : labels[i]) {
+        for (uint32_t p : pages) {
+          auto it = to_output.find(PageId{object, p});
+          if (it != to_output.end()) positives[i].push_back(it->second);
+        }
+      }
+    }
+
+    if (unit.incremental_opt == nullptr) {
+      nn::Adam::Options adam;
+      adam.lr = options.lr;
+      unit.incremental_opt =
+          std::make_unique<nn::Adam>(unit.model->Params(), adam);
+    } else {
+      unit.incremental_opt->set_lr(options.lr);
+      // Vocabulary growth reshaped the embedding parameter, so stale Adam
+      // moments no longer line up — a reset is mandatory then, optional
+      // (policy) otherwise.
+      if (report.optimizer_reset) unit.incremental_opt->ResetState();
+    }
+    nn::Adam& optimizer = *unit.incremental_opt;
+
+    Pcg32 rng(options.seed + 1000 + u, /*stream=*/0x7a2);
+    std::vector<size_t> order(samples.size());
+    std::iota(order.begin(), order.end(), 0u);
+    const size_t batch = std::max<size_t>(1, options_.batch_size);
+    double last_epoch_loss = 0.0;
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+      rng.Shuffle(&order);
+      double epoch_loss = 0.0;
+      size_t in_batch = 0;
+      for (size_t i : order) {
+        epoch_loss += unit.model->TrainStep(encoded[i], positives[i]);
+        if (++in_batch == batch) {
+          optimizer.ScaleGrads(1.0f / in_batch);
+          optimizer.ClipGradNorm(options_.grad_clip);
+          optimizer.Step();
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) {
+        optimizer.ScaleGrads(1.0f / in_batch);
+        optimizer.ClipGradNorm(options_.grad_clip);
+        optimizer.Step();
+      }
+      last_epoch_loss = epoch_loss / order.size();
+    }
+    final_losses[u] = last_epoch_loss;
+  };
+  ThreadPool::Global().ParallelFor(0, units_.size(), train_unit,
+                                   options_.num_threads);
+
+  report.mean_final_loss =
+      std::accumulate(final_losses.begin(), final_losses.end(), 0.0) /
+      final_losses.size();
+
+  if (options.calibrate_threshold) {
+    static constexpr float kGrid[] = {0.40f, 0.45f, 0.50f, 0.55f, 0.60f,
+                                      0.65f, 0.70f, 0.75f, 0.80f};
+    const float original = options_.threshold;
+    float best_threshold = original;
+    double best_f1 = -1.0;
+    double best_precision = -1.0;
+    bool best_meets_floor = false;
+    for (const float t : kGrid) {
+      options_.threshold = t;
+      double f1 = 0.0;
+      double precision = 0.0;
+      for (size_t i = 0; i < samples.size(); ++i) {
+        const PrecisionRecall m = ComputeSetMetrics(
+            Predict(*samples[i].tokens), RestrictToModeled(labels[i]));
+        f1 += m.f1;
+        precision += m.precision;
+      }
+      f1 /= static_cast<double>(samples.size());
+      precision /= static_cast<double>(samples.size());
+      const bool meets = precision >= options.calibration_min_precision;
+      const bool better = meets ? (!best_meets_floor || f1 > best_f1)
+                                : (!best_meets_floor && precision > best_precision);
+      if (better) {
+        best_threshold = t;
+        best_f1 = f1;
+        best_precision = precision;
+        best_meets_floor = meets;
+      }
+    }
+    options_.threshold = best_threshold;
+    report.threshold_changed = best_threshold != original;
+  }
+  report.threshold = options_.threshold;
+
+  // The model's predictive behaviour (weights, vocabulary, threshold
+  // semantics) changed: memoized plans for the old revision must never be
+  // served again.
+  ++revision_;
+  return report;
+}
+
 std::unordered_set<PageId> WorkloadModel::Predict(
     const std::vector<std::string>& tokens) {
   const std::vector<int32_t> encoded = vocab_.Encode(tokens);
@@ -664,21 +830,82 @@ Result<WorkloadModel> WorkloadModel::ParsePayload(std::FILE* f,
   return wm;
 }
 
+namespace {
+
+// Raw byte copy via temp-file + rename (same atomic-publish discipline as
+// WorkloadModel::Save, without re-serializing — and without double-counting
+// model.atomic_saves). Used to maintain the last-known-good snapshot next
+// to the primary cache file.
+bool CopyModelFile(const std::string& from, const std::string& to) {
+  FilePtr in(std::fopen(from.c_str(), "rb"));
+  if (!in) return false;
+  const std::string tmp = to + ".tmp";
+  {
+    FilePtr out(std::fopen(tmp.c_str(), "wb"));
+    if (!out) return false;
+    char buf[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), in.get())) > 0) {
+      if (std::fwrite(buf, 1, n, out.get()) != n) {
+        out.reset();
+        std::remove(tmp.c_str());
+        return false;
+      }
+    }
+    if (std::ferror(in.get()) != 0 || std::fflush(out.get()) != 0) {
+      out.reset();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), to.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool FileExists(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  return f != nullptr;
+}
+
+}  // namespace
+
 Result<WorkloadModel> GetOrTrainWorkloadModel(const std::string& cache_path,
                                               const Database& db,
                                               const Workload& workload,
                                               const PredictorOptions& options) {
   const uint64_t want =
       WorkloadModel::Fingerprint(options, workload, db.TotalPages());
+  const std::string lkg_path = cache_path + ".lkg";
   Result<WorkloadModel> cached = WorkloadModel::Load(cache_path);
   if (cached.ok() && cached->fingerprint() == want) {
     // Threshold may be swept without retraining: adopt the requested one.
     cached->set_threshold(options.threshold);
+    // A healthy primary is also the freshest possible snapshot: (re)create
+    // the last-known-good copy if a crash or cleanup lost it.
+    if (!FileExists(lkg_path) && CopyModelFile(cache_path, lkg_path)) {
+      IntegrityCounter("model.lkg_snapshots").Increment();
+    }
     return cached;
   }
-  // A corrupt cache was quarantined by Load; the retrain below is the
-  // self-healing half of that story, so count it.
+  // The primary cache is corrupt (Load quarantined it). Before falling all
+  // the way back to a from-scratch retrain, try the last-known-good
+  // snapshot: restoring a validated snapshot is strictly cheaper and keeps
+  // serving the same weights the system already trusted.
   if (!cached.ok() && cached.status().code() == StatusCode::kDataCorruption) {
+    Result<WorkloadModel> snapshot = WorkloadModel::Load(lkg_path);
+    if (snapshot.ok() && snapshot->fingerprint() == want) {
+      IntegrityCounter("model.lkg_restores").Increment();
+      PYTHIA_TRACE_INSTANT_CTX("model", "lkg_restore");
+      // Re-publish the snapshot as the primary so the next process loads
+      // it directly instead of restoring again.
+      CopyModelFile(lkg_path, cache_path);
+      snapshot->set_threshold(options.threshold);
+      return snapshot;
+    }
+    // No snapshot validates — self-heal by retraining from scratch.
     IntegrityCounter("model.retrains_after_corruption").Increment();
     PYTHIA_TRACE_INSTANT_CTX("model", "retrain_after_corruption");
   }
@@ -689,6 +916,8 @@ Result<WorkloadModel> GetOrTrainWorkloadModel(const std::string& cache_path,
   if (!s.ok()) {
     std::fprintf(stderr, "warning: could not cache model to %s: %s\n",
                  cache_path.c_str(), s.ToString().c_str());
+  } else if (CopyModelFile(cache_path, lkg_path)) {
+    IntegrityCounter("model.lkg_snapshots").Increment();
   }
   return fresh;
 }

@@ -66,6 +66,53 @@ struct TrainReport {
   double mean_final_loss = 0.0;
 };
 
+// One recent query fed into incremental retraining: the serialized plan,
+// the recorded page-access trace (labels are derived from it with the
+// model's configured sequential-removal policy) and the plan structure key
+// (folded into the match profiles so drifted-but-retrained-on plans match
+// again). Pointers are not owned and must outlive the IncrementalTrain
+// call.
+struct IncrementalSample {
+  const std::vector<std::string>* tokens = nullptr;
+  const QueryTrace* trace = nullptr;
+  const std::string* structure_key = nullptr;
+};
+
+struct IncrementalTrainOptions {
+  int epochs = 6;
+  float lr = 1e-3f;
+  // Optimizer-state reset policy: when false, each unit's Adam moments are
+  // kept across incremental rounds (smoother updates on a stationary
+  // stream). A round that grows the vocabulary always resets — the
+  // parameter set changed shape, so the old moments no longer correspond.
+  bool reset_optimizer_state = false;
+  // Shuffle seed for this round; the caller varies it per round so
+  // repeated rounds don't replay the same sample order.
+  uint64_t seed = 17;
+  // Post-training decision-threshold recalibration. A round that grows the
+  // vocabulary tends to over-fire (new pages enter the label space before
+  // their scores are well separated), which tanks precision and with it the
+  // live useful-prefetch ratio the watchdog judges. When enabled, the round
+  // ends by sweeping a fixed threshold grid over its own samples and keeping
+  // the threshold with the best F1 among those whose precision clears
+  // `calibration_min_precision` (falling back to the most precise grid point
+  // when none clears it). Deterministic: fixed grid, first-wins ties.
+  bool calibrate_threshold = true;
+  float calibration_min_precision = 0.35f;
+};
+
+struct IncrementalTrainReport {
+  size_t samples = 0;
+  size_t new_tokens = 0;      // vocabulary growth this round
+  bool grew_vocab = false;
+  bool optimizer_reset = false;
+  double mean_final_loss = 0.0;
+  // Decision threshold in effect after the round (== the pre-round value
+  // when calibration is disabled or kept the incumbent threshold).
+  float threshold = 0.0f;
+  bool threshold_changed = false;
+};
+
 class WorkloadModel {
  public:
   // Trains models for `workload` against `db`. The workload's own
@@ -125,6 +172,31 @@ class WorkloadModel {
   // any mutation that can change Predict's output must bump it.
   uint64_t revision() const { return revision_; }
 
+  // Ensures revision() >= r. Used by the hot-swap path so an installed
+  // candidate (or a rolled-back snapshot) can never reuse a revision number
+  // the prediction cache has already memoized plans under.
+  void BumpRevisionTo(uint64_t r) {
+    if (r > revision_) revision_ = r;
+  }
+
+  // Deep copy (weights, vocabulary, profiles, revision). Independent of the
+  // original: the adaptation lane trains the clone while the original keeps
+  // serving live queries.
+  WorkloadModel Clone();
+
+  // One round of online retraining on recent replay traces: extends the
+  // vocabulary (and each unit's embedding) with unseen tokens, folds the
+  // samples' tokens/structures into the match profiles, then reuses the
+  // per-unit TrainStep machinery for `options.epochs` passes over the
+  // samples. Each unit's Adam optimizer persists across rounds inside the
+  // model; see IncrementalTrainOptions::reset_optimizer_state for the reset
+  // policy. Bumps revision(). Deterministic: parallel unit training is
+  // bit-identical to sequential, and sample order depends only on
+  // options.seed.
+  IncrementalTrainReport IncrementalTrain(
+      const std::vector<IncrementalSample>& samples,
+      const IncrementalTrainOptions& options);
+
   TemplateId template_id() const { return template_id_; }
   const TrainReport& report() const { return report_; }
   const std::vector<ObjectId>& modeled_objects() const {
@@ -139,6 +211,9 @@ class WorkloadModel {
     // Per-unit prediction buffer reused across queries (written only by
     // the ParallelFor lane owning this unit, merged in unit order).
     std::vector<uint32_t> pred_scratch;
+    // Optimizer kept across incremental-training rounds (lazily created on
+    // the first round; never serialized — a loaded model starts fresh).
+    std::unique_ptr<nn::Adam> incremental_opt;
   };
 
   WorkloadModel() = default;

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 
+#include "core/adaptation.h"
 #include "util/metrics_registry.h"
 #include "util/trace.h"
 
 namespace pythia {
+
+PythiaSystem::PythiaSystem(SimEnvironment* env) : env_(env) {}
+
+PythiaSystem::~PythiaSystem() = default;
 
 const char* RunModeName(RunMode mode) {
   switch (mode) {
@@ -34,6 +39,48 @@ PrefetchGovernor& PythiaSystem::EnableGovernor(const GovernorOptions& options) {
   governor_ = std::make_unique<PrefetchGovernor>(
       options, &env_->pool(), &env_->io(), &env_->os_cache());
   return *governor_;
+}
+
+uint64_t PythiaSystem::SwapModel(size_t index, WorkloadModel&& candidate,
+                                 size_t probation_sessions) {
+  Entry& entry = *entries_[index];
+  // Revisions stay strictly monotonic per entry: a candidate that started
+  // from an older clone must never reuse a revision number the prediction
+  // cache has already memoized plans under.
+  candidate.BumpRevisionTo(entry.model.revision() + 1);
+  auto outgoing = std::make_unique<WorkloadModel>(std::move(entry.model));
+  entry.model = std::move(candidate);
+  entry.last_known_good = std::move(outgoing);
+  entry.watchdog.RestartForNewModel(probation_sessions);
+  ++robustness_.model_swaps;
+  MetricsRegistry::Global().counter("adaptation.swaps").Increment();
+  PYTHIA_TRACE_INSTANT_CTX("adaptation", "model_swap", "entry", index,
+                           "revision", entry.model.revision());
+  return entry.model.revision();
+}
+
+bool PythiaSystem::RollbackModel(size_t index) {
+  Entry& entry = *entries_[index];
+  if (entry.last_known_good == nullptr) return false;
+  // The restored snapshot also gets a fresh revision — going back to old
+  // weights must not resurrect plans memoized under the rejected model.
+  entry.last_known_good->BumpRevisionTo(entry.model.revision() + 1);
+  entry.model = std::move(*entry.last_known_good);
+  entry.last_known_good.reset();
+  // The watchdog judged the rejected model; restart clean (no probation —
+  // the snapshot already earned trust before it was swapped out).
+  entry.watchdog.RestartForNewModel(0);
+  ++robustness_.model_rollbacks;
+  MetricsRegistry::Global().counter("adaptation.rollbacks").Increment();
+  PYTHIA_TRACE_INSTANT_CTX("adaptation", "model_rollback", "entry", index,
+                           "revision", entry.model.revision());
+  return true;
+}
+
+AdaptationManager& PythiaSystem::EnableAdaptation(
+    const AdaptationOptions& options) {
+  adaptation_ = std::make_unique<AdaptationManager>(this, options);
+  return *adaptation_;
 }
 
 int64_t PythiaSystem::EntryIndex(const WorkloadModel* model) const {
@@ -339,6 +386,15 @@ QueryRunMetrics PythiaSystem::RunQuery(
     entries_[watchdog_entry]->watchdog.Record(
         replay.prefetch_stats.issued + replay.prefetch_stats.already_buffered,
         replay.prefetch_stats.consumed);
+  }
+  // Feed the adaptation manager every learned-mode query that matched a
+  // model (including watchdog-degraded ones — their traces are exactly what
+  // the candidate needs to retrain on). Runs after the watchdog judged the
+  // session, so post-swap probation/rollback decisions see this query.
+  if (adaptation_ != nullptr && mode == RunMode::kPythia &&
+      watchdog_entry >= 0) {
+    adaptation_->ObserveQuery(static_cast<size_t>(watchdog_entry), query,
+                              metrics);
   }
 
   robustness_.read_retries += replay.pool_stats.read_retries;

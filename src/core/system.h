@@ -24,6 +24,9 @@
 
 namespace pythia {
 
+class AdaptationManager;
+struct AdaptationOptions;
+
 enum class RunMode {
   kDefault,          // DFLT: plain buffer manager, no prefetch
   kPythia,           // learned prediction + prefetch
@@ -38,8 +41,10 @@ const char* RunModeName(RunMode mode);
 
 class PythiaSystem {
  public:
-  // `env` must outlive the system.
-  explicit PythiaSystem(SimEnvironment* env) : env_(env) {}
+  // `env` must outlive the system. Ctor/dtor are out-of-line because
+  // AdaptationManager is an incomplete type here.
+  explicit PythiaSystem(SimEnvironment* env);
+  ~PythiaSystem();
 
   // Registers a trained workload model (and builds its NN baseline store
   // from the same workload).
@@ -122,6 +127,39 @@ class PythiaSystem {
   // storage-level injection counts come from the environment's injector).
   const RobustnessCounters& robustness() const { return robustness_; }
 
+  // --- Online adaptation (core/adaptation.h) -----------------------------
+
+  // Live model of the `index`-th registered workload.
+  WorkloadModel& model(size_t index) { return entries_[index]->model; }
+  // Last-known-good snapshot kept by SwapModel for rollback, or nullptr.
+  const WorkloadModel* last_known_good(size_t index) const {
+    return entries_[index]->last_known_good.get();
+  }
+
+  // Atomically installs `candidate` as entry `index`'s live model. The
+  // installed model's revision is bumped past the outgoing one, so every
+  // memoized plan of the old revision misses from now on (the existing
+  // model-revision invalidation mechanism); the outgoing model is kept as
+  // the last-known-good snapshot, and the entry's watchdog restarts with a
+  // `probation_sessions`-long post-swap probation window. Returns the
+  // installed revision.
+  uint64_t SwapModel(size_t index, WorkloadModel&& candidate,
+                     size_t probation_sessions);
+
+  // Restores the last-known-good snapshot saved by the previous SwapModel
+  // (false when there is none). The restored model's revision is bumped
+  // past the rejected one — revisions stay strictly monotonic, so no stale
+  // memoized plan can ever be served after a rollback either.
+  bool RollbackModel(size_t index);
+
+  // Creates (or replaces) the adaptation manager closing the drift loop
+  // over this system: sliding trace window -> background incremental
+  // retrain -> shadow validation -> hot swap -> post-swap probation with
+  // automatic rollback. Observes every RunMode::kPythia RunQuery call.
+  AdaptationManager& EnableAdaptation(const AdaptationOptions& options);
+  // nullptr until EnableAdaptation is called.
+  AdaptationManager* adaptation() { return adaptation_.get(); }
+
   // Plan-fingerprint memoization of RunMode::kPythia prefetch plans.
   // A repeated (model, revision, plan) triple skips all transformer
   // forwards and reuses the cached sorted page list; set_threshold on a
@@ -139,6 +177,8 @@ class PythiaSystem {
     WorkloadModel model;
     std::unique_ptr<NearestNeighborBaseline> nn;
     PredictionWatchdog watchdog;
+    // Outgoing weights of the last SwapModel, kept for RollbackModel.
+    std::unique_ptr<WorkloadModel> last_known_good;
   };
 
   // Index of the entry owning `model`, or -1.
@@ -163,6 +203,7 @@ class PythiaSystem {
   RobustnessCounters robustness_;
   PredictionCache prediction_cache_;
   std::unique_ptr<PrefetchGovernor> governor_;
+  std::unique_ptr<AdaptationManager> adaptation_;
 };
 
 }  // namespace pythia

@@ -1,6 +1,7 @@
 #include "core/watchdog.h"
 
 #include "util/metrics.h"
+#include "util/metrics_registry.h"
 #include "util/trace.h"
 
 namespace pythia {
@@ -24,6 +25,9 @@ bool PredictionWatchdog::AllowPrediction() {
       if (probation_remaining_ == 0) {
         health_ = ModelHealth::kProbation;
         probe_successes_ = 0;
+        MetricsRegistry::Global()
+            .counter("watchdog.transitions.probation")
+            .Increment();
       }
       // This query still runs on the baseline; the *next* one may probe.
       return false;
@@ -43,27 +47,35 @@ void PredictionWatchdog::Record(uint64_t attempted, uint64_t consumed) {
     case ModelHealth::kHealthy:
       window_.push_back(ratio);
       while (window_.size() > options_.window) window_.pop_front();
-      if (window_.size() < options_.min_samples) return;
-      if (WindowRatio() < options_.min_useful_ratio) Demote();
-      return;
+      if (window_.size() >= options_.min_samples &&
+          WindowRatio() < options_.min_useful_ratio) {
+        Demote();
+      }
+      break;
     case ModelHealth::kDegraded:
       // A session that was already running when the model was demoted; its
       // outcome is moot.
-      return;
+      break;
     case ModelHealth::kProbation:
       if (ratio < options_.min_useful_ratio) {
         Demote();
-        return;
+        break;
       }
       if (++probe_successes_ >= options_.required_probe_successes) {
         health_ = ModelHealth::kHealthy;
         window_.clear();
         ++stats_.reinstatements;
+        MetricsRegistry::Global()
+            .counter("watchdog.transitions.reinstate")
+            .Increment();
         PYTHIA_TRACE_INSTANT_CTX("watchdog", "reinstate", "reinstatements",
                                  stats_.reinstatements);
       }
-      return;
+      break;
   }
+  // The post-swap probation window counts judged sessions; a Demote() above
+  // saw it still open and latched post_swap_demoted_.
+  if (post_swap_remaining_ > 0) --post_swap_remaining_;
 }
 
 double PredictionWatchdog::WindowRatio() const {
@@ -79,8 +91,19 @@ void PredictionWatchdog::Demote() {
   window_.clear();
   probe_successes_ = 0;
   ++stats_.demotions;
+  if (post_swap_remaining_ > 0) post_swap_demoted_ = true;
+  MetricsRegistry::Global().counter("watchdog.transitions.demote").Increment();
   PYTHIA_TRACE_INSTANT_CTX("watchdog", "demote", "demotions",
                            stats_.demotions);
+}
+
+void PredictionWatchdog::RestartForNewModel(size_t probation_sessions) {
+  health_ = ModelHealth::kHealthy;
+  window_.clear();
+  probation_remaining_ = 0;
+  probe_successes_ = 0;
+  post_swap_remaining_ = probation_sessions;
+  post_swap_demoted_ = false;
 }
 
 void PredictionWatchdog::Reset() {
@@ -88,6 +111,8 @@ void PredictionWatchdog::Reset() {
   window_.clear();
   probation_remaining_ = 0;
   probe_successes_ = 0;
+  post_swap_remaining_ = 0;
+  post_swap_demoted_ = false;
   stats_ = WatchdogStats();
 }
 

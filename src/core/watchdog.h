@@ -83,6 +83,22 @@ class PredictionWatchdog {
 
   void Reset();
 
+  // --- Hot-swap support (core/adaptation.h) ------------------------------
+
+  // Called when the guarded model is hot-swapped: the window and health
+  // describe the *outgoing* model, so they restart clean for the incoming
+  // one (cumulative stats are kept — they feed RobustnessCounters). When
+  // `probation_sessions > 0`, the next that many judged sessions form a
+  // post-swap probation window: a demotion inside it latches
+  // post_swap_demoted(), the signal the adaptation manager rolls back on.
+  void RestartForNewModel(size_t probation_sessions);
+
+  // True when a demotion happened inside the post-swap probation window.
+  // Latched until the next RestartForNewModel/Reset.
+  bool post_swap_demoted() const { return post_swap_demoted_; }
+  // True while the post-swap probation window is still open.
+  bool post_swap_probation_active() const { return post_swap_remaining_ > 0; }
+
  private:
   void Demote();
 
@@ -91,6 +107,10 @@ class PredictionWatchdog {
   std::deque<double> window_;  // per-session useful ratios
   size_t probation_remaining_ = 0;
   size_t probe_successes_ = 0;
+  // Post-swap probation: judged sessions left in the window, and whether a
+  // demotion fired inside it (core/adaptation.h rolls back on the latter).
+  size_t post_swap_remaining_ = 0;
+  bool post_swap_demoted_ = false;
   WatchdogStats stats_;
 };
 

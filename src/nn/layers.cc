@@ -21,6 +21,25 @@ Matrix Embedding::Forward(const std::vector<int32_t>& token_ids) {
   return out;
 }
 
+void Embedding::GrowVocab(size_t new_vocab_size, Pcg32* rng) {
+  const size_t old_vocab = vocab_size();
+  if (new_vocab_size <= old_vocab) return;
+  const size_t d = dim();
+  // Matrix::Resize does not preserve contents; rebuild and copy.
+  Matrix grown(new_vocab_size, d);
+  for (size_t r = 0; r < old_vocab; ++r) {
+    std::memcpy(grown.row(r), table_.value.row(r), d * sizeof(float));
+  }
+  for (size_t r = old_vocab; r < new_vocab_size; ++r) {
+    float* dst = grown.row(r);
+    for (size_t c = 0; c < d; ++c) {
+      dst[c] = static_cast<float>(rng->Gaussian() * 0.02);
+    }
+  }
+  table_.value = std::move(grown);
+  table_.grad = Matrix(new_vocab_size, d);
+}
+
 void Embedding::Backward(const Matrix& grad_out) {
   for (size_t t = 0; t < last_ids_.size(); ++t) {
     float* dst = table_.grad.row(static_cast<size_t>(last_ids_[t]));

@@ -25,6 +25,14 @@ class Embedding {
   Matrix Forward(const std::vector<int32_t>& token_ids);
   void Backward(const Matrix& grad_out);
 
+  // Appends rows for a grown vocabulary (online vocabulary extension during
+  // incremental retraining). Existing rows keep their trained values, so
+  // predictions for already-known tokens are unchanged until further
+  // training; the appended rows are initialized exactly like the
+  // constructor initializes fresh ones (N(0, 0.02^2) from `rng`). No-op
+  // when `new_vocab_size <= vocab_size()`.
+  void GrowVocab(size_t new_vocab_size, Pcg32* rng);
+
   ParamList Params() { return {&table_}; }
   size_t dim() const { return table_.value.cols(); }
   size_t vocab_size() const { return table_.value.rows(); }

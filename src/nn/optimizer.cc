@@ -31,6 +31,18 @@ Adam::Adam(ParamList params, const Options& options)
   }
 }
 
+void Adam::ResetState() {
+  t_ = 0;
+  m_.clear();
+  v_.clear();
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
 void Adam::Step() {
   ++t_;
   const float b1 = options_.beta1;

@@ -57,6 +57,15 @@ class Adam : public Optimizer {
   Adam(ParamList params, const Options& options);
   void Step() override;
 
+  // Discards all accumulated moment state (m, v, step count), as if the
+  // optimizer had just been constructed over the same parameters. Also
+  // re-sizes the moment buffers to the parameters' *current* shapes, so an
+  // optimizer kept across an incremental-training round survives parameter
+  // growth (e.g. vocabulary extension growing an embedding table).
+  void ResetState();
+
+  int64_t steps() const { return t_; }
+
   void set_lr(float lr) { options_.lr = lr; }
   float lr() const { return options_.lr; }
 

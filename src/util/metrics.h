@@ -59,6 +59,12 @@ struct RobustnessCounters {
   uint64_t watchdog_reinstatements = 0;
   uint64_t watchdog_degraded_queries = 0;  // ran on the readahead baseline
 
+  // Online adaptation (core/adaptation.h): hot swaps of shadow-validated
+  // candidate models, and automatic rollbacks to the last-known-good
+  // snapshot after a post-swap watchdog re-demotion.
+  uint64_t model_swaps = 0;
+  uint64_t model_rollbacks = 0;
+
   // Overload governor (core/governor.h): global speculative-I/O budgets and
   // the graceful-degradation ladder, snapshotted from the governor's own
   // stats after each query; the admission/deadline counters come from the

@@ -118,6 +118,8 @@ ModelIntegrityCounters ModelIntegritySnapshot() {
       reg.counter("model.retrains_after_corruption").value();
   c.atomic_saves = reg.counter("model.atomic_saves").value();
   c.failed_saves = reg.counter("model.failed_saves").value();
+  c.lkg_snapshots = reg.counter("model.lkg_snapshots").value();
+  c.lkg_restores = reg.counter("model.lkg_restores").value();
   return c;
 }
 

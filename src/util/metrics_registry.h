@@ -143,6 +143,8 @@ struct ModelIntegrityCounters {
   uint64_t retrains_after_corruption = 0;
   uint64_t atomic_saves = 0;         // temp-file + rename completions
   uint64_t failed_saves = 0;
+  uint64_t lkg_snapshots = 0;        // .lkg copies written next to the cache
+  uint64_t lkg_restores = 0;         // corrupt cache healed from the .lkg
 };
 
 ModelIntegrityCounters ModelIntegritySnapshot();

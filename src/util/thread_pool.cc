@@ -53,6 +53,48 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+struct ThreadPool::BackgroundTask::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+void ThreadPool::BackgroundTask::Join() {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+bool ThreadPool::BackgroundTask::done() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+ThreadPool::BackgroundTask ThreadPool::SubmitBackground(
+    std::function<void()> fn) {
+  BackgroundTask handle;
+  handle.state_ = std::make_shared<BackgroundTask::State>();
+  auto state = handle.state_;
+  if (workers_.empty() || tls_in_worker) {
+    // Sequential fallback: no lane to run on (or we already are one) —
+    // execute inline so callers never deadlock waiting on themselves.
+    fn();
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done = true;
+    return handle;
+  }
+  Submit([state, fn = std::move(fn)] {
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+  return handle;
+}
+
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn,
                              size_t max_parallelism) {

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -49,6 +50,35 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn,
                    size_t max_parallelism = 0);
+
+  // Handle to a task submitted through SubmitBackground. Join() blocks
+  // until the task has run to completion; it is idempotent and a no-op on a
+  // default-constructed (empty) handle. Handles are movable and copyable
+  // (copies share the same completion state).
+  class BackgroundTask {
+   public:
+    BackgroundTask() = default;
+    // Blocks until the task finished (returns immediately if it already
+    // has, or if the handle is empty).
+    void Join();
+    bool valid() const { return state_ != nullptr; }
+    // True once the task function has returned. Non-blocking.
+    bool done() const;
+
+   private:
+    friend class ThreadPool;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+
+  // Background lane: runs `fn` once on some pool worker, off the caller's
+  // thread, and returns a joinable handle. Unlike ParallelFor the caller
+  // does NOT participate — the point is to keep long-running work (e.g.
+  // incremental model retraining) off the query hot path. With zero
+  // workers, or when called from inside a pool worker, `fn` runs inline
+  // before returning (the deterministic sequential fallback, mirroring
+  // ParallelFor's).
+  BackgroundTask SubmitBackground(std::function<void()> fn);
 
   // Process-wide shared pool. Sized to hardware_concurrency() - 1 workers
   // (the caller thread is the remaining lane); the PYTHIA_THREADS

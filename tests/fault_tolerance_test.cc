@@ -656,9 +656,29 @@ TEST(ModelIntegrityTest, TruncatedFileIsQuarantined) {
   std::remove((path + ".corrupt").c_str());
 }
 
+namespace {
+
+// Flips one bit in the middle of `path` (the CRC will catch it on load).
+void FlipMiddleByte(const std::string& path) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(0, std::ios::end);
+  const std::streamoff size = f.tellg();
+  ASSERT_GT(size, 64);
+  const std::streamoff target = size / 2;
+  f.seekg(target);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte ^= 0x10;
+  f.seekp(target);
+  f.write(&byte, 1);
+}
+
+}  // namespace
+
 TEST(ModelIntegrityTest, BitFlippedCacheIsQuarantinedAndRetrained) {
-  // Full self-healing path: train + save, flip one payload byte, then ask
-  // the cache layer again — it must quarantine the corrupt file, retrain
+  // Full self-healing path with no last-known-good snapshot available:
+  // train + save, flip one payload byte, delete the .lkg copy, then ask the
+  // cache layer again — it must quarantine the corrupt file, retrain
   // transparently, and rewrite a loadable cache.
   auto db = BuildDsbDatabase(DsbConfig{5, 42});
   WorkloadOptions wopts;
@@ -672,26 +692,18 @@ TEST(ModelIntegrityTest, BitFlippedCacheIsQuarantinedAndRetrained) {
   const std::string path = ::testing::TempDir() + "/selfheal.pywm";
   std::remove(path.c_str());
   std::remove((path + ".corrupt").c_str());
+  std::remove((path + ".lkg").c_str());
 
   Result<WorkloadModel> first =
       GetOrTrainWorkloadModel(path, *db, *wl, popts);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   ASSERT_TRUE(FileExists(path));
+  // A fresh save also leaves a last-known-good copy next to the cache.
+  EXPECT_TRUE(FileExists(path + ".lkg"));
 
-  // Flip one bit in the middle of the payload.
-  {
-    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
-    f.seekg(0, std::ios::end);
-    const std::streamoff size = f.tellg();
-    ASSERT_GT(size, 64);
-    const std::streamoff target = size / 2;
-    f.seekg(target);
-    char byte = 0;
-    f.read(&byte, 1);
-    byte ^= 0x10;
-    f.seekp(target);
-    f.write(&byte, 1);
-  }
+  FlipMiddleByte(path);
+  // Remove the snapshot so the only way out is a retrain.
+  std::remove((path + ".lkg").c_str());
 
   const ModelIntegrityCounters before = ModelIntegritySnapshot();
   Result<WorkloadModel> healed =
@@ -702,6 +714,7 @@ TEST(ModelIntegrityTest, BitFlippedCacheIsQuarantinedAndRetrained) {
   EXPECT_EQ(after.quarantined, before.quarantined + 1);
   EXPECT_EQ(after.retrains_after_corruption,
             before.retrains_after_corruption + 1);
+  EXPECT_EQ(after.lkg_restores, before.lkg_restores);
   EXPECT_TRUE(FileExists(path + ".corrupt"));
   // The retrain rewrote a valid cache; a third call loads it cleanly.
   EXPECT_TRUE(FileExists(path));
@@ -710,6 +723,55 @@ TEST(ModelIntegrityTest, BitFlippedCacheIsQuarantinedAndRetrained) {
   EXPECT_EQ(after.atomic_saves, before.atomic_saves + 1);
   std::remove(path.c_str());
   std::remove((path + ".corrupt").c_str());
+  std::remove((path + ".lkg").c_str());
+}
+
+TEST(ModelIntegrityTest, BitFlippedCacheIsRestoredFromLastKnownGood) {
+  // Cheaper self-healing path: when the .lkg snapshot survives, a corrupt
+  // primary cache is quarantined and healed from the snapshot WITHOUT a
+  // retrain (and without a fresh atomic save — the copy is a raw byte
+  // restore, not a Save()).
+  auto db = BuildDsbDatabase(DsbConfig{5, 42});
+  WorkloadOptions wopts;
+  wopts.num_queries = 30;
+  wopts.test_fraction = 0.1;
+  Result<Workload> wl = GenerateWorkload(*db, TemplateId::kDsb91, wopts);
+  ASSERT_TRUE(wl.ok());
+  PredictorOptions popts;
+  popts.epochs = 1;
+  popts.num_threads = 1;
+  const std::string path = ::testing::TempDir() + "/lkgheal.pywm";
+  std::remove(path.c_str());
+  std::remove((path + ".corrupt").c_str());
+  std::remove((path + ".lkg").c_str());
+
+  Result<WorkloadModel> first =
+      GetOrTrainWorkloadModel(path, *db, *wl, popts);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(FileExists(path + ".lkg"));
+  const std::unordered_set<PageId> want =
+      first->Predict(wl->queries[wl->test_indices[0]].tokens);
+
+  FlipMiddleByte(path);
+
+  const ModelIntegrityCounters before = ModelIntegritySnapshot();
+  Result<WorkloadModel> healed =
+      GetOrTrainWorkloadModel(path, *db, *wl, popts);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  const ModelIntegrityCounters after = ModelIntegritySnapshot();
+  EXPECT_EQ(after.quarantined, before.quarantined + 1);
+  EXPECT_EQ(after.lkg_restores, before.lkg_restores + 1);
+  EXPECT_EQ(after.retrains_after_corruption,
+            before.retrains_after_corruption);
+  EXPECT_EQ(after.atomic_saves, before.atomic_saves);
+  // The restored model is the saved one: identical predictions.
+  EXPECT_EQ(healed->Predict(wl->queries[wl->test_indices[0]].tokens), want);
+  // The primary cache is valid again; a third call loads it cleanly.
+  Result<WorkloadModel> reloaded = WorkloadModel::Load(path);
+  EXPECT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  std::remove(path.c_str());
+  std::remove((path + ".corrupt").c_str());
+  std::remove((path + ".lkg").c_str());
 }
 
 // ---------------------------------------------------------------------------
