@@ -44,4 +44,11 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
 if [[ "${MODE}" == thread ]]; then
   cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_adaptation
   "${BUILD_DIR}/bench/bench_adaptation" --smoke
+
+  # Batch-queue soak: BatchPredictor flush windows fan the decoder GEMMs out
+  # on the ThreadPool (WorkloadModel::PredictBatch -> per-unit lanes writing
+  # disjoint batch_scratch rows), plus the lane-busy/queue-depth metrics the
+  # workers publish while tests drive them. Repeating the suite keeps those
+  # lanes hot long enough for TSan to interleave them meaningfully.
+  "${BUILD_DIR}/tests/batch_predictor_test" --gtest_repeat=5
 fi

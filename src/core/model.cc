@@ -63,8 +63,9 @@ std::vector<uint32_t> PythiaModel::Predict(const std::vector<int32_t>& tokens,
 void PythiaModel::PredictInto(const std::vector<int32_t>& tokens,
                               float threshold, std::vector<uint32_t>* out) {
   out->clear();
-  nn::Matrix x = pos_encoding_.Forward(embedding_.Forward(tokens));
-  nn::Matrix encoded = encoder_.Forward(x);
+  embedding_.ForwardInto(tokens, &embed_scratch_);
+  pos_encoding_.AddInPlace(&embed_scratch_);
+  nn::Matrix encoded = encoder_.Forward(embed_scratch_);
   repr_scratch_.Resize(1, config_.embed_dim);
   const float* last = encoded.row(encoded.rows() - 1);
   for (size_t c = 0; c < config_.embed_dim; ++c) {
@@ -78,6 +79,40 @@ void PythiaModel::PredictInto(const std::vector<int32_t>& tokens,
   for (size_t i = 0; i < config_.num_outputs; ++i) {
     if (logits_scratch_.at(0, i) >= logit_threshold) {
       out->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+void PythiaModel::PredictBatchInto(
+    const std::vector<const std::vector<int32_t>*>& batch, float threshold,
+    std::vector<std::vector<uint32_t>>* out) {
+  const size_t b = batch.size();
+  out->resize(b);
+  if (b == 0) return;
+  repr_scratch_.Resize(b, config_.embed_dim);
+  for (size_t r = 0; r < b; ++r) {
+    embedding_.ForwardInto(*batch[r], &embed_scratch_);
+    pos_encoding_.AddInPlace(&embed_scratch_);
+    nn::Matrix encoded = encoder_.Forward(embed_scratch_);
+    const float* last = encoded.row(encoded.rows() - 1);
+    float* dst = repr_scratch_.row(r);
+    for (size_t c = 0; c < config_.embed_dim; ++c) dst[c] = last[c];
+  }
+  // The batched decoder: two multi-row GEMMs over all B representations at
+  // once instead of B single-row passes. Row r of each product is computed
+  // exactly as the 1-row path computes it, so the thresholded index lists
+  // below match per-request PredictInto bit for bit.
+  decoder1_.ApplyRelu(repr_scratch_, &hidden_scratch_);
+  decoder2_.Apply(hidden_scratch_, &logits_scratch_);
+  const float logit_threshold = std::log(threshold / (1.0f - threshold));
+  for (size_t r = 0; r < b; ++r) {
+    std::vector<uint32_t>& row_out = (*out)[r];
+    row_out.clear();
+    const float* logits = logits_scratch_.row(r);
+    for (size_t i = 0; i < config_.num_outputs; ++i) {
+      if (logits[i] >= logit_threshold) {
+        row_out.push_back(static_cast<uint32_t>(i));
+      }
     }
   }
 }

@@ -61,6 +61,20 @@ class PythiaModel {
   void PredictInto(const std::vector<int32_t>& tokens, float threshold,
                    std::vector<uint32_t>* out);
 
+  // Batch-dim inference: one PredictInto-equivalent result per request.
+  // The encoder stays per-sequence (attention mixes rows within a sequence
+  // and lengths differ), but the B query representations are gathered into
+  // one (B x embed_dim) scratch matrix and pushed through the decoder as
+  // two multi-row GEMMs — the amortization the batched prediction engine
+  // (core/batch_predictor.h) exists for. Every output row is bit-identical
+  // to PredictInto on the same tokens: the GEMM kernels compute each output
+  // row with the same k-loop order regardless of the row count
+  // (nn/matrix.cc), and the bias/ReLU epilogues and the logit thresholding
+  // are row-wise. out is resized to batch.size().
+  void PredictBatchInto(const std::vector<const std::vector<int32_t>*>& batch,
+                        float threshold,
+                        std::vector<std::vector<uint32_t>>* out);
+
   nn::ParamList Params();
   const PythiaModelConfig& config() const { return config_; }
 
@@ -91,6 +105,10 @@ class PythiaModel {
   size_t last_seq_len_ = 0;
 
   // PredictInto scratch (query representation, decoder hidden, logits).
+  // PredictBatchInto reuses the same matrices at (B x ...) shapes — Resize
+  // never shrinks capacity, so alternating between batch sizes does not
+  // reallocate in steady state.
+  nn::Matrix embed_scratch_;
   nn::Matrix repr_scratch_;
   nn::Matrix hidden_scratch_;
   nn::Matrix logits_scratch_;

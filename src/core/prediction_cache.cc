@@ -1,5 +1,7 @@
 #include "core/prediction_cache.h"
 
+#include "util/metrics_registry.h"
+
 namespace pythia {
 
 std::string PredictionCache::PlanKey(
@@ -46,9 +48,39 @@ void PredictionCache::Insert(const PredictionKey& key,
   index_[key] = entries_.begin();
 }
 
+bool PredictionCache::BeginInflight(const PredictionKey& key) {
+  auto [it, inserted] = inflight_.try_emplace(key, 0);
+  if (inserted) return true;  // leader
+  ++it->second;
+  ++stats_.dedup_joins;
+  MetricsRegistry::Global().counter("prediction_cache.dedup_joins").Increment();
+  return false;
+}
+
+size_t PredictionCache::PublishInflight(const PredictionKey& key,
+                                        std::vector<PageId> pages) {
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return 0;
+  const size_t followers = it->second;
+  inflight_.erase(it);
+  Insert(key, std::move(pages));
+  if (followers > 0) {
+    stats_.fanouts += followers;
+    MetricsRegistry::Global()
+        .counter("prediction_cache.fanout")
+        .Increment(followers);
+  }
+  return followers;
+}
+
+void PredictionCache::AbortInflight(const PredictionKey& key) {
+  inflight_.erase(key);
+}
+
 void PredictionCache::Clear() {
   entries_.clear();
   index_.clear();
+  inflight_.clear();
 }
 
 }  // namespace pythia

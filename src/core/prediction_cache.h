@@ -66,6 +66,32 @@ class PredictionCache {
   // entry if the cache is full. A capacity of 0 disables the cache.
   void Insert(const PredictionKey& key, std::vector<PageId> pages);
 
+  // --- Single-flight dedupe (batch windows) ------------------------------
+  // The batched prediction engine (core/batch_predictor.h) coalesces plan
+  // requests into flush windows. When several requests in one window carry
+  // the same fingerprint, exactly one — the leader — may run a forward
+  // pass; the rest join the leader's in-flight registration and are fanned
+  // the published result. Dedupe joins and fanouts are counted both in
+  // stats() and in the MetricsRegistry ("prediction_cache.dedup_joins",
+  // "prediction_cache.fanout").
+
+  // Registers interest in `key` for the current window. True: the caller is
+  // the leader and must eventually Publish or Abort the key. False: an
+  // identical fingerprint is already in flight (counted as a dedupe join).
+  bool BeginInflight(const PredictionKey& key);
+
+  // Completes `key`'s window: inserts the leader's result into the cache,
+  // counts one fanout per joined follower, clears the registration and
+  // returns the follower count. No-op (returns 0) for an unregistered key.
+  size_t PublishInflight(const PredictionKey& key, std::vector<PageId> pages);
+
+  // Drops `key`'s registration without publishing — the window was shed
+  // (e.g. the ladder degraded below full-neural before the flush ran).
+  void AbortInflight(const PredictionKey& key);
+
+  // In-flight fingerprints registered but not yet published/aborted.
+  size_t inflight() const { return inflight_.size(); }
+
   void Clear();
 
   size_t size() const { return entries_.size(); }
@@ -79,6 +105,8 @@ class PredictionCache {
   EntryList entries_;  // front = most recently used
   std::unordered_map<PredictionKey, EntryList::iterator, PredictionKeyHash>
       index_;
+  // key -> follower count (requests that joined after the leader).
+  std::unordered_map<PredictionKey, size_t, PredictionKeyHash> inflight_;
   PredictionCacheStats stats_;
 };
 

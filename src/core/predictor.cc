@@ -440,6 +440,36 @@ std::unordered_set<PageId> WorkloadModel::Predict(
   return out;
 }
 
+std::vector<std::unordered_set<PageId>> WorkloadModel::PredictBatch(
+    const std::vector<const std::vector<std::string>*>& token_seqs) {
+  std::vector<std::unordered_set<PageId>> out(token_seqs.size());
+  if (token_seqs.empty()) return out;
+  std::vector<std::vector<int32_t>> encoded(token_seqs.size());
+  std::vector<const std::vector<int32_t>*> batch(token_seqs.size());
+  for (size_t i = 0; i < token_seqs.size(); ++i) {
+    encoded[i] = vocab_.Encode(*token_seqs[i]);
+    batch[i] = &encoded[i];
+  }
+  // Same fan-out discipline as Predict: each lane writes only its unit's
+  // batch_scratch and the merge walks units in order per query, so every
+  // result set is identical to a sequential per-query Predict.
+  ThreadPool::Global().ParallelFor(
+      0, units_.size(),
+      [&](size_t u) {
+        units_[u].model->PredictBatchInto(batch, options_.threshold,
+                                          &units_[u].batch_scratch);
+      },
+      options_.num_threads);
+  for (size_t q = 0; q < token_seqs.size(); ++q) {
+    for (Unit& unit : units_) {
+      for (uint32_t idx : unit.batch_scratch[q]) {
+        out[q].insert(unit.output_pages[idx]);
+      }
+    }
+  }
+  return out;
+}
+
 std::unordered_set<PageId> WorkloadModel::RestrictToModeled(
     const ObjectPageSets& sets) const {
   std::unordered_set<PageId> out;

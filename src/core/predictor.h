@@ -127,6 +127,15 @@ class WorkloadModel {
   // Predicted page set for a serialized plan. Unknown tokens map to [UNK].
   std::unordered_set<PageId> Predict(const std::vector<std::string>& tokens);
 
+  // Batched Predict: one result set per token sequence, bit-identical to
+  // calling Predict on each sequence in order. The unit fan-out matches
+  // Predict's (ParallelFor, unit-ordered merge); inside each unit the B
+  // query representations run through the decoder as one multi-row GEMM
+  // pass (PythiaModel::PredictBatchInto), amortizing the per-unit forward
+  // cost across the whole batch. Pointers must stay valid for the call.
+  std::vector<std::unordered_set<PageId>> PredictBatch(
+      const std::vector<const std::vector<std::string>*>& token_seqs);
+
   // Ground truth restricted to the objects this model covers — the paper's
   // F1 compares prediction and truth over modeled objects (for IMDB, only
   // cast_info is modeled and measured).
@@ -211,6 +220,8 @@ class WorkloadModel {
     // Per-unit prediction buffer reused across queries (written only by
     // the ParallelFor lane owning this unit, merged in unit order).
     std::vector<uint32_t> pred_scratch;
+    // PredictBatch counterpart: one index list per batch row.
+    std::vector<std::vector<uint32_t>> batch_scratch;
     // Optimizer kept across incremental-training rounds (lazily created on
     // the first round; never serialized — a loaded model starts fresh).
     std::unique_ptr<nn::Adam> incremental_opt;

@@ -89,6 +89,24 @@ class PythiaSystem {
   // Algorithm 3 line 3: the workload this query belongs to, or nullptr.
   WorkloadModel* MatchWorkload(const WorkloadQuery& query);
 
+  // The ladder rung a query under `mode` would be planned at right now
+  // (governor + breaker + watchdog folded via max), with the degradation
+  // flags recorded into *metrics. Public wrapper over the private PlanRung
+  // for callers that assemble plans themselves instead of going through
+  // PlanConcurrentQuery — the batched prediction engine
+  // (core/batch_predictor.h) decides per submission whether a request may
+  // queue for a neural flush, must settle from cache, or is shed.
+  DegradationRung PlanningRung(const WorkloadQuery& query, RunMode mode,
+                               QueryRunMetrics* metrics) {
+    return PlanRung(query, mode, metrics, /*watchdog_entry=*/nullptr);
+  }
+
+  // Registration index of `model` — the model_id used in prediction-cache
+  // keys — or -1 when the model is not registered here.
+  int64_t WorkloadIndex(const WorkloadModel* model) const {
+    return EntryIndex(model);
+  }
+
   SimEnvironment* env() { return env_; }
   double match_threshold() const { return match_threshold_; }
   void set_match_threshold(double t) { match_threshold_ = t; }

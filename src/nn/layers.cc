@@ -21,6 +21,15 @@ Matrix Embedding::Forward(const std::vector<int32_t>& token_ids) {
   return out;
 }
 
+void Embedding::ForwardInto(const std::vector<int32_t>& token_ids,
+                            Matrix* out) const {
+  out->Resize(token_ids.size(), dim());
+  for (size_t t = 0; t < token_ids.size(); ++t) {
+    const float* src = table_.value.row(static_cast<size_t>(token_ids[t]));
+    std::memcpy(out->row(t), src, dim() * sizeof(float));
+  }
+}
+
 void Embedding::GrowVocab(size_t new_vocab_size, Pcg32* rng) {
   const size_t old_vocab = vocab_size();
   if (new_vocab_size <= old_vocab) return;

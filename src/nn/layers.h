@@ -25,6 +25,14 @@ class Embedding {
   Matrix Forward(const std::vector<int32_t>& token_ids);
   void Backward(const Matrix& grad_out);
 
+  // Inference fast path: gathers the token embeddings into *out (resized to
+  // (T x dim)) without touching the backward bookkeeping, so Backward must
+  // not be called after it. Values are identical to Forward's; the point is
+  // that a caller-owned scratch matrix makes the per-request encoder
+  // prologue of the batched prediction path allocation-free in steady state
+  // (Matrix::Resize never shrinks capacity).
+  void ForwardInto(const std::vector<int32_t>& token_ids, Matrix* out) const;
+
   // Appends rows for a grown vocabulary (online vocabulary extension during
   // incremental retraining). Existing rows keep their trained values, so
   // predictions for already-known tokens are unchanged until further

@@ -6,8 +6,13 @@ namespace pythia::nn {
 
 Matrix PositionalEncoding::Forward(const Matrix& x) const {
   Matrix out = x;
-  for (size_t pos = 0; pos < out.rows(); ++pos) {
-    float* row = out.row(pos);
+  AddInPlace(&out);
+  return out;
+}
+
+void PositionalEncoding::AddInPlace(Matrix* x) const {
+  for (size_t pos = 0; pos < x->rows(); ++pos) {
+    float* row = x->row(pos);
     for (size_t i = 0; i < dim_; i += 2) {
       const double angle =
           pos / std::pow(10000.0, static_cast<double>(i) / dim_);
@@ -15,7 +20,6 @@ Matrix PositionalEncoding::Forward(const Matrix& x) const {
       if (i + 1 < dim_) row[i + 1] += static_cast<float>(std::cos(angle));
     }
   }
-  return out;
 }
 
 TransformerEncoderLayer::TransformerEncoderLayer(std::string name,

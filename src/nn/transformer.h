@@ -29,6 +29,12 @@ class PositionalEncoding {
 
   Matrix Forward(const Matrix& x) const;
 
+  // Inference fast path: adds the positional signal directly into *x
+  // instead of copying. Arithmetic is identical to Forward, bit for bit —
+  // the batch-dim prediction path pairs it with Embedding::ForwardInto so
+  // the per-request encoder prologue allocates nothing in steady state.
+  void AddInPlace(Matrix* x) const;
+
  private:
   size_t dim_;
 };

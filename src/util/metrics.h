@@ -91,6 +91,12 @@ struct PredictionCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  // Single-flight dedupe inside one batch window: a join is a request that
+  // found its fingerprint already in flight (so it never ran a forward
+  // pass); a fanout is one joined follower receiving the leader's published
+  // result.
+  uint64_t dedup_joins = 0;
+  uint64_t fanouts = 0;
 };
 
 struct PrecisionRecall {

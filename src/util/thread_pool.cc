@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <string>
+
+#include "util/metrics_registry.h"
 
 namespace pythia {
 
@@ -17,7 +21,7 @@ thread_local bool tls_in_worker = false;
 ThreadPool::ThreadPool(size_t num_workers) {
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -30,8 +34,15 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t lane) {
   tls_in_worker = true;
+  // Registry handles are stable for the process lifetime, so resolve them
+  // once per worker instead of once per task (the map lookup takes a lock).
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& tasks_executed = registry.counter("threadpool.tasks_executed");
+  Gauge& queue_depth = registry.gauge("threadpool.queue_depth");
+  Histogram& busy_us =
+      registry.histogram("threadpool.lane_busy_us." + std::to_string(lane));
   for (;;) {
     std::function<void()> task;
     {
@@ -40,16 +51,28 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth.Set(static_cast<int64_t>(queue_.size()));
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    busy_us.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    tasks_executed.Increment();
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  MetricsRegistry::Global()
+      .gauge("threadpool.queue_depth")
+      .Set(static_cast<int64_t>(depth));
   cv_.notify_one();
 }
 

@@ -83,10 +83,22 @@ class ThreadPool {
   // Process-wide shared pool. Sized to hardware_concurrency() - 1 workers
   // (the caller thread is the remaining lane); the PYTHIA_THREADS
   // environment variable overrides the total lane count when set.
+  //
+  // Health metrics (util/metrics_registry.h): every pool exports
+  //  - "threadpool.queue_depth"        gauge, pending tasks after each
+  //                                    push/pop;
+  //  - "threadpool.tasks_executed"     counter, tasks a worker completed
+  //                                    (inline sequential fallbacks are not
+  //                                    worker executions and don't count);
+  //  - "threadpool.lane_busy_us.<i>"   per-lane histogram of wall-clock
+  //                                    microseconds spent inside each task,
+  //                                    for spotting lane imbalance.
+  // Wall-clock samples never feed result JSON — benches that self-check
+  // same-seed determinism must not serialize these histograms.
   static ThreadPool& Global();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t lane);
   void Submit(std::function<void()> task);
 
   std::mutex mu_;

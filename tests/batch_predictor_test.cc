@@ -1,0 +1,250 @@
+// BatchPredictor contract tests: batched prediction must be bit-identical
+// to the sequential PrefetchPlan path at every batch size, the single-flight
+// dedupe window must run one forward row per distinct plan, and the size /
+// deadline flush triggers must fire exactly as documented.
+//
+// Training is the expensive part, so one model is trained per suite and
+// cloned into a fresh PythiaSystem per test (clones are bit-identical).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/batch_predictor.h"
+#include "core/prediction_cache.h"
+#include "core/predictor.h"
+#include "core/system.h"
+#include "workload/database.h"
+#include "workload/generator.h"
+#include "workload/templates.h"
+
+namespace pythia {
+namespace {
+
+class BatchPredictorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = BuildDsbDatabase(DsbConfig{5, 42}).release();
+    WorkloadOptions wopts;
+    wopts.num_queries = 30;
+    wopts.test_fraction = 0.2;
+    Result<Workload> wl = GenerateWorkload(*db_, TemplateId::kDsb91, wopts);
+    ASSERT_TRUE(wl.ok()) << wl.status().ToString();
+    wl_ = new Workload(std::move(*wl));
+    PredictorOptions popts;
+    popts.epochs = 2;
+    popts.num_threads = 1;
+    Result<WorkloadModel> model = WorkloadModel::Train(*db_, *wl_, popts);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = new WorkloadModel(std::move(*model));
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete wl_;
+    wl_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  // Fresh system per test: prediction-cache state never leaks across tests.
+  // PrefetchPlan touches no storage, so the system needs no environment.
+  static std::unique_ptr<PythiaSystem> MakeSystem() {
+    auto system = std::make_unique<PythiaSystem>(nullptr);
+    system->AddWorkload(*wl_, model_->Clone());
+    return system;
+  }
+
+  // Indices of queries with pairwise-distinct plan fingerprints (the dedupe
+  // key), in workload order.
+  static std::vector<size_t> DistinctQueryIndices(size_t want) {
+    std::vector<size_t> out;
+    std::unordered_set<std::string> seen;
+    for (size_t i = 0; i < wl_->queries.size() && out.size() < want; ++i) {
+      if (seen.insert(PredictionCache::PlanKey(wl_->queries[i].tokens))
+              .second) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+
+  static Database* db_;
+  static Workload* wl_;
+  static WorkloadModel* model_;
+};
+
+Database* BatchPredictorTest::db_ = nullptr;
+Workload* BatchPredictorTest::wl_ = nullptr;
+WorkloadModel* BatchPredictorTest::model_ = nullptr;
+
+// Leg 1 of the bit-identity argument, at the model level: PredictBatch on a
+// B-row window returns exactly what B sequential Predict calls return, for
+// every batch size the fleet harness exercises.
+TEST_F(BatchPredictorTest, PredictBatchMatchesSequentialAtAllSizes) {
+  WorkloadModel batched = model_->Clone();
+  WorkloadModel sequential = model_->Clone();
+  for (size_t batch : {1u, 4u, 32u, 128u}) {
+    std::vector<const std::vector<std::string>*> token_seqs;
+    token_seqs.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      token_seqs.push_back(&wl_->queries[i % wl_->queries.size()].tokens);
+    }
+    std::vector<std::unordered_set<PageId>> got =
+        batched.PredictBatch(token_seqs);
+    ASSERT_EQ(got.size(), batch);
+    for (size_t i = 0; i < batch; ++i) {
+      EXPECT_EQ(got[i], sequential.Predict(*token_seqs[i]))
+          << "batch=" << batch << " row=" << i;
+    }
+  }
+}
+
+// End to end: plans delivered by BatchPredictor equal the sequential
+// PrefetchPlan pages AND session metrics, query by query.
+TEST_F(BatchPredictorTest, DeliveredPlansMatchSequentialPath) {
+  auto seq_system = MakeSystem();
+  auto batch_system = MakeSystem();
+
+  std::vector<std::vector<PageId>> want_pages;
+  std::vector<QueryRunMetrics> want_metrics;
+  for (const WorkloadQuery& q : wl_->queries) {
+    QueryRunMetrics m;
+    want_pages.push_back(seq_system->PrefetchPlan(q, RunMode::kPythia, &m));
+    want_metrics.push_back(m);
+  }
+
+  BatchPredictorOptions opts;
+  opts.max_batch_rows = 1000;  // single window holds the whole workload
+  opts.flush_deadline_us = 1u << 30;
+  BatchPredictor bp(batch_system.get(), opts);
+  std::vector<BatchPrediction> done;
+  for (size_t i = 0; i < wl_->queries.size(); ++i) {
+    bp.Submit(i, wl_->queries[i], /*now=*/0, &done);
+  }
+  bp.FlushAll(/*now=*/0, &done);
+
+  ASSERT_EQ(done.size(), wl_->queries.size());
+  for (const BatchPrediction& r : done) {
+    SCOPED_TRACE("ticket " + std::to_string(r.ticket));
+    EXPECT_EQ(r.pages, want_pages[r.ticket]);  // bit-identical
+    EXPECT_EQ(r.planned.engaged, want_metrics[r.ticket].engaged);
+    EXPECT_EQ(r.planned.predicted_pages,
+              want_metrics[r.ticket].predicted_pages);
+    EXPECT_EQ(r.planned.accuracy.precision,
+              want_metrics[r.ticket].accuracy.precision);
+    EXPECT_EQ(r.planned.accuracy.recall, want_metrics[r.ticket].accuracy.recall);
+    EXPECT_EQ(r.planned.accuracy.f1, want_metrics[r.ticket].accuracy.f1);
+    EXPECT_EQ(r.planned.rung, want_metrics[r.ticket].rung);
+  }
+}
+
+// Two submissions of the same plan inside one window: one GEMM row runs,
+// the follower is fanned the leader's published result.
+TEST_F(BatchPredictorTest, DedupeWindowRunsOneForwardRow) {
+  auto system = MakeSystem();
+  BatchPredictorOptions opts;
+  opts.max_batch_rows = 1000;
+  BatchPredictor bp(system.get(), opts);
+
+  const WorkloadQuery& q = wl_->queries[wl_->test_indices[0]];
+  std::vector<BatchPrediction> done;
+  bp.Submit(1, q, 0, &done);
+  bp.Submit(2, q, 0, &done);
+  EXPECT_TRUE(done.empty());  // both queued for the flush
+  EXPECT_EQ(bp.pending(), 2u);
+  bp.FlushAll(0, &done);
+
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_FALSE(done[0].deduped);
+  EXPECT_TRUE(done[1].deduped);
+  EXPECT_EQ(done[0].pages, done[1].pages);
+  EXPECT_FALSE(done[0].pages.empty());
+  EXPECT_EQ(bp.stats().deduped, 1u);
+  EXPECT_EQ(bp.stats().fanned_out, 1u);
+  EXPECT_EQ(bp.stats().forward_rows, 1u);  // the follower never ran a row
+  EXPECT_EQ(bp.stats().model_batches, 1u);
+  EXPECT_EQ(system->prediction_cache_stats().dedup_joins, 1u);
+  EXPECT_EQ(system->prediction_cache_stats().fanouts, 1u);
+}
+
+// A plan published by an earlier window is a cache hit: the request settles
+// immediately, without queueing, with the memoized pages.
+TEST_F(BatchPredictorTest, CacheHitSettlesImmediately) {
+  auto system = MakeSystem();
+  BatchPredictor bp(system.get(), BatchPredictorOptions{});
+
+  const WorkloadQuery& q = wl_->queries[wl_->test_indices[0]];
+  std::vector<BatchPrediction> done;
+  bp.Submit(1, q, 0, &done);
+  bp.FlushAll(0, &done);
+  ASSERT_EQ(done.size(), 1u);
+
+  bp.Submit(2, q, 100, &done);
+  ASSERT_EQ(done.size(), 2u);  // settled inside Submit
+  EXPECT_EQ(bp.pending(), 0u);
+  EXPECT_TRUE(done[1].from_cache);
+  EXPECT_EQ(done[1].ready_us, 100u);
+  EXPECT_EQ(done[1].pages, done[0].pages);
+  EXPECT_TRUE(done[1].planned.engaged);
+  EXPECT_EQ(done[1].planned.accuracy.f1, done[0].planned.accuracy.f1);
+  EXPECT_EQ(bp.stats().served_from_cache, 1u);
+  EXPECT_EQ(bp.stats().forward_rows, 1u);  // only the first submit ran
+}
+
+// The deadline trigger stamps results with the due time — the moment the
+// window's oldest request had waited flush_deadline_us — not with whatever
+// later time the driver happened to pump at.
+TEST_F(BatchPredictorTest, DeadlineFlushStampsDueTime) {
+  auto system = MakeSystem();
+  BatchPredictorOptions opts;
+  opts.flush_deadline_us = 1000;
+  BatchPredictor bp(system.get(), opts);
+
+  const WorkloadQuery& q = wl_->queries[wl_->test_indices[0]];
+  std::vector<BatchPrediction> done;
+  bp.Submit(1, q, /*now=*/100, &done);
+  EXPECT_EQ(bp.NextDeadline(), 1100u);
+  bp.PumpTo(1099, &done);
+  EXPECT_TRUE(done.empty());  // not due yet
+  EXPECT_EQ(bp.pending(), 1u);
+  bp.PumpTo(5000, &done);  // driver pumps late; the flush is charged at due
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].ready_us, 1100u);
+  EXPECT_EQ(bp.pending(), 0u);
+  EXPECT_EQ(bp.NextDeadline(), 0u);
+  EXPECT_EQ(bp.stats().deadline_flushes, 1u);
+  EXPECT_EQ(bp.stats().size_flushes, 0u);
+}
+
+// The size trigger flushes inside Submit once the window holds
+// max_batch_rows distinct leader rows.
+TEST_F(BatchPredictorTest, SizeTriggerFlushesFullWindow) {
+  std::vector<size_t> distinct = DistinctQueryIndices(2);
+  ASSERT_EQ(distinct.size(), 2u) << "workload has too few distinct plans";
+
+  auto system = MakeSystem();
+  BatchPredictorOptions opts;
+  opts.max_batch_rows = 2;
+  BatchPredictor bp(system.get(), opts);
+
+  std::vector<BatchPrediction> done;
+  bp.Submit(1, wl_->queries[distinct[0]], /*now=*/7, &done);
+  EXPECT_TRUE(done.empty());
+  bp.Submit(2, wl_->queries[distinct[1]], /*now=*/7, &done);
+  ASSERT_EQ(done.size(), 2u);  // second leader filled the window
+  EXPECT_EQ(bp.pending(), 0u);
+  EXPECT_EQ(done[0].ready_us, 7u);
+  EXPECT_EQ(done[1].ready_us, 7u);
+  EXPECT_EQ(bp.stats().size_flushes, 1u);
+  EXPECT_EQ(bp.stats().deadline_flushes, 0u);
+  EXPECT_EQ(bp.stats().forward_rows, 2u);
+  EXPECT_EQ(bp.stats().model_batches, 1u);  // one multi-row pass, one model
+  EXPECT_DOUBLE_EQ(bp.MeanRowsPerForward(), 2.0);
+}
+
+}  // namespace
+}  // namespace pythia

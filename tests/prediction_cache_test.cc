@@ -134,6 +134,66 @@ TEST(PredictionCacheTest, PlanKeyIsUnambiguous) {
             PredictionCache::PlanKey({"a", "b"}));
 }
 
+// --- Single-flight dedupe (batch windows) --------------------------------
+
+TEST(PredictionCacheTest, SingleFlightLeaderThenFollowers) {
+  PredictionCache cache(4);
+  EXPECT_TRUE(cache.BeginInflight(Key(0, 0, "a")));   // leader
+  EXPECT_FALSE(cache.BeginInflight(Key(0, 0, "a")));  // follower 1
+  EXPECT_FALSE(cache.BeginInflight(Key(0, 0, "a")));  // follower 2
+  EXPECT_TRUE(cache.BeginInflight(Key(0, 0, "b")));   // distinct plan: leader
+  EXPECT_EQ(cache.inflight(), 2u);
+  EXPECT_EQ(cache.stats().dedup_joins, 2u);
+  EXPECT_EQ(cache.stats().fanouts, 0u);  // nothing published yet
+}
+
+TEST(PredictionCacheTest, PublishInsertsAndCountsFanouts) {
+  PredictionCache cache(4);
+  ASSERT_TRUE(cache.BeginInflight(Key(0, 0, "a")));
+  ASSERT_FALSE(cache.BeginInflight(Key(0, 0, "a")));
+  ASSERT_FALSE(cache.BeginInflight(Key(0, 0, "a")));
+  EXPECT_EQ(cache.PublishInflight(Key(0, 0, "a"), Pages({1, 2})), 2u);
+  EXPECT_EQ(cache.stats().fanouts, 2u);
+  EXPECT_EQ(cache.inflight(), 0u);
+  // The publish is a real Insert: later lookups hit.
+  std::vector<PageId> got;
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, "a"), &got));
+  EXPECT_EQ(got, Pages({1, 2}));
+  // The registration is gone: a new window starts a fresh leader.
+  EXPECT_TRUE(cache.BeginInflight(Key(0, 0, "a")));
+}
+
+TEST(PredictionCacheTest, PublishWithoutFollowersReturnsZero) {
+  PredictionCache cache(4);
+  ASSERT_TRUE(cache.BeginInflight(Key(0, 0, "a")));
+  EXPECT_EQ(cache.PublishInflight(Key(0, 0, "a"), Pages({7})), 0u);
+  EXPECT_EQ(cache.stats().fanouts, 0u);
+  // Publishing an unregistered key is a no-op, not an insert.
+  EXPECT_EQ(cache.PublishInflight(Key(0, 0, "zz"), Pages({8})), 0u);
+  std::vector<PageId> got;
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, "zz"), &got));
+}
+
+TEST(PredictionCacheTest, AbortDropsRegistrationWithoutInsert) {
+  PredictionCache cache(4);
+  ASSERT_TRUE(cache.BeginInflight(Key(0, 0, "a")));
+  ASSERT_FALSE(cache.BeginInflight(Key(0, 0, "a")));
+  cache.AbortInflight(Key(0, 0, "a"));
+  EXPECT_EQ(cache.inflight(), 0u);
+  std::vector<PageId> got;
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, "a"), &got));  // nothing was inserted
+  EXPECT_EQ(cache.stats().fanouts, 0u);              // nobody was fanned
+  EXPECT_TRUE(cache.BeginInflight(Key(0, 0, "a")));  // fresh leader again
+}
+
+TEST(PredictionCacheTest, ClearDropsInflightRegistrations) {
+  PredictionCache cache(4);
+  ASSERT_TRUE(cache.BeginInflight(Key(0, 0, "a")));
+  cache.Clear();
+  EXPECT_EQ(cache.inflight(), 0u);
+  EXPECT_TRUE(cache.BeginInflight(Key(0, 0, "a")));
+}
+
 // End-to-end: PythiaSystem memoizes PrefetchPlan results per plan and
 // invalidates them when the model's predictive behaviour changes.
 TEST(PredictionCacheSystemTest, RepeatedPlanHitsCacheBitIdentically) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <unordered_set>
+#include <vector>
 
 #include "workload/database.h"
 #include "workload/generator.h"
@@ -229,6 +231,127 @@ TEST_F(TemplateTest, Dsb91HasHighNonSeqFraction) {
     return nonseq / (seq + nonseq);
   };
   EXPECT_GT(frac(*w91), frac(*w18));
+}
+
+// --- Fleet generation (ZipfianPicker, GenerateFleetArrivals) --------------
+
+TEST(ZipfianPickerTest, SamplesInRangeAndDeterministic) {
+  ZipfianPicker picker(50, 0.9);
+  Pcg32 a(77, 3), b(77, 3);
+  for (int i = 0; i < 2000; ++i) {
+    const size_t ra = picker.Sample(&a);
+    EXPECT_LT(ra, 50u);
+    EXPECT_EQ(ra, picker.Sample(&b));  // same seed -> same stream
+  }
+}
+
+TEST(ZipfianPickerTest, DistributionShapeMatchesZipf) {
+  // Empirical rank frequencies must fall off like ~1/(r+1)^theta: rank 0
+  // beats rank 1 beats the mid ranks, and the head ratio f(0)/f(1) is close
+  // to 2^theta.
+  constexpr double kTheta = 0.8;
+  constexpr size_t kN = 100;
+  constexpr int kSamples = 200000;
+  ZipfianPicker picker(kN, kTheta);
+  Pcg32 rng(4242, 9);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[picker.Sample(&rng)];
+
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[50]);
+  const double head_ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  const double want = std::pow(2.0, kTheta);  // ~1.74 at theta 0.8
+  EXPECT_NEAR(head_ratio, want, 0.35 * want);
+  // The head is genuinely hot: the top 10% of ranks hold ~45% of the mass
+  // at theta 0.8 (H_{10,theta}/H_{100,theta}), far above the uniform 10%.
+  int head = 0;
+  for (size_t r = 0; r < kN / 10; ++r) head += counts[r];
+  EXPECT_GT(head, (2 * kSamples) / 5);
+}
+
+TEST(ZipfianPickerTest, DegenerateSizesAreSafe) {
+  Pcg32 rng(1, 1);
+  ZipfianPicker one(1, 0.9);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(one.Sample(&rng), 0u);
+  ZipfianPicker zero(0, 0.9);  // clamped to n=1 instead of dividing by it
+  EXPECT_EQ(zero.n(), 1u);
+  EXPECT_EQ(zero.Sample(&rng), 0u);
+}
+
+TEST(FleetArrivalsTest, SpecsAreWellFormed) {
+  const std::vector<size_t> sizes = {30, 12};
+  FleetOptions options;
+  options.num_sessions = 500;
+  options.num_tenants = 8;
+  for (ArrivalProcess arrivals :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty}) {
+    options.arrivals = arrivals;
+    std::vector<FleetSessionSpec> fleet =
+        GenerateFleetArrivals(sizes, options);
+    ASSERT_EQ(fleet.size(), 500u);
+    uint64_t prev = 0;
+    for (const FleetSessionSpec& s : fleet) {
+      EXPECT_GE(s.arrival_us, prev);  // nondecreasing virtual time
+      prev = s.arrival_us;
+      ASSERT_LT(s.workload_index, sizes.size());
+      EXPECT_LT(s.query_index, sizes[s.workload_index]);
+      EXPECT_LT(s.tenant, 8u);
+      EXPECT_EQ(s.priority, static_cast<int>(s.tenant % 3));
+    }
+  }
+}
+
+TEST(FleetArrivalsTest, DeterministicGivenSeed) {
+  const std::vector<size_t> sizes = {30, 12};
+  FleetOptions options;
+  options.num_sessions = 200;
+  std::vector<FleetSessionSpec> a = GenerateFleetArrivals(sizes, options);
+  std::vector<FleetSessionSpec> b = GenerateFleetArrivals(sizes, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].workload_index, b[i].workload_index);
+    EXPECT_EQ(a[i].query_index, b[i].query_index);
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+  }
+}
+
+TEST(FleetArrivalsTest, ArrivalProcessDoesNotPerturbSessionMix) {
+  // Popularity and timing draw from independent streams, so the Poisson and
+  // bursty arms of one seed run the identical session mix — the property
+  // bench_fleet's cross-arm comparisons rest on.
+  const std::vector<size_t> sizes = {30, 12};
+  FleetOptions options;
+  options.num_sessions = 300;
+  options.arrivals = ArrivalProcess::kPoisson;
+  std::vector<FleetSessionSpec> poisson = GenerateFleetArrivals(sizes, options);
+  options.arrivals = ArrivalProcess::kBursty;
+  std::vector<FleetSessionSpec> bursty = GenerateFleetArrivals(sizes, options);
+  ASSERT_EQ(poisson.size(), bursty.size());
+  for (size_t i = 0; i < poisson.size(); ++i) {
+    EXPECT_EQ(poisson[i].workload_index, bursty[i].workload_index);
+    EXPECT_EQ(poisson[i].query_index, bursty[i].query_index);
+    EXPECT_EQ(poisson[i].tenant, bursty[i].tenant);
+  }
+}
+
+TEST(FleetArrivalsTest, BurstyArrivalsFormBursts) {
+  const std::vector<size_t> sizes = {10};
+  FleetOptions options;
+  options.num_sessions = 128;
+  options.arrivals = ArrivalProcess::kBursty;
+  options.burst_size = 64;
+  options.burst_gap_us = 50000;
+  options.intra_burst_gap_us = 10;
+  std::vector<FleetSessionSpec> fleet = GenerateFleetArrivals(sizes, options);
+  ASSERT_EQ(fleet.size(), 128u);
+  // Inside a burst sessions are 10us apart; bursts start 50ms apart.
+  EXPECT_EQ(fleet[0].arrival_us, 0u);
+  EXPECT_EQ(fleet[63].arrival_us, 63u * 10u);
+  EXPECT_EQ(fleet[64].arrival_us, 50000u);
+  EXPECT_EQ(fleet[127].arrival_us, 50000u + 63u * 10u);
 }
 
 }  // namespace
