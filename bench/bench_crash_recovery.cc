@@ -1,0 +1,584 @@
+// Crash-recovery sweep: kill the checkpoint path at every named crash
+// window, recover from the residue, and prove the recovered system is
+// consistent — never a torn artifact, never a stale memoized prediction,
+// and byte-identical predictions to whichever committed state the crash
+// semantics say must survive.
+//
+// Three arms:
+//
+//  1. Site sweep. For each of the five CrashPointRegistry sites
+//     (storage/durable.h) the harness commits generation 1, mutates the
+//     served model (threshold change -> new revision, new prediction
+//     policy), arms the site and attempts generation 2. The armed
+//     checkpoint must abort, and recovery against the residue must land on
+//     exactly the state the decision tree (core/recovery.h) prescribes:
+//       pre_tmp_write / mid_payload / pre_rename  -> generation-1 model,
+//           manifest-matched, warm cache + demoted watchdog restored;
+//       post_rename_pre_sidecar / mid_manifest    -> the newer published
+//           weights at manifest revision + 1, cold cache, fresh watchdog.
+//     Post-recovery predictions are digest-compared against the old/new
+//     reference digests captured before the kill, and a post-recovery
+//     checkpoint must continue the generation sequence monotonically.
+//
+//  2. Seeded chaos. ArmRandom(seed, p) over repeated checkpoints of an
+//     unchanged model: wherever the kill lands, recovery must come back
+//     warm at the committed revision with the identical prediction digest.
+//
+//  3. Cold vs warm restart. Recovery with no artifacts retrains from the
+//     workload spec; recovery from a checkpoint loads the primary and the
+//     warm cache. Warm must be measurably faster (it is a file load versus
+//     a full training run).
+//
+// Self-checking: every violated expectation prints FATAL and exits 1.
+// Arms 1 and 2 rerun from identical seeds and their JSON section must be
+// byte-identical (wall-clock timings live outside the compared section).
+// Results land in BENCH_crash_recovery.json; `--smoke` shrinks the scale
+// for the CI crash-recovery-smoke arm.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/prediction_cache.h"
+#include "core/recovery.h"
+#include "core/system.h"
+#include "storage/durable.h"
+#include "util/crc32.h"
+#include "util/metrics_registry.h"
+#include "util/table_printer.h"
+
+#include "bench/common.h"
+#include "bench/json_writer.h"
+
+namespace pythia {
+namespace {
+
+struct CrashConfig {
+  int scale_factor = 40;
+  size_t num_queries = 120;
+  int train_epochs = 12;
+  size_t chaos_seeds = 12;
+  double chaos_prob = 0.3;
+  size_t chaos_attempts = 3;  // checkpoint attempts per chaos seed
+  size_t cache_entries = 4;   // warm-cache entries staged per run
+};
+
+// Digest of the model's predictions over the held-out queries: CRC over
+// every predicted page (sorted per query) plus separators. Two models
+// predict byte-identically iff their digests match.
+uint32_t PredictionDigest(WorkloadModel& model, const Workload& wl) {
+  uint32_t crc = 0;
+  for (size_t ti : wl.test_indices) {
+    std::vector<uint64_t> pages;
+    for (const PageId& p : model.Predict(wl.queries[ti].tokens)) {
+      pages.push_back(p.Pack());
+    }
+    std::sort(pages.begin(), pages.end());
+    pages.push_back(~0ull);  // query separator
+    crc = Crc32(pages.data(), pages.size() * sizeof(uint64_t), crc);
+  }
+  return crc;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = bench::CacheDir() + "/crash_recovery/" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+// Registers the base model on a fresh system, seeds warm-cache entries from
+// real test-query plans, and demotes the watchdog so restores are visible.
+std::unique_ptr<PythiaSystem> StageSystem(const Workload& wl,
+                                          WorkloadModel& base,
+                                          size_t cache_entries) {
+  auto sys = std::make_unique<PythiaSystem>(nullptr);
+  sys->AddWorkload(wl, base.Clone());
+  const uint64_t rev = sys->model(0).revision();
+  for (size_t i = 0; i < cache_entries && i < wl.test_indices.size(); ++i) {
+    const auto& tokens = wl.queries[wl.test_indices[i]].tokens;
+    std::vector<PageId> pages;
+    for (const PageId& p : sys->model(0).Predict(tokens)) pages.push_back(p);
+    std::sort(pages.begin(), pages.end());
+    sys->prediction_cache().Insert(
+        {0, rev, PredictionCache::PlanKey(tokens)}, std::move(pages));
+  }
+  // Four useless windows demote the watchdog with its default options; a
+  // warm recovery must bring the demotion back, a cold one must not.
+  for (int i = 0; i < 4; ++i) sys->watchdog(0).Record(10, 0);
+  return sys;
+}
+
+RecoverySpec SpecFor(const Workload& wl, const Database& db,
+                     const PredictorOptions& popts,
+                     const std::string& model_path) {
+  RecoverySpec spec;
+  spec.workload = &wl;
+  spec.db = &db;
+  spec.options = popts;
+  spec.model_path = model_path;
+  return spec;
+}
+
+#define FATAL(...)                       \
+  do {                                   \
+    std::fprintf(stderr, "FATAL: ");     \
+    std::fprintf(stderr, __VA_ARGS__);   \
+    std::fprintf(stderr, "\n");          \
+    std::exit(1);                        \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// Arm 1: deterministic kill-at-every-site sweep.
+
+struct SweepOutcome {
+  std::string site;
+  bool aborted = false;
+  uint64_t hits = 0;
+  std::string source;
+  bool manifest_match = false;
+  uint64_t revision_delta = 0;  // recovered revision - staged revision
+  std::string adopted;          // "old" (gen-1 model) or "new" (post-crash)
+  uint64_t cache_restored = 0;
+  uint64_t cache_rejected = 0;
+  uint64_t tmp_removed = 0;
+  uint64_t manifest_generation = 0;
+  uint64_t next_generation = 0;  // after one post-recovery checkpoint
+  bool watchdog_demoted = false;
+};
+
+struct SweepExpect {
+  const char* adopted;
+  uint64_t revision_delta;
+  bool manifest_match;  // implies warm cache + restored (demoted) watchdog
+  bool tmp_residue;     // the kill leaves a .tmp for recovery to sweep
+};
+
+SweepExpect ExpectFor(const std::string& site) {
+  if (site == kCrashPreTmpWrite) return {"old", 0, true, false};
+  if (site == kCrashMidPayload) return {"old", 0, true, true};
+  if (site == kCrashPreRename) return {"old", 0, true, true};
+  if (site == kCrashPostRenamePreSidecar) return {"new", 1, false, false};
+  if (site == kCrashMidManifest) return {"new", 1, false, true};
+  FATAL("unknown crash site %s", site.c_str());
+}
+
+SweepOutcome RunSweepSite(const std::string& site, const CrashConfig& cfg,
+                          const Database& db, const Workload& wl,
+                          const PredictorOptions& popts, WorkloadModel& base) {
+  SweepOutcome out;
+  out.site = site;
+  const std::string dir = FreshDir("sweep_" + site);
+  const std::string model_path = dir + "/wm.pywm";
+
+  std::unique_ptr<PythiaSystem> sys = StageSystem(wl, base, cfg.cache_entries);
+  const uint64_t rev0 = sys->model(0).revision();
+
+  CrashPointRegistry& crash = CrashPointRegistry::Global();
+  crash.Reset();
+  CheckpointManager mgr(dir, CheckpointOptions());
+  Status gen1 = mgr.Checkpoint(*sys, {model_path});
+  if (!gen1.ok()) FATAL("[%s] baseline checkpoint: %s", site.c_str(),
+                        gen1.ToString().c_str());
+  const uint32_t old_digest = PredictionDigest(sys->model(0), wl);
+  const FileIdentity old_identity = FileIdentityOf(model_path);
+
+  // Mutate the served model — new revision, new prediction policy — and
+  // kill the checkpoint that tries to commit it.
+  sys->model(0).set_threshold(popts.threshold * 0.5f);
+  const uint32_t new_digest = PredictionDigest(sys->model(0), wl);
+  if (new_digest == old_digest) {
+    FATAL("[%s] threshold change did not alter predictions; the old/new "
+          "distinction would be vacuous — widen the config", site.c_str());
+  }
+  crash.Arm(site);
+  Status gen2 = mgr.Checkpoint(*sys, {model_path});
+  out.aborted = gen2.code() == StatusCode::kAborted && crash.crashed() &&
+                crash.crash_site() == site;
+  if (!out.aborted) FATAL("[%s] armed checkpoint did not die there: %s",
+                          site.c_str(), gen2.ToString().c_str());
+  out.hits = crash.hits(site);
+  sys.reset();  // the process is dead; its memory is gone
+
+  // Reboot and recover against the residue.
+  crash.Reset();
+  PythiaSystem restarted(nullptr);
+  RecoveryManager rm(dir);
+  Result<RecoveryReport> report =
+      rm.Recover(&restarted, {SpecFor(wl, db, popts, model_path)});
+  if (!report.ok()) FATAL("[%s] recovery failed: %s", site.c_str(),
+                          report.status().ToString().c_str());
+  const RecoveredWorkload& rw = report->workloads[0];
+  out.source = RecoverySourceName(rw.source);
+  out.manifest_match = rw.manifest_match;
+  out.revision_delta = rw.revision - rev0;
+  out.cache_restored = report->cache_restored;
+  out.cache_rejected = report->cache_rejected;
+  out.tmp_removed = report->tmp_files_removed;
+  out.manifest_generation = report->manifest_generation;
+  out.watchdog_demoted = restarted.watchdog(0).health() != ModelHealth::kHealthy;
+
+  // "No inconsistent load": the recovered bytes must be exactly one of the
+  // two committed states, and the predictions must match that state's
+  // reference digest byte for byte.
+  const bool kept_old = FileIdentityOf(model_path) == old_identity;
+  out.adopted = kept_old ? "old" : "new";
+  const uint32_t got = PredictionDigest(restarted.model(0), wl);
+  const uint32_t want = kept_old ? old_digest : new_digest;
+  if (got != want) {
+    FATAL("[%s] post-recovery predictions diverge from the %s reference "
+          "(digest %08x != %08x)", site.c_str(), out.adopted.c_str(), got,
+          want);
+  }
+  if (rw.source == RecoverySource::kRetrained) {
+    FATAL("[%s] recovery retrained despite committed artifacts on disk",
+          site.c_str());
+  }
+
+  // Generations continue monotonically after recovery.
+  CheckpointManager resumed(dir, CheckpointOptions());
+  if (resumed.latest_generation() != report->manifest_generation) {
+    FATAL("[%s] resumed manager sees generation %llu, recovery saw %llu",
+          site.c_str(),
+          static_cast<unsigned long long>(resumed.latest_generation()),
+          static_cast<unsigned long long>(report->manifest_generation));
+  }
+  Status next = resumed.Checkpoint(restarted, {model_path});
+  if (!next.ok()) FATAL("[%s] post-recovery checkpoint: %s", site.c_str(),
+                        next.ToString().c_str());
+  out.next_generation = resumed.latest_generation();
+
+  // Check the decision-tree expectations for this site.
+  const SweepExpect expect = ExpectFor(site);
+  if (out.adopted != expect.adopted ||
+      out.revision_delta != expect.revision_delta ||
+      out.manifest_match != expect.manifest_match) {
+    FATAL("[%s] wrong branch: adopted=%s delta=%llu match=%d, expected "
+          "%s/%llu/%d", site.c_str(), out.adopted.c_str(),
+          static_cast<unsigned long long>(out.revision_delta),
+          out.manifest_match, expect.adopted,
+          static_cast<unsigned long long>(expect.revision_delta),
+          expect.manifest_match);
+  }
+  const uint64_t seeded =
+      std::min(cfg.cache_entries, wl.test_indices.size());
+  if (expect.manifest_match) {
+    if (out.cache_restored != seeded || out.cache_rejected != 0)
+      FATAL("[%s] warm recovery restored %llu/%llu cache entries",
+            site.c_str(), static_cast<unsigned long long>(out.cache_restored),
+            static_cast<unsigned long long>(seeded));
+    if (!out.watchdog_demoted)
+      FATAL("[%s] demoted watchdog came back healthy", site.c_str());
+  } else {
+    if (out.cache_restored != 0 || out.cache_rejected != seeded)
+      FATAL("[%s] cold recovery leaked %llu stale cache entries",
+            site.c_str(), static_cast<unsigned long long>(out.cache_restored));
+    if (out.watchdog_demoted)
+      FATAL("[%s] fresh-model recovery inherited a demotion", site.c_str());
+  }
+  if (expect.tmp_residue && out.tmp_removed == 0)
+    FATAL("[%s] expected .tmp residue, sweep removed none", site.c_str());
+  if (out.manifest_generation != 1 || out.next_generation != 2)
+    FATAL("[%s] generations not monotonic: recovered %llu, next %llu",
+          site.c_str(),
+          static_cast<unsigned long long>(out.manifest_generation),
+          static_cast<unsigned long long>(out.next_generation));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Arm 2: seeded random kills over repeated checkpoints of an unchanged
+// model. Every committed generation describes byte-identical artifacts, so
+// recovery must always come back warm at the staged revision.
+
+struct ChaosOutcome {
+  uint64_t seed = 0;
+  std::string crash_site;  // empty when no attempt died
+  uint64_t committed = 0;  // checkpoints that survived past generation 1
+  uint64_t generation = 0;
+  std::string source;
+};
+
+ChaosOutcome RunChaosSeed(uint64_t seed, const CrashConfig& cfg,
+                          const Database& db, const Workload& wl,
+                          const PredictorOptions& popts, WorkloadModel& base,
+                          uint32_t base_digest) {
+  ChaosOutcome out;
+  out.seed = seed;
+  const std::string dir = FreshDir("chaos_" + std::to_string(seed));
+  const std::string model_path = dir + "/wm.pywm";
+  std::unique_ptr<PythiaSystem> sys = StageSystem(wl, base, cfg.cache_entries);
+  const uint64_t rev0 = sys->model(0).revision();
+
+  CrashPointRegistry& crash = CrashPointRegistry::Global();
+  crash.Reset();
+  CheckpointManager mgr(dir, CheckpointOptions());
+  Status gen1 = mgr.Checkpoint(*sys, {model_path});
+  if (!gen1.ok()) FATAL("[chaos %llu] baseline checkpoint: %s",
+                        static_cast<unsigned long long>(seed),
+                        gen1.ToString().c_str());
+
+  crash.ArmRandom(seed, cfg.chaos_prob);
+  for (size_t attempt = 0; attempt < cfg.chaos_attempts; ++attempt) {
+    Status s = mgr.Checkpoint(*sys, {model_path});
+    if (s.ok()) {
+      ++out.committed;
+      continue;
+    }
+    if (s.code() != StatusCode::kAborted)
+      FATAL("[chaos %llu] non-crash failure: %s",
+            static_cast<unsigned long long>(seed), s.ToString().c_str());
+    break;  // dead process stays dead
+  }
+  out.crash_site = crash.crash_site();
+  sys.reset();
+
+  crash.Reset();
+  PythiaSystem restarted(nullptr);
+  RecoveryManager rm(dir);
+  Result<RecoveryReport> report =
+      rm.Recover(&restarted, {SpecFor(wl, db, popts, model_path)});
+  if (!report.ok()) FATAL("[chaos %llu] recovery failed: %s",
+                          static_cast<unsigned long long>(seed),
+                          report.status().ToString().c_str());
+  const RecoveredWorkload& rw = report->workloads[0];
+  out.source = RecoverySourceName(rw.source);
+  out.generation = report->manifest_generation;
+  // The model never changed, so every committed generation recorded the
+  // same byte identity: whichever survived, recovery is warm and identical.
+  if (!rw.manifest_match || rw.revision != rev0 ||
+      rw.source == RecoverySource::kRetrained)
+    FATAL("[chaos %llu] inconsistent recovery: source=%s match=%d",
+          static_cast<unsigned long long>(seed), out.source.c_str(),
+          rw.manifest_match);
+  if (PredictionDigest(restarted.model(0), wl) != base_digest)
+    FATAL("[chaos %llu] post-recovery predictions diverge",
+          static_cast<unsigned long long>(seed));
+  if (out.generation != 1 + out.committed)
+    FATAL("[chaos %llu] generation %llu after %llu commits",
+          static_cast<unsigned long long>(seed),
+          static_cast<unsigned long long>(out.generation),
+          static_cast<unsigned long long>(out.committed));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON (deterministic section only — compared byte-for-byte on rerun).
+
+void EmitDeterministic(bench::JsonWriter& json,
+                       const std::vector<SweepOutcome>& sweep,
+                       const std::vector<ChaosOutcome>& chaos) {
+  json.BeginObject();
+  json.Key("sweep").BeginArray();
+  for (const SweepOutcome& s : sweep) {
+    json.BeginObject();
+    json.Field("site", s.site);
+    json.Field("aborted", s.aborted);
+    json.Field("hits", s.hits);
+    json.Field("source", s.source);
+    json.Field("manifest_match", s.manifest_match);
+    json.Field("revision_delta", s.revision_delta);
+    json.Field("adopted", s.adopted);
+    json.Field("cache_restored", s.cache_restored);
+    json.Field("cache_rejected", s.cache_rejected);
+    json.Field("tmp_removed", s.tmp_removed);
+    json.Field("manifest_generation", s.manifest_generation);
+    json.Field("next_generation", s.next_generation);
+    json.Field("watchdog_demoted", s.watchdog_demoted);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("chaos").BeginArray();
+  for (const ChaosOutcome& c : chaos) {
+    json.BeginObject();
+    json.Field("seed", c.seed);
+    json.Field("crash_site", c.crash_site);
+    json.Field("committed", c.committed);
+    json.Field("generation", c.generation);
+    json.Field("source", c.source);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+std::string DeterministicJson(const std::vector<SweepOutcome>& sweep,
+                              const std::vector<ChaosOutcome>& chaos) {
+  bench::JsonWriter json;
+  EmitDeterministic(json, sweep, chaos);
+  return json.str();
+}
+
+int Run(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  CrashConfig cfg;
+  if (smoke) {
+    cfg.scale_factor = 15;
+    cfg.num_queries = 60;
+    cfg.train_epochs = 8;
+    cfg.chaos_seeds = 6;
+  }
+
+  std::unique_ptr<Database> db = bench::Dsb(cfg.scale_factor);
+  Workload wl = bench::MakeWorkload(*db, TemplateId::kDsb91,
+                                    static_cast<int>(cfg.num_queries));
+  PredictorOptions popts = bench::DefaultPredictor();
+  popts.epochs = cfg.train_epochs;
+  char key[96];
+  std::snprintf(key, sizeof(key), "crash_t91_sf%d_q%zu_e%d",
+                cfg.scale_factor, cfg.num_queries, cfg.train_epochs);
+  WorkloadModel base = bench::CachedModel(*db, wl, popts, key);
+  const uint32_t base_digest = PredictionDigest(base, wl);
+
+  const RecoveryCounters counters_before = RecoveryCountersSnapshot();
+
+  // Arm 1: the site sweep.
+  std::vector<SweepOutcome> sweep;
+  for (const char* site : AllCrashSites()) {
+    sweep.push_back(RunSweepSite(site, cfg, *db, wl, popts, base));
+    std::fprintf(stderr, "[sweep %s] adopted=%s match=%d gen %llu -> %llu\n",
+                 site, sweep.back().adopted.c_str(),
+                 sweep.back().manifest_match,
+                 static_cast<unsigned long long>(
+                     sweep.back().manifest_generation),
+                 static_cast<unsigned long long>(
+                     sweep.back().next_generation));
+  }
+
+  // Arm 2: seeded chaos.
+  std::vector<ChaosOutcome> chaos;
+  for (uint64_t seed = 0; seed < cfg.chaos_seeds; ++seed) {
+    chaos.push_back(
+        RunChaosSeed(seed, cfg, *db, wl, popts, base, base_digest));
+  }
+
+  // Arm 3: cold vs warm restart.
+  const std::string cold_dir = FreshDir("cold");
+  CrashPointRegistry::Global().Reset();
+  PythiaSystem cold_sys(nullptr);
+  RecoveryManager cold_rm(cold_dir);
+  Result<RecoveryReport> cold = cold_rm.Recover(
+      &cold_sys, {SpecFor(wl, *db, popts, cold_dir + "/wm.pywm")});
+  if (!cold.ok()) FATAL("cold recovery failed: %s",
+                        cold.status().ToString().c_str());
+  if (cold->workloads[0].source != RecoverySource::kRetrained)
+    FATAL("cold restart did not retrain");
+  if (PredictionDigest(cold_sys.model(0), wl) != base_digest)
+    FATAL("cold retrain diverged from the reference model");
+
+  const std::string warm_dir = FreshDir("warm");
+  const std::string warm_model = warm_dir + "/wm.pywm";
+  {
+    std::unique_ptr<PythiaSystem> staged =
+        StageSystem(wl, base, cfg.cache_entries);
+    CheckpointManager mgr(warm_dir, CheckpointOptions());
+    Status s = mgr.Checkpoint(*staged, {warm_model});
+    if (!s.ok()) FATAL("warm staging checkpoint: %s", s.ToString().c_str());
+  }
+  PythiaSystem warm_sys(nullptr);
+  RecoveryManager warm_rm(warm_dir);
+  Result<RecoveryReport> warm =
+      warm_rm.Recover(&warm_sys, {SpecFor(wl, *db, popts, warm_model)});
+  if (!warm.ok()) FATAL("warm recovery failed: %s",
+                        warm.status().ToString().c_str());
+  if (warm->workloads[0].source != RecoverySource::kPrimary ||
+      !warm->workloads[0].manifest_match || warm->cache_restored == 0)
+    FATAL("warm restart was not warm (source=%s, cache_restored=%llu)",
+          RecoverySourceName(warm->workloads[0].source),
+          static_cast<unsigned long long>(warm->cache_restored));
+  if (PredictionDigest(warm_sys.model(0), wl) != base_digest)
+    FATAL("warm restore diverged from the reference model");
+  if (warm->wall_us >= cold->wall_us)
+    FATAL("warm restart (%llu us) not faster than cold retrain (%llu us)",
+          static_cast<unsigned long long>(warm->wall_us),
+          static_cast<unsigned long long>(cold->wall_us));
+
+  // Determinism: rerun arms 1 and 2 from identical seeds; the deterministic
+  // JSON section must come back byte-identical.
+  const std::string first = DeterministicJson(sweep, chaos);
+  std::vector<SweepOutcome> sweep2;
+  for (const char* site : AllCrashSites()) {
+    sweep2.push_back(RunSweepSite(site, cfg, *db, wl, popts, base));
+  }
+  std::vector<ChaosOutcome> chaos2;
+  for (uint64_t seed = 0; seed < cfg.chaos_seeds; ++seed) {
+    chaos2.push_back(
+        RunChaosSeed(seed, cfg, *db, wl, popts, base, base_digest));
+  }
+  if (DeterministicJson(sweep2, chaos2) != first)
+    FATAL("sweep/chaos rerun is not byte-identical");
+  CrashPointRegistry::Global().Reset();
+
+  const RecoveryCounters counters_after = RecoveryCountersSnapshot();
+
+  TablePrinter table({"site", "aborted", "adopted", "rev+", "warm cache",
+                      "tmp swept", "gen"});
+  for (const SweepOutcome& s : sweep) {
+    table.AddRow({s.site, s.aborted ? "yes" : "no", s.adopted,
+                  TablePrinter::Int(static_cast<long long>(s.revision_delta)),
+                  TablePrinter::Int(static_cast<long long>(s.cache_restored)),
+                  TablePrinter::Int(static_cast<long long>(s.tmp_removed)),
+                  TablePrinter::Int(static_cast<long long>(s.next_generation))});
+  }
+  table.Print();
+  uint64_t chaos_kills = 0;
+  for (const ChaosOutcome& c : chaos) chaos_kills += c.crash_site.empty() ? 0 : 1;
+  std::printf("chaos: %zu seeds, %llu killed, all recovered warm\n",
+              chaos.size(), static_cast<unsigned long long>(chaos_kills));
+  std::printf("restart: cold %.1f ms (retrain), warm %.1f ms (%.1fx faster)\n",
+              cold->wall_us / 1000.0, warm->wall_us / 1000.0,
+              static_cast<double>(cold->wall_us) /
+                  static_cast<double>(warm->wall_us));
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "crash_recovery");
+  json.Field("smoke", smoke);
+  json.Key("config").BeginObject();
+  json.Field("scale_factor", cfg.scale_factor);
+  json.Field("num_queries", static_cast<uint64_t>(cfg.num_queries));
+  json.Field("train_epochs", cfg.train_epochs);
+  json.Field("chaos_seeds", static_cast<uint64_t>(cfg.chaos_seeds));
+  json.Field("chaos_prob", cfg.chaos_prob);
+  json.Field("cache_entries", static_cast<uint64_t>(cfg.cache_entries));
+  json.EndObject();
+  json.Key("deterministic");
+  EmitDeterministic(json, sweep, chaos);
+  json.Key("restart").BeginObject();
+  json.Field("cold_wall_us", cold->wall_us);
+  json.Field("warm_wall_us", warm->wall_us);
+  json.Field("warm_speedup", static_cast<double>(cold->wall_us) /
+                                 static_cast<double>(warm->wall_us));
+  json.Field("warm_cache_restored", warm->cache_restored);
+  json.EndObject();
+  json.Key("counters").BeginObject();
+  json.Field("checkpoints_written", counters_after.checkpoints_written -
+                                        counters_before.checkpoints_written);
+  json.Field("models_from_primary", counters_after.models_from_primary -
+                                        counters_before.models_from_primary);
+  json.Field("models_retrained", counters_after.models_retrained -
+                                     counters_before.models_retrained);
+  json.Field("warm_cache_restores", counters_after.warm_cache_restores -
+                                        counters_before.warm_cache_restores);
+  json.Field("tmp_files_removed", counters_after.tmp_files_removed -
+                                      counters_before.tmp_files_removed);
+  json.EndObject();
+  json.EndObject();
+  if (!json.WriteToFile("BENCH_crash_recovery.json"))
+    FATAL("could not write BENCH_crash_recovery.json");
+  std::printf("wrote BENCH_crash_recovery.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pythia
+
+int main(int argc, char** argv) { return pythia::Run(argc, argv); }

@@ -37,6 +37,16 @@ cmake -B "${BUILD_DIR}" -S . \
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" "$@"
 
+# The ASan arm additionally sweeps the crash/recovery path: every named
+# crash site kills a checkpoint mid-write and recovery parses the torn
+# residue — the densest concentration of manual serialization, bounds-checked
+# parsing and file juggling in the tree, exactly where ASan/UBSan earn their
+# keep.
+if [[ "${MODE}" == address ]]; then
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_crash_recovery
+  "${BUILD_DIR}/bench/bench_crash_recovery" --smoke
+fi
+
 # The TSan arm additionally soaks the background training lane: the
 # adaptation smoke bench trains candidates on ThreadPool background tasks
 # while the foreground replays queries against the incumbent — the main

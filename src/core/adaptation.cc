@@ -56,6 +56,44 @@ AdaptationPhase AdaptationManager::phase(size_t entry) const {
   return entries_[entry]->phase;
 }
 
+AdaptationCheckpointSummary AdaptationManager::CheckpointSummary(
+    size_t entry) {
+  EntryState& st = State(entry);
+  AdaptationCheckpointSummary summary;
+  // A checkpoint can land while a candidate trains in the background; the
+  // candidate cannot survive a crash, so the durable phase is kIdle.
+  summary.phase = static_cast<uint32_t>(st.phase == AdaptationPhase::kTraining
+                                            ? AdaptationPhase::kIdle
+                                            : st.phase);
+  summary.window = st.window.size();
+  summary.fresh = st.fresh;
+  summary.cooldown_remaining = st.cooldown_remaining;
+  summary.rounds = st.rounds;
+  double total = 0.0;
+  for (const Capture& c : st.window) total += c.useful_ratio;
+  summary.mean_useful_ratio =
+      st.window.empty() ? 0.0
+                        : total / static_cast<double>(st.window.size());
+  return summary;
+}
+
+void AdaptationManager::RestoreCheckpointSummary(
+    size_t entry, const AdaptationCheckpointSummary& summary) {
+  EntryState& st = State(entry);
+  AdaptationPhase phase = static_cast<AdaptationPhase>(summary.phase);
+  if (phase == AdaptationPhase::kTraining) phase = AdaptationPhase::kIdle;
+  st.phase = phase;
+  st.cooldown_remaining = summary.cooldown_remaining;
+  st.rounds = summary.rounds;
+  // Traces were not persisted: the window restarts empty and fresh counts
+  // from zero, so the next retrain triggers only on genuinely new captures.
+  st.window.clear();
+  st.fresh = 0;
+  st.candidate.reset();
+  st.train_set.clear();
+  st.holdout.clear();
+}
+
 void AdaptationManager::PushEvent(AdaptationEvent::Kind kind, size_t entry,
                                   uint64_t revision) {
   AdaptationEvent ev;

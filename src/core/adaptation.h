@@ -121,6 +121,21 @@ struct AdaptationEvent {
 
 const char* AdaptationEventName(AdaptationEvent::Kind kind);
 
+// Per-entry summary of the adaptation state machine, captured into
+// checkpoint manifests. Summaries only: the window's raw traces are not
+// persisted (they are large and re-accrue within one window's worth of
+// queries), but the phase, cooldown and round counters are — so a node
+// that crashed mid-cooldown does not come back eagerly retraining, and its
+// retrain cadence survives the restart.
+struct AdaptationCheckpointSummary {
+  uint32_t phase = 0;  // AdaptationPhase; kTraining collapses to kIdle
+  uint64_t window = 0;
+  uint64_t fresh = 0;
+  uint64_t cooldown_remaining = 0;
+  uint64_t rounds = 0;
+  double mean_useful_ratio = 0.0;  // over the captured window at save time
+};
+
 class AdaptationManager {
  public:
   // `system` must outlive the manager (PythiaSystem owns its manager, so
@@ -147,6 +162,15 @@ class AdaptationManager {
   AdaptationPhase phase(size_t entry) const;
   // Virtual background-lane clock (sum of observed query elapsed times).
   SimTime lane_now() const { return lane_now_; }
+
+  // --- Checkpoint support (core/checkpoint.h, core/recovery.h) -----------
+
+  AdaptationCheckpointSummary CheckpointSummary(size_t entry);
+  // Restores phase/cooldown/round counters. A checkpoint taken mid-training
+  // restores as kIdle (the in-flight candidate died with the process) and
+  // the capture window restarts empty — traces are not persisted.
+  void RestoreCheckpointSummary(size_t entry,
+                                const AdaptationCheckpointSummary& summary);
 
  private:
   struct Capture {

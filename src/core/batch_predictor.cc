@@ -12,6 +12,16 @@ BatchPredictor::BatchPredictor(PythiaSystem* system,
                                const BatchPredictorOptions& options)
     : system_(system), options_(options) {}
 
+BatchPredictor::~BatchPredictor() {
+  if (pending_.empty()) return;
+  PredictionCache& cache = system_->prediction_cache();
+  for (const Pending& p : pending_) {
+    if (p.leader) cache.AbortInflight(p.key);
+  }
+  pending_.clear();
+  leaders_ = 0;
+}
+
 void BatchPredictor::Submit(uint64_t ticket, const WorkloadQuery& query,
                             SimTime now, std::vector<BatchPrediction>* done) {
   ++stats_.submitted;

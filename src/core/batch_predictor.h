@@ -102,6 +102,11 @@ class BatchPredictor {
   // `system` must outlive the predictor; queries passed to Submit must stay
   // valid until their window flushes.
   BatchPredictor(PythiaSystem* system, const BatchPredictorOptions& options);
+  // A teardown mid-flush (crash, shutdown) must not leak the pending
+  // leaders' in-flight cache registrations: an orphaned slot would make
+  // every future identical plan a follower waiting on a forward pass that
+  // will never run. Aborts whatever is still queued.
+  ~BatchPredictor();
 
   // Submits one session's plan-prediction request at virtual time `now`.
   // Requests that settle immediately (cache hit, unmatched, shed) are

@@ -1,0 +1,384 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <type_traits>
+#include <utility>
+
+#include "core/system.h"
+#include "util/crc32.h"
+#include "util/metrics_registry.h"
+#include "util/trace.h"
+
+namespace pythia {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x5059434b;  // "PYCK"
+constexpr uint32_t kManifestVersion = 1;
+
+// --- Payload serialization ------------------------------------------------
+// Same append/parse style as the model payload in core/predictor.cc: fixed
+// little-endian PODs via memcpy, length-prefixed strings, every read
+// bounds-checked so a truncated buffer parses to an error, never past-end.
+
+template <typename T>
+void AppendPod(std::string* out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendPod(out, static_cast<uint64_t>(s.size()));
+  out->append(s);
+}
+
+struct Parser {
+  const char* data = nullptr;
+  size_t size = 0;
+  size_t pos = 0;
+  bool failed = false;
+
+  template <typename T>
+  bool Pod(T* v) {
+    if (failed || size - pos < sizeof(T)) {
+      failed = true;
+      return false;
+    }
+    std::memcpy(v, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+
+  bool String(std::string* s) {
+    uint64_t n = 0;
+    if (!Pod(&n) || size - pos < n) {
+      failed = true;
+      return false;
+    }
+    s->assign(data + pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+void AppendIdentity(std::string* out, const FileIdentity& id) {
+  AppendPod(out, static_cast<uint8_t>(id.present ? 1 : 0));
+  AppendPod(out, id.size);
+  AppendPod(out, id.crc);
+}
+
+bool ParseIdentity(Parser* p, FileIdentity* id) {
+  uint8_t present = 0;
+  if (!p->Pod(&present)) return false;
+  id->present = present != 0;
+  return p->Pod(&id->size) && p->Pod(&id->crc);
+}
+
+void AppendWatchdog(std::string* out, const WatchdogCheckpointState& w) {
+  AppendPod(out, w.health);
+  AppendPod(out, static_cast<uint64_t>(w.window.size()));
+  for (double r : w.window) AppendPod(out, r);
+  AppendPod(out, w.probation_remaining);
+  AppendPod(out, w.probe_successes);
+  AppendPod(out, w.post_swap_remaining);
+  AppendPod(out, static_cast<uint8_t>(w.post_swap_demoted ? 1 : 0));
+  AppendPod(out, w.stats.demotions);
+  AppendPod(out, w.stats.probes);
+  AppendPod(out, w.stats.reinstatements);
+  AppendPod(out, w.stats.degraded_queries);
+  AppendPod(out, w.stats.sessions_judged);
+}
+
+bool ParseWatchdog(Parser* p, WatchdogCheckpointState* w) {
+  uint64_t n = 0;
+  if (!p->Pod(&w->health) || !p->Pod(&n)) return false;
+  // A window longer than any configured watchdog keeps is a corrupt length
+  // field, not data; cap before the resize so a bit flip cannot OOM.
+  if (n > 1u << 20) {
+    p->failed = true;
+    return false;
+  }
+  w->window.resize(n);
+  for (double& r : w->window) {
+    if (!p->Pod(&r)) return false;
+  }
+  uint8_t demoted = 0;
+  if (!p->Pod(&w->probation_remaining) || !p->Pod(&w->probe_successes) ||
+      !p->Pod(&w->post_swap_remaining) || !p->Pod(&demoted)) {
+    return false;
+  }
+  w->post_swap_demoted = demoted != 0;
+  return p->Pod(&w->stats.demotions) && p->Pod(&w->stats.probes) &&
+         p->Pod(&w->stats.reinstatements) &&
+         p->Pod(&w->stats.degraded_queries) &&
+         p->Pod(&w->stats.sessions_judged);
+}
+
+std::string SerializeManifest(const CheckpointManifest& m) {
+  std::string out;
+  AppendPod(&out, m.generation);
+  AppendPod(&out, static_cast<uint8_t>(m.has_governor ? 1 : 0));
+  AppendPod(&out, m.governor_rung);
+  AppendPod(&out, static_cast<uint64_t>(m.workloads.size()));
+  for (const CheckpointWorkloadState& w : m.workloads) {
+    AppendPod(&out, w.revision);
+    AppendPod(&out, w.fingerprint);
+    AppendString(&out, w.model_path);
+    AppendIdentity(&out, w.primary);
+    AppendIdentity(&out, w.lkg);
+    AppendWatchdog(&out, w.watchdog);
+    AppendPod(&out, static_cast<uint8_t>(w.has_adaptation ? 1 : 0));
+    AppendPod(&out, w.adaptation.phase);
+    AppendPod(&out, w.adaptation.window);
+    AppendPod(&out, w.adaptation.fresh);
+    AppendPod(&out, w.adaptation.cooldown_remaining);
+    AppendPod(&out, w.adaptation.rounds);
+    AppendPod(&out, w.adaptation.mean_useful_ratio);
+  }
+  AppendPod(&out, static_cast<uint64_t>(m.cache.size()));
+  for (const CheckpointCacheEntry& e : m.cache) {
+    AppendPod(&out, e.model_id);
+    AppendPod(&out, e.revision);
+    AppendString(&out, e.plan);
+    AppendPod(&out, static_cast<uint64_t>(e.pages.size()));
+    for (const PageId& page : e.pages) AppendPod(&out, page.Pack());
+  }
+  return out;
+}
+
+bool ParseManifestPayload(const std::string& payload, CheckpointManifest* m) {
+  Parser p{payload.data(), payload.size(), 0, false};
+  uint8_t flag = 0;
+  uint64_t workloads = 0;
+  if (!p.Pod(&m->generation) || !p.Pod(&flag) || !p.Pod(&m->governor_rung) ||
+      !p.Pod(&workloads)) {
+    return false;
+  }
+  m->has_governor = flag != 0;
+  if (workloads > 1u << 16) return false;
+  m->workloads.resize(workloads);
+  for (CheckpointWorkloadState& w : m->workloads) {
+    if (!p.Pod(&w.revision) || !p.Pod(&w.fingerprint) ||
+        !p.String(&w.model_path) || !ParseIdentity(&p, &w.primary) ||
+        !ParseIdentity(&p, &w.lkg) || !ParseWatchdog(&p, &w.watchdog) ||
+        !p.Pod(&flag)) {
+      return false;
+    }
+    w.has_adaptation = flag != 0;
+    if (!p.Pod(&w.adaptation.phase) || !p.Pod(&w.adaptation.window) ||
+        !p.Pod(&w.adaptation.fresh) ||
+        !p.Pod(&w.adaptation.cooldown_remaining) ||
+        !p.Pod(&w.adaptation.rounds) ||
+        !p.Pod(&w.adaptation.mean_useful_ratio)) {
+      return false;
+    }
+  }
+  uint64_t entries = 0;
+  if (!p.Pod(&entries) || entries > 1u << 20) return false;
+  m->cache.resize(entries);
+  for (CheckpointCacheEntry& e : m->cache) {
+    uint64_t pages = 0;
+    if (!p.Pod(&e.model_id) || !p.Pod(&e.revision) || !p.String(&e.plan) ||
+        !p.Pod(&pages) || pages > 1u << 24) {
+      return false;
+    }
+    e.pages.resize(pages);
+    for (PageId& page : e.pages) {
+      uint64_t packed = 0;
+      if (!p.Pod(&packed)) return false;
+      page = PageId::Unpack(packed);
+    }
+  }
+  // Trailing garbage means the file is not what SaveManifest wrote.
+  return !p.failed && p.pos == p.size;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir,
+                                     const CheckpointOptions& options)
+    : dir_(std::move(dir)), options_(options) {
+  for (uint64_t gen : ScanGenerations(dir_)) {
+    if (gen > latest_generation_) latest_generation_ = gen;
+  }
+}
+
+std::string CheckpointManager::ManifestPath(const std::string& dir,
+                                            uint64_t generation) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "manifest-%llu.pyck",
+                static_cast<unsigned long long>(generation));
+  return dir + "/" + buf;
+}
+
+bool CheckpointManager::ParseManifestName(const std::string& name,
+                                          uint64_t* generation) {
+  constexpr const char* kPrefix = "manifest-";
+  constexpr const char* kSuffix = ".pyck";
+  if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) return false;
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  const size_t digits_end = name.size() - std::strlen(kSuffix);
+  if (name.compare(digits_end, std::string::npos, kSuffix) != 0) return false;
+  uint64_t gen = 0;
+  for (size_t i = std::strlen(kPrefix); i < digits_end; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    gen = gen * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *generation = gen;
+  return true;
+}
+
+std::vector<uint64_t> CheckpointManager::ScanGenerations(
+    const std::string& dir) {
+  std::vector<uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t gen = 0;
+    if (ParseManifestName(entry.path().filename().string(), &gen)) {
+      gens.push_back(gen);
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+Status CheckpointManager::SaveManifest(const CheckpointManifest& manifest,
+                                       const std::string& path) {
+  const std::string payload = SerializeManifest(manifest);
+  std::string file;
+  file.reserve(20 + payload.size());
+  AppendPod(&file, kManifestMagic);
+  AppendPod(&file, kManifestVersion);
+  AppendPod(&file, static_cast<uint64_t>(payload.size()));
+  AppendPod(&file, Crc32(payload.data(), payload.size()));
+  file.append(payload);
+  AtomicWriteSites sites;
+  sites.mid_payload = kCrashMidManifest;
+  return WriteFileAtomic(path, file.data(), file.size(), sites);
+}
+
+Result<CheckpointManifest> CheckpointManager::LoadManifest(
+    const std::string& path) {
+  Result<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& file = bytes.value();
+  Parser header{file.data(), file.size(), 0, false};
+  uint32_t magic = 0, version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  if (!header.Pod(&magic) || magic != kManifestMagic) {
+    return Status::DataCorruption("bad manifest magic: " + path);
+  }
+  if (!header.Pod(&version)) {
+    return Status::DataCorruption("truncated manifest header: " + path);
+  }
+  if (version != kManifestVersion) {
+    return Status::FailedPrecondition("manifest format version mismatch: " +
+                                      path);
+  }
+  if (!header.Pod(&payload_size) || !header.Pod(&crc) ||
+      file.size() - header.pos != payload_size) {
+    return Status::DataCorruption("manifest payload size mismatch: " + path);
+  }
+  const std::string payload = file.substr(header.pos);
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::DataCorruption("manifest CRC mismatch: " + path);
+  }
+  CheckpointManifest manifest;
+  if (!ParseManifestPayload(payload, &manifest)) {
+    return Status::DataCorruption("unparseable manifest payload: " + path);
+  }
+  return manifest;
+}
+
+Status CheckpointManager::Checkpoint(
+    PythiaSystem& system, const std::vector<std::string>& model_paths) {
+  if (model_paths.size() != system.num_workloads()) {
+    return Status::InvalidArgument("model_paths count != registered workloads");
+  }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  CrashPointRegistry& crash = CrashPointRegistry::Global();
+  CheckpointManifest manifest;
+  manifest.generation = latest_generation_ + 1;
+  if (system.governor() != nullptr) {
+    manifest.has_governor = true;
+    manifest.governor_rung = static_cast<uint32_t>(system.governor()->rung());
+  }
+
+  for (size_t i = 0; i < system.num_workloads(); ++i) {
+    CheckpointWorkloadState w;
+    w.revision = system.model(i).revision();
+    w.fingerprint = system.model(i).fingerprint();
+    w.model_path = model_paths[i];
+    if (options_.save_models) {
+      Status s = system.model(i).Save(w.model_path);
+      if (!s.ok()) {
+        reg.counter("recovery.checkpoint_failures").Increment();
+        return s;
+      }
+      // The window a kill would land in between the primary's rename and
+      // the sidecar copy: the manifest from generation N-1 then describes
+      // an older primary than the one on disk.
+      if (crash.Check(kCrashPostRenamePreSidecar)) {
+        reg.counter("recovery.checkpoint_failures").Increment();
+        return Status::Aborted(
+            "simulated crash between model publish and lkg sidecar: " +
+            w.model_path);
+      }
+      s = CopyFileAtomic(w.model_path, w.model_path + ".lkg");
+      if (!s.ok()) {
+        reg.counter("recovery.checkpoint_failures").Increment();
+        return s;
+      }
+    }
+    w.primary = FileIdentityOf(w.model_path);
+    w.lkg = FileIdentityOf(w.model_path + ".lkg");
+    w.watchdog = system.watchdog(i).CheckpointState();
+    if (system.adaptation() != nullptr) {
+      w.has_adaptation = true;
+      w.adaptation = system.adaptation()->CheckpointSummary(i);
+    }
+    manifest.workloads.push_back(std::move(w));
+  }
+
+  if (options_.max_cache_entries > 0) {
+    auto entries = system.prediction_cache().SnapshotEntries();  // LRU -> MRU
+    const size_t keep = std::min(entries.size(), options_.max_cache_entries);
+    for (size_t i = entries.size() - keep; i < entries.size(); ++i) {
+      CheckpointCacheEntry e;
+      e.model_id = entries[i].first.model_id;
+      e.revision = entries[i].first.revision;
+      e.plan = std::move(entries[i].first.plan);
+      e.pages = std::move(entries[i].second);
+      manifest.cache.push_back(std::move(e));
+    }
+  }
+
+  Status s =
+      SaveManifest(manifest, ManifestPath(dir_, manifest.generation));
+  if (!s.ok()) {
+    reg.counter("recovery.checkpoint_failures").Increment();
+    return s;
+  }
+  latest_generation_ = manifest.generation;
+  reg.counter("recovery.checkpoints_written").Increment();
+  reg.histogram("recovery.checkpoint_bytes")
+      .Record(FileIdentityOf(ManifestPath(dir_, manifest.generation)).size);
+  PYTHIA_TRACE_INSTANT_CTX("recovery", "checkpoint", "generation",
+                           manifest.generation);
+  PruneOldGenerations();
+  return Status::OK();
+}
+
+void CheckpointManager::PruneOldGenerations() {
+  std::vector<uint64_t> gens = ScanGenerations(dir_);
+  if (gens.size() <= options_.keep_generations) return;
+  const size_t drop = gens.size() - options_.keep_generations;
+  for (size_t i = 0; i < drop; ++i) {
+    RemoveFileIfExists(ManifestPath(dir_, gens[i]));
+  }
+}
+
+}  // namespace pythia

@@ -150,6 +150,15 @@ class PrefetchGovernor {
   // experiment arms). Live sessions must have been finished first.
   void Reset();
 
+  // Warm-restart support (core/recovery.h): adopt the rung a checkpoint
+  // manifest recorded, without counting a degrade/recovery transition —
+  // the ladder then relaxes (or tightens) naturally as Evaluate() samples
+  // the rebuilt environment's real pressure.
+  void RestoreRung(DegradationRung rung) {
+    rung_ = rung;
+    rung_since_ = 0;
+  }
+
  private:
   struct SessionEntry {
     PrefetchSession* session = nullptr;

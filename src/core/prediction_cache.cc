@@ -74,7 +74,34 @@ size_t PredictionCache::PublishInflight(const PredictionKey& key,
 }
 
 void PredictionCache::AbortInflight(const PredictionKey& key) {
-  inflight_.erase(key);
+  if (inflight_.erase(key) > 0) {
+    ++stats_.inflight_aborts;
+    MetricsRegistry::Global()
+        .counter("prediction_cache.inflight_aborts")
+        .Increment();
+  }
+}
+
+size_t PredictionCache::AbortAllInflight() {
+  const size_t aborted = inflight_.size();
+  if (aborted > 0) {
+    inflight_.clear();
+    stats_.inflight_aborts += aborted;
+    MetricsRegistry::Global()
+        .counter("prediction_cache.inflight_aborts")
+        .Increment(aborted);
+  }
+  return aborted;
+}
+
+std::vector<std::pair<PredictionKey, std::vector<PageId>>>
+PredictionCache::SnapshotEntries() const {
+  std::vector<std::pair<PredictionKey, std::vector<PageId>>> out;
+  out.reserve(entries_.size());
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    out.push_back(*it);
+  }
+  return out;
 }
 
 void PredictionCache::Clear() {

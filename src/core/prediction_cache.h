@@ -89,8 +89,19 @@ class PredictionCache {
   // (e.g. the ladder degraded below full-neural before the flush ran).
   void AbortInflight(const PredictionKey& key);
 
+  // Drops every outstanding in-flight registration (shutdown mid-flush:
+  // the forward passes those leaders owed will never run). Returns how many
+  // registrations were aborted.
+  size_t AbortAllInflight();
+
   // In-flight fingerprints registered but not yet published/aborted.
   size_t inflight() const { return inflight_.size(); }
+
+  // Cached entries in LRU -> MRU order, so re-inserting them in order
+  // reproduces the recency order exactly. Checkpointing serializes this
+  // into the manifest for warm restarts (core/checkpoint.h).
+  std::vector<std::pair<PredictionKey, std::vector<PageId>>> SnapshotEntries()
+      const;
 
   void Clear();
 

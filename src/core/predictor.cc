@@ -9,6 +9,7 @@
 
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
+#include "storage/durable.h"
 #include "util/crc32.h"
 #include "util/hash.h"
 #include "util/metrics.h"
@@ -654,7 +655,7 @@ Status WorkloadModel::WritePayload(std::FILE* f) {
 
 Status WorkloadModel::Save(const std::string& path) {
   // Serialize the payload into memory first: the header needs its size and
-  // CRC-32, and a memory buffer means the temp file is written in one pass.
+  // CRC-32, and a memory buffer means the file publishes in one pass.
   char* buf = nullptr;
   size_t len = 0;
   std::FILE* mem = open_memstream(&buf, &len);
@@ -670,34 +671,32 @@ Status WorkloadModel::Save(const std::string& path) {
     return payload_status;
   }
 
-  // Atomic publish: write header + payload to a temp file, then rename. A
+  // Header + payload in one buffer, published through the durable-write
+  // gateway (storage/durable.h): tmp write -> fsync -> rename, with the
+  // crash-point windows named so a kill sweep can land in each of them. A
   // crash or torn write leaves either the old file or a .tmp that no loader
   // ever opens — never a half-written .pywm.
-  const std::string tmp = path + ".tmp";
-  {
-    FilePtr f(std::fopen(tmp.c_str(), "wb"));
-    if (!f) {
-      IntegrityCounter("model.failed_saves").Increment();
-      return Status::IoError("cannot open for write: " + tmp);
-    }
-    const uint64_t payload_size = len;
-    const uint32_t payload_crc = Crc32(buf, len);
-    bool ok = WritePod(f.get(), kModelMagic) &&
-              WritePod(f.get(), kModelVersion) &&
-              WritePod(f.get(), payload_size) && WritePod(f.get(), payload_crc) &&
-              (len == 0 || std::fwrite(buf, 1, len, f.get()) == len);
-    ok = ok && std::fflush(f.get()) == 0;
-    if (!ok) {
-      f.reset();
-      std::remove(tmp.c_str());
-      IntegrityCounter("model.failed_saves").Increment();
-      return Status::IoError("write failed: " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+  std::string file;
+  file.reserve(sizeof(uint32_t) * 3 + sizeof(uint64_t) + len);
+  auto append_pod = [&file](const auto& v) {
+    file.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const uint64_t payload_size = len;
+  const uint32_t payload_crc = Crc32(buf, len);
+  append_pod(kModelMagic);
+  append_pod(kModelVersion);
+  append_pod(payload_size);
+  append_pod(payload_crc);
+  if (len > 0) file.append(buf, len);
+
+  AtomicWriteSites sites;
+  sites.pre_tmp = kCrashPreTmpWrite;
+  sites.mid_payload = kCrashMidPayload;
+  sites.pre_rename = kCrashPreRename;
+  Status s = WriteFileAtomic(path, file.data(), file.size(), sites);
+  if (!s.ok()) {
     IntegrityCounter("model.failed_saves").Increment();
-    return Status::IoError("rename failed: " + tmp + " -> " + path);
+    return s;
   }
   IntegrityCounter("model.atomic_saves").Increment();
   return Status::OK();
@@ -714,10 +713,17 @@ Result<WorkloadModel> WorkloadModel::Load(const std::string& path) {
     QuarantineModelFile(path);
     return Status::DataCorruption("bad magic in model file: " + path);
   }
-  // A clean version mismatch is a stale cache, not corruption: the caller
-  // retrains and overwrites, and the old file is left alone (no quarantine).
+  // A file truncated inside the version field is corruption (quarantine),
+  // not a stale cache — only a fully readable, different version is treated
+  // as a clean mismatch the caller may retrain over without quarantining.
   uint32_t version = 0;
-  if (!ReadPod(f.get(), &version) || version != kModelVersion) {
+  if (!ReadPod(f.get(), &version)) {
+    f.reset();
+    IntegrityCounter("model.corrupt_files").Increment();
+    QuarantineModelFile(path);
+    return Status::DataCorruption("truncated model header: " + path);
+  }
+  if (version != kModelVersion) {
     IntegrityCounter("model.version_mismatches").Increment();
     return Status::FailedPrecondition("model cache version mismatch: " + path);
   }
@@ -862,37 +868,12 @@ Result<WorkloadModel> WorkloadModel::ParsePayload(std::FILE* f,
 
 namespace {
 
-// Raw byte copy via temp-file + rename (same atomic-publish discipline as
-// WorkloadModel::Save, without re-serializing — and without double-counting
-// model.atomic_saves). Used to maintain the last-known-good snapshot next
-// to the primary cache file.
+// Raw byte copy via the durable-write gateway (same atomic-publish
+// discipline as WorkloadModel::Save, without re-serializing — and without
+// double-counting model.atomic_saves). Used to maintain the last-known-good
+// snapshot next to the primary cache file.
 bool CopyModelFile(const std::string& from, const std::string& to) {
-  FilePtr in(std::fopen(from.c_str(), "rb"));
-  if (!in) return false;
-  const std::string tmp = to + ".tmp";
-  {
-    FilePtr out(std::fopen(tmp.c_str(), "wb"));
-    if (!out) return false;
-    char buf[1 << 16];
-    size_t n = 0;
-    while ((n = std::fread(buf, 1, sizeof(buf), in.get())) > 0) {
-      if (std::fwrite(buf, 1, n, out.get()) != n) {
-        out.reset();
-        std::remove(tmp.c_str());
-        return false;
-      }
-    }
-    if (std::ferror(in.get()) != 0 || std::fflush(out.get()) != 0) {
-      out.reset();
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), to.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return CopyFileAtomic(from, to).ok();
 }
 
 bool FileExists(const std::string& path) {
@@ -943,9 +924,20 @@ Result<WorkloadModel> GetOrTrainWorkloadModel(const std::string& cache_path,
   if (!fresh.ok()) return fresh;
   fresh->set_fingerprint(want);
   Status s = fresh->Save(cache_path);
+  if (s.code() == StatusCode::kAborted) {
+    // A crash site fired inside the publish: the simulated process is dead,
+    // so the freshly trained weights must not escape into memory either.
+    return s;
+  }
   if (!s.ok()) {
     std::fprintf(stderr, "warning: could not cache model to %s: %s\n",
                  cache_path.c_str(), s.ToString().c_str());
+  } else if (CrashPointRegistry::Global().Check(kCrashPostRenamePreSidecar)) {
+    // The primary published but the kill landed before the .lkg sidecar
+    // copy — the exact window the recovery path must heal on next start.
+    return Status::Aborted(
+        "simulated crash between model publish and lkg sidecar: " +
+        cache_path);
   } else if (CopyModelFile(cache_path, lkg_path)) {
     IntegrityCounter("model.lkg_snapshots").Increment();
   }

@@ -1,0 +1,216 @@
+#include "core/recovery.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/system.h"
+#include "util/metrics_registry.h"
+#include "util/trace.h"
+
+namespace pythia {
+
+const char* RecoverySourceName(RecoverySource source) {
+  switch (source) {
+    case RecoverySource::kPrimary: return "primary";
+    case RecoverySource::kLkg: return "lkg";
+    case RecoverySource::kRetrained: return "retrained";
+  }
+  return "unknown";
+}
+
+uint64_t RecoveryManager::SweepTmpResidue(
+    const std::vector<RecoverySpec>& specs) {
+  uint64_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      if (RemoveFileIfExists(entry.path().string())) ++removed;
+    }
+  }
+  for (const RecoverySpec& spec : specs) {
+    if (RemoveFileIfExists(spec.model_path + ".tmp")) ++removed;
+    if (RemoveFileIfExists(spec.model_path + ".lkg.tmp")) ++removed;
+  }
+  if (removed > 0) {
+    MetricsRegistry::Global()
+        .counter("recovery.tmp_files_removed")
+        .Increment(removed);
+  }
+  return removed;
+}
+
+Result<CheckpointManifest> RecoveryManager::LoadNewestValidManifest(
+    RecoveryReport* report) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::vector<uint64_t> gens = CheckpointManager::ScanGenerations(dir_);
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const std::string path = CheckpointManager::ManifestPath(dir_, *it);
+    Result<CheckpointManifest> manifest =
+        CheckpointManager::LoadManifest(path);
+    if (manifest.ok()) return manifest;
+    if (manifest.status().code() == StatusCode::kDataCorruption) {
+      // Torn or bit-rotted: quarantine for postmortems and fall back one
+      // generation. The quarantined name no longer parses as a manifest, so
+      // later scans skip it.
+      const std::string quarantine = path + ".corrupt";
+      std::remove(quarantine.c_str());
+      if (std::rename(path.c_str(), quarantine.c_str()) == 0) {
+        reg.counter("recovery.quarantines").Increment();
+        if (report != nullptr) ++report->manifests_quarantined;
+        std::fprintf(stderr,
+                     "warning: quarantined corrupt manifest %s -> %s\n",
+                     path.c_str(), quarantine.c_str());
+      }
+    } else if (report != nullptr) {
+      // Clean version mismatch (or unreadable): skip without destroying.
+      ++report->manifests_discarded;
+    }
+    reg.counter("recovery.generations_discarded").Increment();
+    PYTHIA_TRACE_INSTANT_CTX("recovery", "manifest_discarded", "generation",
+                             *it);
+  }
+  return Status::NotFound("no valid checkpoint manifest in " + dir_);
+}
+
+Result<RecoveryReport> RecoveryManager::Recover(
+    PythiaSystem* system, const std::vector<RecoverySpec>& specs) {
+  const auto start = std::chrono::steady_clock::now();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  RecoveryReport report;
+  report.tmp_files_removed = SweepTmpResidue(specs);
+
+  CheckpointManifest manifest;
+  Result<CheckpointManifest> loaded = LoadNewestValidManifest(&report);
+  if (loaded.ok()) {
+    manifest = std::move(loaded.value());
+    report.manifest_loaded = true;
+    report.manifest_generation = manifest.generation;
+  }
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const RecoverySpec& spec = specs[i];
+    const uint64_t want = WorkloadModel::Fingerprint(
+        spec.options, *spec.workload, spec.db->TotalPages());
+    const CheckpointWorkloadState* rec =
+        (report.manifest_loaded && i < manifest.workloads.size())
+            ? &manifest.workloads[i]
+            : nullptr;
+    const std::string lkg_path = spec.model_path + ".lkg";
+    RecoveredWorkload out;
+
+    // Adopting the manifest revision (and with it the warm cache and the
+    // checkpointed watchdog conclusions) requires the artifact on disk to
+    // be byte-identical to the one the manifest described; anything else —
+    // no manifest, or a newer survivor of a crash mid-publish — serves at
+    // revision + 1 so no checkpointed state can be misattributed to it.
+    const auto settle_revision = [&](const FileIdentity& id) {
+      if (rec != nullptr && id == rec->primary) {
+        out.manifest_match = true;
+        out.revision = rec->revision;
+      } else {
+        out.revision = rec != nullptr ? rec->revision + 1 : 0;
+      }
+    };
+
+    Result<WorkloadModel> model = WorkloadModel::Load(spec.model_path);
+    if (model.ok() && model->fingerprint() == want) {
+      out.source = RecoverySource::kPrimary;
+      reg.counter("recovery.models_from_primary").Increment();
+      const FileIdentity id = FileIdentityOf(spec.model_path);
+      settle_revision(id);
+      // Make the sidecar current again if the crash window left it behind
+      // (or it never existed).
+      if (!(FileIdentityOf(lkg_path) == id)) {
+        CopyFileAtomic(spec.model_path, lkg_path);
+      }
+    } else {
+      // A corrupt primary was already quarantined by Load; a fingerprint
+      // mismatch means the file is somebody else's model. Either way, try
+      // the sidecar.
+      Result<WorkloadModel> sidecar = WorkloadModel::Load(lkg_path);
+      if (sidecar.ok() && sidecar->fingerprint() == want) {
+        out.source = RecoverySource::kLkg;
+        reg.counter("recovery.models_from_lkg").Increment();
+        // Identity vs the manifest's *primary* record: the sidecar is a
+        // byte copy of the primary it mirrored, so equality means this is
+        // the checkpointed model.
+        settle_revision(FileIdentityOf(lkg_path));
+        Status s = CopyFileAtomic(lkg_path, spec.model_path);
+        if (s.code() == StatusCode::kAborted) return s;
+        model = std::move(sidecar);
+      } else {
+        out.source = RecoverySource::kRetrained;
+        reg.counter("recovery.models_retrained").Increment();
+        PYTHIA_TRACE_INSTANT_CTX("recovery", "retrain", "workload",
+                                 static_cast<uint64_t>(i));
+        Result<WorkloadModel> fresh =
+            WorkloadModel::Train(*spec.db, *spec.workload, spec.options);
+        if (!fresh.ok()) return fresh.status();
+        fresh->set_fingerprint(want);
+        Status s = fresh->Save(spec.model_path);
+        if (s.code() == StatusCode::kAborted) return s;
+        if (s.ok()) CopyFileAtomic(spec.model_path, lkg_path);
+        out.revision = rec != nullptr ? rec->revision + 1 : 0;
+        model = std::move(fresh);
+      }
+    }
+
+    model->BumpRevisionTo(out.revision);
+    system->AddWorkload(*spec.workload, std::move(model.value()));
+    if (out.manifest_match) {
+      system->watchdog(i).RestoreCheckpointState(rec->watchdog);
+      out.watchdog_restored = true;
+      if (rec->has_adaptation && system->adaptation() != nullptr) {
+        system->adaptation()->RestoreCheckpointSummary(i, rec->adaptation);
+        out.adaptation_restored = true;
+      }
+    }
+    PYTHIA_TRACE_INSTANT_CTX("recovery", "workload_recovered", "revision",
+                             out.revision);
+    report.workloads.push_back(out);
+  }
+
+  if (report.manifest_loaded && manifest.has_governor &&
+      system->governor() != nullptr) {
+    system->governor()->RestoreRung(
+        static_cast<DegradationRung>(manifest.governor_rung));
+    report.governor_restored = true;
+  }
+
+  // Warm prediction cache: only entries whose (model_id, revision) names a
+  // workload that recovered at exactly the checkpointed revision. Manifest
+  // order is LRU -> MRU, so in-order Insert reproduces recency.
+  for (const CheckpointCacheEntry& e : manifest.cache) {
+    const bool eligible = e.model_id < report.workloads.size() &&
+                          report.workloads[e.model_id].manifest_match &&
+                          report.workloads[e.model_id].revision == e.revision;
+    if (eligible) {
+      system->prediction_cache().Insert(
+          PredictionKey{e.model_id, e.revision, e.plan}, e.pages);
+      ++report.cache_restored;
+    } else {
+      ++report.cache_rejected;
+    }
+  }
+  if (report.cache_restored > 0) {
+    reg.counter("recovery.warm_cache_restores").Increment(report.cache_restored);
+  }
+  if (report.cache_rejected > 0) {
+    reg.counter("recovery.warm_cache_rejected").Increment(report.cache_rejected);
+  }
+
+  report.wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  reg.histogram("recovery.recovery_wall_us").Record(report.wall_us);
+  PYTHIA_TRACE_INSTANT_CTX("recovery", "recovered", "generation",
+                           report.manifest_generation, "workloads",
+                           static_cast<uint64_t>(report.workloads.size()));
+  return report;
+}
+
+}  // namespace pythia

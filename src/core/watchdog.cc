@@ -106,6 +106,30 @@ void PredictionWatchdog::RestartForNewModel(size_t probation_sessions) {
   post_swap_demoted_ = false;
 }
 
+WatchdogCheckpointState PredictionWatchdog::CheckpointState() const {
+  WatchdogCheckpointState state;
+  state.health = static_cast<uint32_t>(health_);
+  state.window.assign(window_.begin(), window_.end());
+  state.probation_remaining = probation_remaining_;
+  state.probe_successes = probe_successes_;
+  state.post_swap_remaining = post_swap_remaining_;
+  state.post_swap_demoted = post_swap_demoted_;
+  state.stats = stats_;
+  return state;
+}
+
+void PredictionWatchdog::RestoreCheckpointState(
+    const WatchdogCheckpointState& state) {
+  health_ = static_cast<ModelHealth>(state.health);
+  window_.assign(state.window.begin(), state.window.end());
+  while (window_.size() > options_.window) window_.pop_front();
+  probation_remaining_ = state.probation_remaining;
+  probe_successes_ = state.probe_successes;
+  post_swap_remaining_ = state.post_swap_remaining;
+  post_swap_demoted_ = state.post_swap_demoted;
+  stats_ = state.stats;
+}
+
 void PredictionWatchdog::Reset() {
   health_ = ModelHealth::kHealthy;
   window_.clear();

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "core/query_metrics.h"
 
@@ -57,6 +58,20 @@ struct WatchdogStats {
   uint64_t reinstatements = 0;    // probation -> healthy
   uint64_t degraded_queries = 0;  // queries served by the baseline instead
   uint64_t sessions_judged = 0;   // ratio samples recorded
+};
+
+// Serializable snapshot of the full watchdog state machine, captured into
+// checkpoint manifests (core/checkpoint.h) and restored on warm restart so
+// a recovered node resumes probation/degradation exactly where the crashed
+// one left off — instead of a demoted model silently coming back healthy.
+struct WatchdogCheckpointState {
+  uint32_t health = 0;  // ModelHealth
+  std::vector<double> window;
+  uint64_t probation_remaining = 0;
+  uint64_t probe_successes = 0;
+  uint64_t post_swap_remaining = 0;
+  bool post_swap_demoted = false;
+  WatchdogStats stats;
 };
 
 class PredictionWatchdog {
@@ -98,6 +113,11 @@ class PredictionWatchdog {
   bool post_swap_demoted() const { return post_swap_demoted_; }
   // True while the post-swap probation window is still open.
   bool post_swap_probation_active() const { return post_swap_remaining_ > 0; }
+
+  // --- Checkpoint support (core/checkpoint.h) ----------------------------
+
+  WatchdogCheckpointState CheckpointState() const;
+  void RestoreCheckpointState(const WatchdogCheckpointState& state);
 
  private:
   void Demote();

@@ -51,15 +51,28 @@ struct FaultConfig {
   double bit_flip_prob = 0.0;
   double torn_write_prob = 0.0;
   double stale_read_prob = 0.0;
+  // Durable-write faults on the *host filesystem* path (model .pywm files,
+  // .lkg sidecars, checkpoint manifests — storage/durable.h). Page images
+  // above are simulated-device reads; these model the write side lying:
+  //  - durable_torn_write_prob: the payload is silently truncated mid-write
+  //    but the atomic publish completes — only the CRC framing catches it
+  //    on the next load;
+  //  - durable_rename_fail_prob: the rename(tmp, path) publish step fails.
+  double durable_torn_write_prob = 0.0;
+  double durable_rename_fail_prob = 0.0;
   uint64_t seed = 0;
 
   bool corruption_enabled() const {
     return bit_flip_prob > 0.0 || torn_write_prob > 0.0 ||
            stale_read_prob > 0.0;
   }
+  bool durable_faults_enabled() const {
+    return durable_torn_write_prob > 0.0 || durable_rename_fail_prob > 0.0;
+  }
   bool enabled() const {
     return transient_error_prob > 0.0 || tail_latency_prob > 0.0 ||
-           aio_stall_prob > 0.0 || corruption_enabled();
+           aio_stall_prob > 0.0 || corruption_enabled() ||
+           durable_faults_enabled();
   }
 };
 
@@ -71,6 +84,9 @@ struct FaultStats {
   uint64_t injected_bit_flips = 0;
   uint64_t injected_torn_writes = 0;
   uint64_t injected_stale_reads = 0;
+  uint64_t durable_writes_probed = 0;
+  uint64_t injected_durable_torn_writes = 0;
+  uint64_t injected_rename_failures = 0;
   SimTime injected_spike_us = 0;  // total extra latency from spikes
   SimTime injected_stall_us = 0;  // total extra latency from stalls
 };
@@ -89,6 +105,17 @@ struct DiskReadFault {
   SimTime extra_latency_us = 0;  // tail spike on top of the modeled latency
 };
 
+// What the device silently did to one durable host-filesystem write
+// (consulted by storage/durable.h's WriteFileAtomic).
+struct DurableWriteFault {
+  bool torn_write = false;
+  // Fraction of the payload's second half that actually reached the disk
+  // when torn (the first half always lands — mirrors the page-image torn
+  // write, which keeps the leading half of the new version).
+  double torn_fraction = 0.5;
+  bool rename_failure = false;
+};
+
 // How a *foreground* (synchronous) read retries after a transient error.
 // Prefetch reads never retry: a failed speculative read is simply dropped.
 struct RetryPolicy {
@@ -104,7 +131,8 @@ class FaultInjector {
       : config_(config),
         rng_(config.seed, 0x705eca7a1ULL),
         backoff_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL, 0xbac0ffULL),
-        corruption_rng_(config.seed ^ 0xc0de2badc0de2badULL, 0xc42c42ULL) {}
+        corruption_rng_(config.seed ^ 0xc0de2badc0de2badULL, 0xc42c42ULL),
+        durable_rng_(config.seed ^ 0xd0d0beefcafef00dULL, 0xd00dULL) {}
 
   // Consulted once per disk read, with the latency the device would charge.
   DiskReadFault OnDiskRead(SimTime base_latency_us) {
@@ -167,6 +195,28 @@ class FaultInjector {
     return corruption_rng_.UniformU32(image_bits);
   }
 
+  // Consulted once per durable host-filesystem publish (model files and
+  // checkpoint manifests via storage/durable.h). Dedicated stream: enabling
+  // durable faults never perturbs the read-path fault sequences, and vice
+  // versa.
+  DurableWriteFault OnDurableWrite() {
+    DurableWriteFault fault;
+    if (!config_.durable_faults_enabled()) return fault;
+    ++stats_.durable_writes_probed;
+    if (config_.durable_torn_write_prob > 0.0 &&
+        durable_rng_.UniformDouble() < config_.durable_torn_write_prob) {
+      fault.torn_write = true;
+      fault.torn_fraction = 0.25 + 0.5 * durable_rng_.UniformDouble();
+      ++stats_.injected_durable_torn_writes;
+    }
+    if (config_.durable_rename_fail_prob > 0.0 &&
+        durable_rng_.UniformDouble() < config_.durable_rename_fail_prob) {
+      fault.rename_failure = true;
+      ++stats_.injected_rename_failures;
+    }
+    return fault;
+  }
+
   // Backoff for the `attempt`-th retry (attempt >= 1) under `policy`:
   // capped exponential with +/-50% deterministic jitter.
   SimTime RetryBackoff(const RetryPolicy& policy, uint32_t attempt) {
@@ -189,6 +239,7 @@ class FaultInjector {
     rng_ = Pcg32(config_.seed, 0x705eca7a1ULL);
     backoff_rng_ = Pcg32(config_.seed ^ 0x9e3779b97f4a7c15ULL, 0xbac0ffULL);
     corruption_rng_ = Pcg32(config_.seed ^ 0xc0de2badc0de2badULL, 0xc42c42ULL);
+    durable_rng_ = Pcg32(config_.seed ^ 0xd0d0beefcafef00dULL, 0xd00dULL);
     stats_ = FaultStats();
   }
 
@@ -200,6 +251,7 @@ class FaultInjector {
   Pcg32 rng_;
   Pcg32 backoff_rng_;
   Pcg32 corruption_rng_;
+  Pcg32 durable_rng_;
   FaultStats stats_;
 };
 

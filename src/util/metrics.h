@@ -97,6 +97,10 @@ struct PredictionCacheStats {
   // result.
   uint64_t dedup_joins = 0;
   uint64_t fanouts = 0;
+  // In-flight registrations dropped without publishing: shed windows and
+  // shutdown teardown (BatchPredictor aborts its pending leaders in its
+  // destructor so a mid-flush teardown never leaks inflight slots).
+  uint64_t inflight_aborts = 0;
 };
 
 struct PrecisionRecall {

@@ -123,4 +123,21 @@ ModelIntegrityCounters ModelIntegritySnapshot() {
   return c;
 }
 
+RecoveryCounters RecoveryCountersSnapshot() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  RecoveryCounters c;
+  c.checkpoints_written = reg.counter("recovery.checkpoints_written").value();
+  c.checkpoint_failures = reg.counter("recovery.checkpoint_failures").value();
+  c.generations_discarded =
+      reg.counter("recovery.generations_discarded").value();
+  c.quarantines = reg.counter("recovery.quarantines").value();
+  c.warm_cache_restores = reg.counter("recovery.warm_cache_restores").value();
+  c.warm_cache_rejected = reg.counter("recovery.warm_cache_rejected").value();
+  c.models_from_primary = reg.counter("recovery.models_from_primary").value();
+  c.models_from_lkg = reg.counter("recovery.models_from_lkg").value();
+  c.models_retrained = reg.counter("recovery.models_retrained").value();
+  c.tmp_files_removed = reg.counter("recovery.tmp_files_removed").value();
+  return c;
+}
+
 }  // namespace pythia

@@ -149,6 +149,25 @@ struct ModelIntegrityCounters {
 
 ModelIntegrityCounters ModelIntegritySnapshot();
 
+// Process-wide counters for checkpoint/recovery (core/checkpoint.h,
+// core/recovery.h), under "recovery." in the registry. Same snapshot-struct
+// pattern as ModelIntegrityCounters; the recovery wall-clock distribution
+// additionally lives in the "recovery.recovery_wall_us" histogram.
+struct RecoveryCounters {
+  uint64_t checkpoints_written = 0;    // manifests committed
+  uint64_t checkpoint_failures = 0;    // attempts that did not commit
+  uint64_t generations_discarded = 0;  // invalid manifests skipped on scan
+  uint64_t quarantines = 0;            // manifests renamed to .corrupt
+  uint64_t warm_cache_restores = 0;    // prediction-cache entries revived
+  uint64_t warm_cache_rejected = 0;    // entries dropped (revision mismatch)
+  uint64_t models_from_primary = 0;    // recovered straight from .pywm
+  uint64_t models_from_lkg = 0;        // healed from the .lkg sidecar
+  uint64_t models_retrained = 0;       // transparent retrain fallback
+  uint64_t tmp_files_removed = 0;      // stray .tmp residue swept on start
+};
+
+RecoveryCounters RecoveryCountersSnapshot();
+
 }  // namespace pythia
 
 #endif  // PYTHIA_UTIL_METRICS_REGISTRY_H_

@@ -25,6 +25,11 @@ enum class StatusCode {
   // mismatch). Distinct from kIoError so speculative readers can account
   // corruption drops separately from transient device errors.
   kDataCorruption,
+  // The operation was cut short mid-flight — in this codebase that means a
+  // CrashPointRegistry site fired and the durable-write path must unwind as
+  // if the process died there. Distinct from kIoError so crash-sweep
+  // harnesses can tell a simulated kill from a real write failure.
+  kAborted,
 };
 
 // Value-semantic status. Cheap to copy for the OK case (empty message).
@@ -59,6 +64,9 @@ class Status {
   static Status DataCorruption(std::string msg) {
     return Status(StatusCode::kDataCorruption, std::move(msg));
   }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +89,7 @@ class Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIoError: return "IoError";
       case StatusCode::kDataCorruption: return "DataCorruption";
+      case StatusCode::kAborted: return "Aborted";
     }
     return "Unknown";
   }

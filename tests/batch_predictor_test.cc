@@ -246,5 +246,35 @@ TEST_F(BatchPredictorTest, SizeTriggerFlushesFullWindow) {
   EXPECT_DOUBLE_EQ(bp.MeanRowsPerForward(), 2.0);
 }
 
+// Shutdown mid-window: destroying the predictor while leaders are queued
+// must abort their in-flight cache registrations. A leaked slot would turn
+// every future identical plan into a follower waiting on a forward pass
+// that will never run.
+TEST_F(BatchPredictorTest, DestructorAbortsPendingInflightRegistrations) {
+  std::vector<size_t> distinct = DistinctQueryIndices(2);
+  ASSERT_EQ(distinct.size(), 2u) << "workload has too few distinct plans";
+
+  auto system = MakeSystem();
+  {
+    BatchPredictorOptions opts;
+    opts.max_batch_rows = 64;  // no size flush
+    BatchPredictor bp(system.get(), opts);
+    std::vector<BatchPrediction> done;
+    bp.Submit(1, wl_->queries[distinct[0]], /*now=*/0, &done);
+    bp.Submit(2, wl_->queries[distinct[1]], /*now=*/0, &done);
+    EXPECT_TRUE(done.empty());
+    EXPECT_EQ(bp.pending(), 2u);
+    EXPECT_EQ(system->prediction_cache().inflight(), 2u);
+  }  // teardown mid-window
+  EXPECT_EQ(system->prediction_cache().inflight(), 0u);
+  EXPECT_EQ(system->prediction_cache_stats().inflight_aborts, 2u);
+  // The keys are free again: a new engine can lead the same plans.
+  BatchPredictor fresh(system.get(), BatchPredictorOptions{});
+  std::vector<BatchPrediction> done;
+  fresh.Submit(3, wl_->queries[distinct[0]], /*now=*/0, &done);
+  EXPECT_EQ(fresh.pending(), 1u);  // leader, not a stuck follower
+  EXPECT_EQ(fresh.stats().deduped, 0u);
+}
+
 }  // namespace
 }  // namespace pythia

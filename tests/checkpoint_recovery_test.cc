@@ -1,0 +1,613 @@
+// Crash-consistent checkpointing and warm-restart recovery tests:
+// CrashPointRegistry semantics (deterministic arming, the dead-process
+// latch), the residue each crash window leaves behind a WriteFileAtomic,
+// torn-durable-write injection, manifest framing/round-trip/quarantine,
+// generation monotonicity + pruning, and the full recovery decision tree
+// (primary / lkg / retrain) including revision-filtered warm-cache restore.
+//
+// Training is the expensive part, so one model is trained per suite, its
+// fingerprint stamped, and cloned into fresh systems per test.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/recovery.h"
+#include "core/system.h"
+#include "storage/durable.h"
+#include "storage/fault_injector.h"
+#include "util/metrics_registry.h"
+
+namespace pythia {
+namespace {
+
+class CheckpointRecoveryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = BuildDsbDatabase(DsbConfig{5, 42}).release();
+    WorkloadOptions wopts;
+    wopts.num_queries = 30;
+    wopts.test_fraction = 0.2;
+    Result<Workload> wl = GenerateWorkload(*db_, TemplateId::kDsb91, wopts);
+    ASSERT_TRUE(wl.ok()) << wl.status().ToString();
+    wl_ = new Workload(std::move(*wl));
+    Result<WorkloadModel> model = WorkloadModel::Train(*db_, *wl_, FastOptions());
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model.value().set_fingerprint(WorkloadModel::Fingerprint(
+        FastOptions(), *wl_, db_->TotalPages()));
+    model_ = new WorkloadModel(std::move(*model));
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete wl_;
+    wl_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  void SetUp() override {
+    CrashPointRegistry::Global().Reset();
+    CrashPointRegistry::Global().set_fault_injector(nullptr);
+  }
+  void TearDown() override {
+    CrashPointRegistry::Global().Reset();
+    CrashPointRegistry::Global().set_fault_injector(nullptr);
+  }
+
+  static PredictorOptions FastOptions() {
+    PredictorOptions options;
+    options.epochs = 2;
+    options.num_threads = 1;
+    return options;
+  }
+
+  // Fresh per-test scratch directory (checkpoint manifests + model files).
+  std::string NewDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/ckpt_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+  }
+
+  static std::unique_ptr<PythiaSystem> MakeSystem() {
+    auto system = std::make_unique<PythiaSystem>(nullptr);
+    system->AddWorkload(*wl_, model_->Clone());
+    return system;
+  }
+
+  static RecoverySpec SpecFor(const std::string& model_path) {
+    RecoverySpec spec;
+    spec.workload = wl_;
+    spec.db = db_;
+    spec.options = FastOptions();
+    spec.model_path = model_path;
+    return spec;
+  }
+
+  // Flips one payload byte in place — CRC framing must catch it on load.
+  static void CorruptFile(const std::string& path, size_t offset) {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+
+  static std::vector<PageId> PredictAll(WorkloadModel& model) {
+    std::vector<PageId> out;
+    for (size_t ti : wl_->test_indices) {
+      for (const PageId& p : model.Predict(wl_->queries[ti].tokens)) {
+        out.push_back(p);
+      }
+      out.push_back(PageId{0xffffffff, 0xffffffff});  // query separator
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  static Database* db_;
+  static Workload* wl_;
+  static WorkloadModel* model_;
+};
+
+Database* CheckpointRecoveryTest::db_ = nullptr;
+Workload* CheckpointRecoveryTest::wl_ = nullptr;
+WorkloadModel* CheckpointRecoveryTest::model_ = nullptr;
+
+// --- CrashPointRegistry ---------------------------------------------------
+
+TEST_F(CheckpointRecoveryTest, RegistryArmsDeterministically) {
+  CrashPointRegistry& reg = CrashPointRegistry::Global();
+  reg.Arm(kCrashMidPayload, /*at_hit=*/2);
+  EXPECT_FALSE(reg.Check(kCrashMidPayload));  // hit 1
+  EXPECT_FALSE(reg.Check(kCrashPreRename));   // other sites never fire
+  EXPECT_TRUE(reg.Check(kCrashMidPayload));   // hit 2: dies here
+  EXPECT_TRUE(reg.crashed());
+  EXPECT_EQ(reg.crash_site(), kCrashMidPayload);
+  // Dead process stays dead: every later consult also reports the crash.
+  EXPECT_TRUE(reg.Check(kCrashPreTmpWrite));
+  EXPECT_EQ(reg.hits(kCrashMidPayload), 2u);
+  reg.Reset();
+  EXPECT_FALSE(reg.crashed());
+  EXPECT_EQ(reg.hits(kCrashMidPayload), 0u);
+  EXPECT_FALSE(reg.Check(kCrashMidPayload));
+}
+
+TEST_F(CheckpointRecoveryTest, RegistryRandomModeIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    CrashPointRegistry& reg = CrashPointRegistry::Global();
+    reg.Reset();
+    reg.ArmRandom(seed, 0.3);
+    std::string site;
+    for (int i = 0; i < 64 && site.empty(); ++i) {
+      for (const char* s : AllCrashSites()) {
+        if (reg.Check(s)) {
+          site = reg.crash_site();
+          break;
+        }
+      }
+    }
+    reg.Reset();
+    return site;
+  };
+  const std::string a = run(7);
+  const std::string b = run(7);
+  const std::string c = run(8);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // A different seed is allowed to pick the same site but not required to;
+  // what matters is same-seed equality above. Still, exercise the draw.
+  (void)c;
+}
+
+TEST_F(CheckpointRecoveryTest, AtomicWriteResiduePerCrashSite) {
+  const std::string dir = NewDir("residue");
+  const std::string path = dir + "/artifact.bin";
+  const std::string payload(4096, 'x');
+  AtomicWriteSites sites;
+  sites.pre_tmp = kCrashPreTmpWrite;
+  sites.mid_payload = kCrashMidPayload;
+  sites.pre_rename = kCrashPreRename;
+  CrashPointRegistry& reg = CrashPointRegistry::Global();
+
+  // pre_tmp_write: nothing on disk at all.
+  reg.Reset();
+  reg.Arm(kCrashPreTmpWrite);
+  Status s = WriteFileAtomic(path, payload.data(), payload.size(), sites);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // mid_payload: a torn .tmp, never the published path.
+  reg.Reset();
+  reg.Arm(kCrashMidPayload);
+  s = WriteFileAtomic(path, payload.data(), payload.size(), sites);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  ASSERT_TRUE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_LT(std::filesystem::file_size(path + ".tmp"), payload.size());
+  std::filesystem::remove(path + ".tmp");
+
+  // pre_rename: a complete .tmp, still unpublished.
+  reg.Reset();
+  reg.Arm(kCrashPreRename);
+  s = WriteFileAtomic(path, payload.data(), payload.size(), sites);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  ASSERT_TRUE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(std::filesystem::file_size(path + ".tmp"), payload.size());
+  std::filesystem::remove(path + ".tmp");
+
+  // Disarmed: published atomically, no residue.
+  reg.Reset();
+  ASSERT_TRUE(
+      WriteFileAtomic(path, payload.data(), payload.size(), sites).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(std::filesystem::file_size(path), payload.size());
+}
+
+TEST_F(CheckpointRecoveryTest, InjectedTornDurableWriteTruncatesSilently) {
+  const std::string dir = NewDir("torn");
+  const std::string path = dir + "/artifact.bin";
+  FaultConfig config;
+  config.seed = 11;
+  config.durable_torn_write_prob = 1.0;
+  FaultInjector injector(config);
+  CrashPointRegistry::Global().set_fault_injector(&injector);
+  const std::string payload(4096, 'y');
+  // The publish *succeeds* — the device lied. Only the byte count betrays it.
+  ASSERT_TRUE(WriteFileAtomic(path, payload.data(), payload.size()).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_LT(std::filesystem::file_size(path), payload.size());
+  EXPECT_GT(injector.stats().injected_durable_torn_writes, 0u);
+}
+
+TEST_F(CheckpointRecoveryTest, InjectedRenameFailureLeavesNoResidue) {
+  const std::string dir = NewDir("renamefail");
+  const std::string path = dir + "/artifact.bin";
+  FaultConfig config;
+  config.seed = 11;
+  config.durable_rename_fail_prob = 1.0;
+  FaultInjector injector(config);
+  CrashPointRegistry::Global().set_fault_injector(&injector);
+  const std::string payload(512, 'z');
+  Status s = WriteFileAtomic(path, payload.data(), payload.size());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_GT(injector.stats().injected_rename_failures, 0u);
+}
+
+TEST_F(CheckpointRecoveryTest, TornModelSaveIsCaughtByCrcOnNextLoad) {
+  const std::string dir = NewDir("torn_model");
+  const std::string path = dir + "/wm.pywm";
+  FaultConfig config;
+  config.seed = 3;
+  config.durable_torn_write_prob = 1.0;
+  FaultInjector injector(config);
+  CrashPointRegistry::Global().set_fault_injector(&injector);
+  WorkloadModel model = model_->Clone();
+  ASSERT_TRUE(model.Save(path).ok());  // publish "succeeded"
+  CrashPointRegistry::Global().set_fault_injector(nullptr);
+  Result<WorkloadModel> loaded = WorkloadModel::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataCorruption);
+  // Load quarantined the torn file for postmortems.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+}
+
+// --- Manifest format ------------------------------------------------------
+
+CheckpointManifest SampleManifest() {
+  CheckpointManifest m;
+  m.generation = 7;
+  m.has_governor = true;
+  m.governor_rung = 2;
+  CheckpointWorkloadState w;
+  w.revision = 3;
+  w.fingerprint = 0xabcdef;
+  w.model_path = "/tmp/x.pywm";
+  w.primary = {true, 1234, 0xdeadbeef};
+  w.lkg = {true, 1234, 0xdeadbeef};
+  w.watchdog.health = 1;
+  w.watchdog.window = {0.1, 0.9, 0.5};
+  w.watchdog.probation_remaining = 4;
+  w.watchdog.stats.demotions = 2;
+  w.watchdog.stats.sessions_judged = 40;
+  w.has_adaptation = true;
+  w.adaptation.phase = 3;
+  w.adaptation.cooldown_remaining = 9;
+  w.adaptation.rounds = 2;
+  w.adaptation.mean_useful_ratio = 0.42;
+  m.workloads.push_back(w);
+  CheckpointCacheEntry e;
+  e.model_id = 0;
+  e.revision = 3;
+  e.plan = "plan\x1ftokens";
+  e.pages = {PageId{1, 2}, PageId{3, 4}};
+  m.cache.push_back(e);
+  return m;
+}
+
+TEST_F(CheckpointRecoveryTest, ManifestRoundTrips) {
+  const std::string dir = NewDir("manifest_rt");
+  const std::string path = CheckpointManager::ManifestPath(dir, 7);
+  const CheckpointManifest m = SampleManifest();
+  ASSERT_TRUE(CheckpointManager::SaveManifest(m, path).ok());
+  Result<CheckpointManifest> r = CheckpointManager::LoadManifest(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CheckpointManifest& got = r.value();
+  EXPECT_EQ(got.generation, 7u);
+  EXPECT_TRUE(got.has_governor);
+  EXPECT_EQ(got.governor_rung, 2u);
+  ASSERT_EQ(got.workloads.size(), 1u);
+  EXPECT_EQ(got.workloads[0].revision, 3u);
+  EXPECT_EQ(got.workloads[0].fingerprint, 0xabcdefu);
+  EXPECT_EQ(got.workloads[0].model_path, "/tmp/x.pywm");
+  EXPECT_TRUE(got.workloads[0].primary == m.workloads[0].primary);
+  EXPECT_EQ(got.workloads[0].watchdog.health, 1u);
+  EXPECT_EQ(got.workloads[0].watchdog.window, m.workloads[0].watchdog.window);
+  EXPECT_EQ(got.workloads[0].watchdog.stats.sessions_judged, 40u);
+  ASSERT_TRUE(got.workloads[0].has_adaptation);
+  EXPECT_EQ(got.workloads[0].adaptation.cooldown_remaining, 9u);
+  EXPECT_DOUBLE_EQ(got.workloads[0].adaptation.mean_useful_ratio, 0.42);
+  ASSERT_EQ(got.cache.size(), 1u);
+  EXPECT_EQ(got.cache[0].plan, "plan\x1ftokens");
+  EXPECT_EQ(got.cache[0].pages, m.cache[0].pages);
+}
+
+TEST_F(CheckpointRecoveryTest, ManifestNameParsing) {
+  uint64_t gen = 0;
+  EXPECT_TRUE(CheckpointManager::ParseManifestName("manifest-12.pyck", &gen));
+  EXPECT_EQ(gen, 12u);
+  EXPECT_FALSE(CheckpointManager::ParseManifestName("manifest-.pyck", &gen));
+  EXPECT_FALSE(CheckpointManager::ParseManifestName("manifest-1.pyck.corrupt",
+                                                    &gen));
+  EXPECT_FALSE(CheckpointManager::ParseManifestName("manifest-1x.pyck", &gen));
+  EXPECT_FALSE(CheckpointManager::ParseManifestName("wm.pywm", &gen));
+}
+
+TEST_F(CheckpointRecoveryTest, TruncatedManifestNeverLoads) {
+  const std::string dir = NewDir("manifest_trunc");
+  const std::string path = CheckpointManager::ManifestPath(dir, 1);
+  ASSERT_TRUE(CheckpointManager::SaveManifest(SampleManifest(), path).ok());
+  Result<std::string> bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  // Every truncation point across the header and into the payload must be
+  // rejected — a manifest is valid in full or not at all.
+  for (size_t keep = 0; keep < std::min<size_t>(bytes.value().size(), 64);
+       ++keep) {
+    const std::string p = dir + "/trunc.pyck";
+    ASSERT_TRUE(
+        WriteFileAtomic(p, bytes.value().data(), keep).ok());
+    Result<CheckpointManifest> r = CheckpointManager::LoadManifest(p);
+    EXPECT_FALSE(r.ok()) << "truncation at byte " << keep << " loaded";
+  }
+}
+
+TEST_F(CheckpointRecoveryTest, BitFlippedManifestIsDataCorruption) {
+  const std::string dir = NewDir("manifest_flip");
+  const std::string path = CheckpointManager::ManifestPath(dir, 1);
+  ASSERT_TRUE(CheckpointManager::SaveManifest(SampleManifest(), path).ok());
+  CorruptFile(path, std::filesystem::file_size(path) / 2);
+  Result<CheckpointManifest> r = CheckpointManager::LoadManifest(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataCorruption);
+}
+
+// --- Checkpoint generations ----------------------------------------------
+
+TEST_F(CheckpointRecoveryTest, GenerationsAreMonotonicAndPruned) {
+  const std::string dir = NewDir("generations");
+  const std::string model_path = dir + "/wm.pywm";
+  auto system = MakeSystem();
+  CheckpointOptions copts;
+  copts.keep_generations = 2;
+  CheckpointManager mgr(dir, copts);
+  EXPECT_EQ(mgr.latest_generation(), 0u);
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(mgr.Checkpoint(*system, {model_path}).ok());
+    EXPECT_EQ(mgr.latest_generation(), static_cast<uint64_t>(i));
+  }
+  const std::vector<uint64_t> gens = CheckpointManager::ScanGenerations(dir);
+  EXPECT_EQ(gens, (std::vector<uint64_t>{2, 3}));
+  // A new manager over the same directory resumes the numbering — a restart
+  // can never reuse (and thus silently overwrite) a committed generation.
+  CheckpointManager resumed(dir, copts);
+  EXPECT_EQ(resumed.latest_generation(), 3u);
+  ASSERT_TRUE(resumed.Checkpoint(*system, {model_path}).ok());
+  EXPECT_EQ(resumed.latest_generation(), 4u);
+}
+
+// --- Recovery decision tree ----------------------------------------------
+
+TEST_F(CheckpointRecoveryTest, RecoversFromPrimaryWithWarmCache) {
+  const std::string dir = NewDir("rec_primary");
+  const std::string model_path = dir + "/wm.pywm";
+  auto system = MakeSystem();
+  // Seed some memoized plans and an exercised watchdog, then checkpoint.
+  system->prediction_cache().Insert(PredictionKey{0, 0, "planA"},
+                                    {PageId{1, 1}});
+  system->prediction_cache().Insert(PredictionKey{0, 0, "planB"},
+                                    {PageId{1, 2}, PageId{1, 3}});
+  for (int i = 0; i < 4; ++i) system->watchdog(0).Record(10, 0);  // demote
+  ASSERT_EQ(system->watchdog(0).health(), ModelHealth::kDegraded);
+  const std::vector<PageId> before = PredictAll(system->model(0));
+  CheckpointManager mgr(dir, CheckpointOptions());
+  ASSERT_TRUE(mgr.Checkpoint(*system, {model_path}).ok());
+  system.reset();  // the "crash"
+
+  PythiaSystem restarted(nullptr);
+  RecoveryManager rm(dir);
+  Result<RecoveryReport> report =
+      rm.Recover(&restarted, {SpecFor(model_path)});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->manifest_loaded);
+  EXPECT_EQ(report->manifest_generation, 1u);
+  ASSERT_EQ(report->workloads.size(), 1u);
+  EXPECT_EQ(report->workloads[0].source, RecoverySource::kPrimary);
+  EXPECT_TRUE(report->workloads[0].manifest_match);
+  EXPECT_EQ(report->workloads[0].revision, 0u);
+  EXPECT_TRUE(report->workloads[0].watchdog_restored);
+  EXPECT_EQ(report->cache_restored, 2u);
+  EXPECT_EQ(report->cache_rejected, 0u);
+  // The demoted model must come back demoted, not amnesiac-healthy.
+  EXPECT_EQ(restarted.watchdog(0).health(), ModelHealth::kDegraded);
+  // Warm cache actually serves.
+  std::vector<PageId> got;
+  EXPECT_TRUE(restarted.prediction_cache().Lookup(
+      PredictionKey{0, 0, "planA"}, &got));
+  EXPECT_EQ(got, (std::vector<PageId>{PageId{1, 1}}));
+  // Byte-identical predictions at the same revision.
+  EXPECT_EQ(PredictAll(restarted.model(0)), before);
+  EXPECT_EQ(restarted.model(0).revision(), 0u);
+}
+
+TEST_F(CheckpointRecoveryTest, HealsFromLkgWhenPrimaryCorrupt) {
+  const std::string dir = NewDir("rec_lkg");
+  const std::string model_path = dir + "/wm.pywm";
+  auto system = MakeSystem();
+  const std::vector<PageId> before = PredictAll(system->model(0));
+  CheckpointManager mgr(dir, CheckpointOptions());
+  ASSERT_TRUE(mgr.Checkpoint(*system, {model_path}).ok());
+  system.reset();
+  CorruptFile(model_path, std::filesystem::file_size(model_path) / 2);
+
+  PythiaSystem restarted(nullptr);
+  RecoveryManager rm(dir);
+  Result<RecoveryReport> report =
+      rm.Recover(&restarted, {SpecFor(model_path)});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->workloads.size(), 1u);
+  EXPECT_EQ(report->workloads[0].source, RecoverySource::kLkg);
+  // The sidecar is a byte copy of the manifested primary, so the recovered
+  // model is *the* checkpointed model: full warm restore.
+  EXPECT_TRUE(report->workloads[0].manifest_match);
+  EXPECT_EQ(PredictAll(restarted.model(0)), before);
+  // The corrupt primary was quarantined and the sidecar re-published.
+  EXPECT_TRUE(std::filesystem::exists(model_path + ".corrupt"));
+  EXPECT_TRUE(std::filesystem::exists(model_path));
+  Result<WorkloadModel> republished = WorkloadModel::Load(model_path);
+  EXPECT_TRUE(republished.ok());
+}
+
+TEST_F(CheckpointRecoveryTest, RetrainsWhenPrimaryAndLkgBothDead) {
+  const std::string dir = NewDir("rec_retrain");
+  const std::string model_path = dir + "/wm.pywm";
+  auto system = MakeSystem();
+  system->prediction_cache().Insert(PredictionKey{0, 0, "planA"},
+                                    {PageId{1, 1}});
+  CheckpointManager mgr(dir, CheckpointOptions());
+  ASSERT_TRUE(mgr.Checkpoint(*system, {model_path}).ok());
+  system.reset();
+  std::filesystem::remove(model_path);
+  std::filesystem::remove(model_path + ".lkg");
+
+  PythiaSystem restarted(nullptr);
+  RecoveryManager rm(dir);
+  Result<RecoveryReport> report =
+      rm.Recover(&restarted, {SpecFor(model_path)});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->workloads.size(), 1u);
+  EXPECT_EQ(report->workloads[0].source, RecoverySource::kRetrained);
+  EXPECT_FALSE(report->workloads[0].manifest_match);
+  // Served past the manifest revision: no stale memoized plan can hit.
+  EXPECT_EQ(report->workloads[0].revision, 1u);
+  EXPECT_EQ(restarted.model(0).revision(), 1u);
+  EXPECT_EQ(report->cache_restored, 0u);
+  EXPECT_EQ(report->cache_rejected, 1u);
+  EXPECT_EQ(restarted.prediction_cache().size(), 0u);
+  // The retrain republished both artifacts for the next restart.
+  EXPECT_TRUE(std::filesystem::exists(model_path));
+  EXPECT_TRUE(std::filesystem::exists(model_path + ".lkg"));
+}
+
+TEST_F(CheckpointRecoveryTest, NewerPrimaryAdoptedColdAtBumpedRevision) {
+  const std::string dir = NewDir("rec_newer");
+  const std::string model_path = dir + "/wm.pywm";
+  auto system = MakeSystem();
+  system->prediction_cache().Insert(PredictionKey{0, 0, "planA"},
+                                    {PageId{1, 1}});
+  for (int i = 0; i < 4; ++i) system->watchdog(0).Record(10, 0);  // demote
+  CheckpointManager mgr(dir, CheckpointOptions());
+  ASSERT_TRUE(mgr.Checkpoint(*system, {model_path}).ok());
+  // Simulate the post_rename_pre_sidecar crash window: a newer primary was
+  // published after the manifest committed (threshold change -> different
+  // bytes), then the process died before any new manifest.
+  system->model(0).set_threshold(0.5f);
+  ASSERT_TRUE(system->model(0).Save(model_path).ok());
+  system.reset();
+
+  PythiaSystem restarted(nullptr);
+  RecoveryManager rm(dir);
+  Result<RecoveryReport> report =
+      rm.Recover(&restarted, {SpecFor(model_path)});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->workloads.size(), 1u);
+  // Valid, newer weights: serve them — but nothing checkpointed may be
+  // attributed to them.
+  EXPECT_EQ(report->workloads[0].source, RecoverySource::kPrimary);
+  EXPECT_FALSE(report->workloads[0].manifest_match);
+  EXPECT_EQ(report->workloads[0].revision, 1u);
+  EXPECT_FALSE(report->workloads[0].watchdog_restored);
+  EXPECT_EQ(restarted.watchdog(0).health(), ModelHealth::kHealthy);
+  EXPECT_EQ(report->cache_restored, 0u);
+  EXPECT_EQ(report->cache_rejected, 1u);
+}
+
+TEST_F(CheckpointRecoveryTest, CorruptNewestManifestFallsBackAGeneration) {
+  const std::string dir = NewDir("rec_fallback");
+  const std::string model_path = dir + "/wm.pywm";
+  auto system = MakeSystem();
+  CheckpointManager mgr(dir, CheckpointOptions());
+  ASSERT_TRUE(mgr.Checkpoint(*system, {model_path}).ok());
+  ASSERT_TRUE(mgr.Checkpoint(*system, {model_path}).ok());
+  system.reset();
+  const std::string gen2 = CheckpointManager::ManifestPath(dir, 2);
+  CorruptFile(gen2, std::filesystem::file_size(gen2) - 3);
+
+  PythiaSystem restarted(nullptr);
+  RecoveryManager rm(dir);
+  Result<RecoveryReport> report =
+      rm.Recover(&restarted, {SpecFor(model_path)});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->manifest_loaded);
+  EXPECT_EQ(report->manifest_generation, 1u);
+  EXPECT_EQ(report->manifests_quarantined, 1u);
+  EXPECT_FALSE(std::filesystem::exists(gen2));
+  EXPECT_TRUE(std::filesystem::exists(gen2 + ".corrupt"));
+  // Generation 1 manifested the same model bytes, so the fallback is warm.
+  EXPECT_EQ(report->workloads[0].source, RecoverySource::kPrimary);
+  EXPECT_TRUE(report->workloads[0].manifest_match);
+}
+
+TEST_F(CheckpointRecoveryTest, CrashMidManifestKeepsPriorGeneration) {
+  const std::string dir = NewDir("rec_midmanifest");
+  const std::string model_path = dir + "/wm.pywm";
+  auto system = MakeSystem();
+  CheckpointManager mgr(dir, CheckpointOptions());
+  ASSERT_TRUE(mgr.Checkpoint(*system, {model_path}).ok());
+  CrashPointRegistry::Global().Arm(kCrashMidManifest);
+  Status s = mgr.Checkpoint(*system, {model_path});
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_TRUE(CrashPointRegistry::Global().crashed());
+  system.reset();
+  CrashPointRegistry::Global().Reset();
+
+  PythiaSystem restarted(nullptr);
+  RecoveryManager rm(dir);
+  Result<RecoveryReport> report =
+      rm.Recover(&restarted, {SpecFor(model_path)});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The torn generation-2 .tmp was swept; generation 1 stands.
+  EXPECT_EQ(report->manifest_generation, 1u);
+  EXPECT_GE(report->tmp_files_removed, 1u);
+  EXPECT_EQ(report->workloads[0].source, RecoverySource::kPrimary);
+  EXPECT_TRUE(report->workloads[0].manifest_match);
+}
+
+TEST_F(CheckpointRecoveryTest, RecoveryWithNoManifestRetrainsAtRevisionZero) {
+  const std::string dir = NewDir("rec_cold");
+  const std::string model_path = dir + "/wm.pywm";
+  PythiaSystem restarted(nullptr);
+  RecoveryManager rm(dir);
+  Result<RecoveryReport> report =
+      rm.Recover(&restarted, {SpecFor(model_path)});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->manifest_loaded);
+  EXPECT_EQ(report->workloads[0].source, RecoverySource::kRetrained);
+  EXPECT_EQ(report->workloads[0].revision, 0u);
+  EXPECT_EQ(restarted.num_workloads(), 1u);
+}
+
+TEST_F(CheckpointRecoveryTest, RecoveryCountersAdvance) {
+  const std::string dir = NewDir("rec_counters");
+  const std::string model_path = dir + "/wm.pywm";
+  const RecoveryCounters before = RecoveryCountersSnapshot();
+  auto system = MakeSystem();
+  system->prediction_cache().Insert(PredictionKey{0, 0, "planA"},
+                                    {PageId{1, 1}});
+  CheckpointManager mgr(dir, CheckpointOptions());
+  ASSERT_TRUE(mgr.Checkpoint(*system, {model_path}).ok());
+  system.reset();
+  PythiaSystem restarted(nullptr);
+  RecoveryManager rm(dir);
+  ASSERT_TRUE(rm.Recover(&restarted, {SpecFor(model_path)}).ok());
+  const RecoveryCounters after = RecoveryCountersSnapshot();
+  EXPECT_GT(after.checkpoints_written, before.checkpoints_written);
+  EXPECT_GT(after.models_from_primary, before.models_from_primary);
+  EXPECT_GT(after.warm_cache_restores, before.warm_cache_restores);
+}
+
+}  // namespace
+}  // namespace pythia

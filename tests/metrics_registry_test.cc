@@ -171,5 +171,27 @@ TEST(ModelIntegrityTest, SnapshotReadsRegistryCounters) {
   EXPECT_EQ(after.quarantined, before.quarantined + 2);
 }
 
+TEST(RecoveryCountersTest, SnapshotReadsRegistryCounters) {
+  // Same snapshot-struct pattern over the "recovery.*" namespace that the
+  // checkpoint/recovery subsystem (core/checkpoint.h, core/recovery.h)
+  // increments.
+  const RecoveryCounters before = RecoveryCountersSnapshot();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.counter("recovery.checkpoints_written").Increment();
+  reg.counter("recovery.quarantines").Increment(2);
+  reg.counter("recovery.warm_cache_restores").Increment(3);
+  reg.counter("recovery.models_from_lkg").Increment();
+  reg.counter("recovery.tmp_files_removed").Increment(4);
+  const RecoveryCounters after = RecoveryCountersSnapshot();
+  EXPECT_EQ(after.checkpoints_written, before.checkpoints_written + 1);
+  EXPECT_EQ(after.quarantines, before.quarantines + 2);
+  EXPECT_EQ(after.warm_cache_restores, before.warm_cache_restores + 3);
+  EXPECT_EQ(after.models_from_lkg, before.models_from_lkg + 1);
+  EXPECT_EQ(after.tmp_files_removed, before.tmp_files_removed + 4);
+  // Untouched fields are stable between the two snapshots.
+  EXPECT_EQ(after.models_retrained, before.models_retrained);
+  EXPECT_EQ(after.generations_discarded, before.generations_discarded);
+}
+
 }  // namespace
 }  // namespace pythia

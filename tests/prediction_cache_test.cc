@@ -186,6 +186,44 @@ TEST(PredictionCacheTest, AbortDropsRegistrationWithoutInsert) {
   EXPECT_TRUE(cache.BeginInflight(Key(0, 0, "a")));  // fresh leader again
 }
 
+TEST(PredictionCacheTest, AbortAllInflightDropsEveryRegistration) {
+  PredictionCache cache(4);
+  ASSERT_TRUE(cache.BeginInflight(Key(0, 0, "a")));
+  ASSERT_TRUE(cache.BeginInflight(Key(0, 0, "b")));
+  ASSERT_FALSE(cache.BeginInflight(Key(0, 0, "b")));  // a follower joins b
+  EXPECT_EQ(cache.AbortAllInflight(), 2u);
+  EXPECT_EQ(cache.inflight(), 0u);
+  EXPECT_EQ(cache.stats().inflight_aborts, 2u);
+  std::vector<PageId> got;
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, "a"), &got));
+  EXPECT_FALSE(cache.Lookup(Key(0, 0, "b"), &got));
+  // No orphaned slot: a fresh leader can register either key again.
+  EXPECT_TRUE(cache.BeginInflight(Key(0, 0, "a")));
+  EXPECT_TRUE(cache.BeginInflight(Key(0, 0, "b")));
+}
+
+TEST(PredictionCacheTest, SnapshotEntriesReproducesRecencyOrder) {
+  PredictionCache cache(4);
+  cache.Insert(Key(0, 0, "a"), Pages({1}));
+  cache.Insert(Key(0, 0, "b"), Pages({2}));
+  cache.Insert(Key(0, 0, "c"), Pages({3}));
+  std::vector<PageId> got;
+  ASSERT_TRUE(cache.Lookup(Key(0, 0, "a"), &got));  // a is MRU now
+  const auto snapshot = cache.SnapshotEntries();    // LRU -> MRU
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first.plan, "b");
+  EXPECT_EQ(snapshot[1].first.plan, "c");
+  EXPECT_EQ(snapshot[2].first.plan, "a");
+  // Re-inserting in snapshot order into a fresh cache reproduces recency:
+  // the LRU victim of the copy matches the original's.
+  PredictionCache copy(3);
+  for (const auto& [key, pages] : snapshot) copy.Insert(key, pages);
+  copy.Insert(Key(0, 0, "d"), Pages({4}));  // evicts b, the LRU
+  EXPECT_FALSE(copy.Lookup(Key(0, 0, "b"), &got));
+  EXPECT_TRUE(copy.Lookup(Key(0, 0, "c"), &got));
+  EXPECT_TRUE(copy.Lookup(Key(0, 0, "a"), &got));
+}
+
 TEST(PredictionCacheTest, ClearDropsInflightRegistrations) {
   PredictionCache cache(4);
   ASSERT_TRUE(cache.BeginInflight(Key(0, 0, "a")));

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <string>
 
 #include "core/predictor.h"
 #include "core/trace_processor.h"
+#include "storage/durable.h"
 #include "util/metrics.h"
 
 namespace pythia {
@@ -257,6 +261,65 @@ TEST_F(PredictorTest, ParallelTrainingAndPredictionAreBitIdentical) {
     const WorkloadQuery& q = workload_->queries[ti];
     EXPECT_EQ(a->Predict(q.tokens), b->Predict(q.tokens));
   }
+}
+
+// Fuzz the loader with a truncation at every byte of the integrity header
+// (magic, version, payload size, CRC) and well into the payload: every
+// prefix must be rejected as corruption — loudly, never with a garbage
+// model or a crash.
+TEST_F(PredictorTest, LoadRejectsTruncationAtEveryHeaderOffset) {
+  Result<WorkloadModel> model =
+      WorkloadModel::Train(*db_, *workload_, FastOptions());
+  ASSERT_TRUE(model.ok());
+  const std::string full = ::testing::TempDir() + "/fuzz_full.pywm";
+  ASSERT_TRUE(model->Save(full).ok());
+  Result<std::string> bytes = ReadFileBytes(full);
+  ASSERT_TRUE(bytes.ok());
+  // 20-byte header (u32 magic, u32 version, u64 payload size, u32 CRC),
+  // then a margin of payload bytes.
+  const size_t limit = std::min<size_t>(bytes.value().size(), 28);
+  for (size_t keep = 0; keep < limit; ++keep) {
+    const std::string path = ::testing::TempDir() + "/fuzz_trunc.pywm";
+    std::remove(path.c_str());
+    std::remove((path + ".corrupt").c_str());
+    ASSERT_TRUE(WriteFileAtomic(path, bytes.value().data(), keep).ok());
+    Result<WorkloadModel> loaded = WorkloadModel::Load(path);
+    EXPECT_FALSE(loaded.ok()) << "truncation at byte " << keep << " loaded";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataCorruption)
+        << "truncation at byte " << keep;
+    // Corrupt files are quarantined, not left for the next loader to trip
+    // over again.
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  }
+}
+
+// The crash window between the primary's rename and the .lkg sidecar copy:
+// GetOrTrain must die there as Aborted (the fresh weights do not escape),
+// and the next start must self-heal — load the published primary and
+// recreate the missing sidecar.
+TEST_F(PredictorTest, GetOrTrainCrashBeforeSidecarThenSelfHeals) {
+  const std::string path = ::testing::TempDir() + "/crash_sidecar.pywm";
+  std::remove(path.c_str());
+  std::remove((path + ".lkg").c_str());
+  PredictorOptions options = FastOptions();
+
+  CrashPointRegistry::Global().Reset();
+  CrashPointRegistry::Global().Arm(kCrashPostRenamePreSidecar);
+  Result<WorkloadModel> crashed =
+      GetOrTrainWorkloadModel(path, *db_, *workload_, options);
+  EXPECT_FALSE(crashed.ok());
+  EXPECT_EQ(crashed.status().code(), StatusCode::kAborted);
+  // The kill landed after the publish: primary on disk, sidecar missing.
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".lkg"));
+
+  // "Reboot" and retry: the cached primary serves and the sidecar heals.
+  CrashPointRegistry::Global().Reset();
+  Result<WorkloadModel> recovered =
+      GetOrTrainWorkloadModel(path, *db_, *workload_, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(std::filesystem::exists(path + ".lkg"));
 }
 
 TEST_F(PredictorTest, UnknownTokensMapToUnk) {
