@@ -61,4 +61,14 @@ if [[ "${MODE}" == thread ]]; then
   # workers publish while tests drive them. Repeating the suite keeps those
   # lanes hot long enough for TSan to interleave them meaningfully.
   "${BUILD_DIR}/tests/batch_predictor_test" --gtest_repeat=5
+
+  # Sharded-pool soak: real threads hammering the lock-striped BufferPool
+  # (ConcurrentFetchesKeepInvariants) and the full multi-threaded fleet
+  # replay arm of bench_shard — shard mutexes, striped OS-cache channel
+  # locks, the IoScheduler bookkeeping lock and the atomic readahead kill
+  # switch all under TSan. Repeats keep the interleavings varied.
+  "${BUILD_DIR}/tests/bufmgr_test" \
+      --gtest_filter='ShardedPoolTest.*' --gtest_repeat=5
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_shard
+  "${BUILD_DIR}/bench/bench_shard" --smoke
 fi

@@ -1,68 +1,166 @@
 #include "bufmgr/buffer_pool.h"
 
+#include <chrono>
 #include <string>
 
 #include "util/trace.h"
 
 namespace pythia {
 
+namespace {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// splitmix64 finalizer: decorrelates the per-shard seeds derived from one
+// pool seed, so shard streams never overlap even for adjacent indices.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+void AccumulateStats(BufferPoolStats* into, const BufferPoolStats& from) {
+  into->fetches += from.fetches;
+  into->buffer_hits += from.buffer_hits;
+  into->prefetch_hits += from.prefetch_hits;
+  into->prefetch_wait_hits += from.prefetch_wait_hits;
+  into->os_cache_copies += from.os_cache_copies;
+  into->disk_seq_reads += from.disk_seq_reads;
+  into->disk_random_reads += from.disk_random_reads;
+  into->evictions += from.evictions;
+  into->uncached_reads += from.uncached_reads;
+  into->prefetches_started += from.prefetches_started;
+  into->prefetches_rejected += from.prefetches_rejected;
+  into->prefetch_wait_us += from.prefetch_wait_us;
+  into->read_retries += from.read_retries;
+  into->corrupt_retries += from.corrupt_retries;
+  into->failed_fetches += from.failed_fetches;
+}
+
+BufferPool::Guard::Guard(const BufferPool* pool, Shard* shard, bool profile)
+    : shard_(shard), profiled_(profile && pool->options_.profile_locks) {
+  if (!profiled_) {
+    shard_->mu.lock();
+    return;
+  }
+  uint64_t wait_ns = 0;
+  bool contended = false;
+  if (!shard_->mu.try_lock()) {
+    contended = true;
+    const uint64_t wait_start = NowNs();
+    shard_->mu.lock();
+    wait_ns = NowNs() - wait_start;
+  }
+  // Under the lock now: safe to touch the shard's counters and RNG stream.
+  ++shard_->lock.acquisitions;
+  if (contended) {
+    ++shard_->lock.contended;
+    shard_->lock.wait_ns += wait_ns;
+    PYTHIA_TRACE_INSTANT_CTX("bufmgr", "lock.contended", "wait_ns", wait_ns);
+  }
+  const double p = pool->options_.lock_hold_sample_prob;
+  hold_sampled_ = p >= 1.0 || shard_->rng.UniformDouble() < p;
+  if (hold_sampled_) hold_start_ns_ = NowNs();
+}
+
+BufferPool::Guard::~Guard() {
+  if (profiled_ && hold_sampled_) {
+    shard_->lock.hold_ns += NowNs() - hold_start_ns_;
+    ++shard_->lock.hold_samples;
+  }
+  shard_->mu.unlock();
+}
+
 BufferPool::BufferPool(const Options& options, OsPageCache* os_cache,
                        const LatencyModel& latency)
-    : options_(options),
-      os_cache_(os_cache),
-      latency_(latency),
-      policy_(MakeReplacementPolicy(options.policy, options.capacity_pages)),
-      frames_(options.capacity_pages) {
-  free_list_.reserve(options.capacity_pages);
-  for (size_t i = options.capacity_pages; i > 0; --i) {
-    free_list_.push_back(i - 1);
+    : options_(options), os_cache_(os_cache), latency_(latency) {
+  const size_t n = options.num_shards == 0 ? 1 : options.num_shards;
+  options_.num_shards = n;
+  shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Round-robin capacity split: shard s of N owns ceil-or-floor(C/N)
+    // frames, lower indices taking the remainder.
+    const size_t cap = options.capacity_pages / n +
+                       (s < options.capacity_pages % n ? 1 : 0);
+    shard->frames.resize(cap);
+    shard->free_list.reserve(cap);
+    for (size_t i = cap; i > 0; --i) shard->free_list.push_back(i - 1);
+    shard->policy = MakeReplacementPolicy(options.policy, cap);
+    shard->rng = Pcg32(Mix64(options_.seed ^ (0x9e3779b97f4a7c15ULL * s)),
+                       0xbfbfULL + s);
+    shards_.push_back(std::move(shard));
   }
 }
 
-bool BufferPool::Evictable(size_t frame, SimTime now) const {
-  const Frame& f = frames_[frame];
+bool BufferPool::Evictable(const Shard& shard, size_t frame, SimTime now) {
+  const Frame& f = shard.frames[frame];
   if (!f.valid || f.pin_count > 0) return false;
   if (f.in_flight && f.arrival > now) return false;  // AIO still in progress
   return true;
 }
 
-int64_t BufferPool::AllocateFrame(SimTime now) {
-  if (!free_list_.empty()) {
-    const size_t f = free_list_.back();
-    free_list_.pop_back();
+int64_t BufferPool::AllocateFrame(Shard* shard, SimTime now) {
+  if (!shard->free_list.empty()) {
+    const size_t f = shard->free_list.back();
+    shard->free_list.pop_back();
     return static_cast<int64_t>(f);
   }
-  auto victim = policy_->PickVictim(
-      [this, now](size_t frame) { return Evictable(frame, now); });
+  auto victim = shard->policy->PickVictim([shard, now](size_t frame) {
+    return Evictable(*shard, frame, now);
+  });
   if (!victim.has_value()) return -1;
   const size_t f = *victim;
-  page_table_.erase(frames_[f].page);
-  policy_->OnRemove(f);
-  frames_[f] = Frame();
-  ++stats_.evictions;
+  shard->page_table.erase(shard->frames[f].page);
+  shard->policy->OnRemove(f);
+  shard->frames[f] = Frame();
+  ++shard->stats.evictions;
   return static_cast<int64_t>(f);
 }
 
 Result<FetchResult> BufferPool::FetchPage(PageId page, SimTime now) {
-  ++stats_.fetches;
+  Shard& shard = *shards_[ShardOf(page)];
+  Guard guard(this, &shard);
+  ++shard.stats.fetches;
   FetchResult result;
-  auto it = page_table_.find(page);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.in_flight && f.arrival > now) {
-      // Block until the async read lands.
+  auto it = shard.page_table.find(page);
+  if (it != shard.page_table.end()) {
+    Frame& f = shard.frames[it->second];
+    const bool waited = f.in_flight && f.arrival > now;
+    if (waited) {
+      // Block until the async read lands. This is NOT a full hit: the
+      // query paid (part of) the device latency, so it is accounted as a
+      // prefetch_wait_hit, distinct from buffer_hits/prefetch_hits.
       result.prefetch_wait_us = f.arrival - now;
-      stats_.prefetch_wait_us += result.prefetch_wait_us;
+      shard.stats.prefetch_wait_us += result.prefetch_wait_us;
+      ++shard.stats.prefetch_wait_hits;
       PYTHIA_TRACE_INSTANT("bufmgr", "prefetch.wait", now, "wait_us",
                            result.prefetch_wait_us, "page", page.page_no);
     }
     f.in_flight = false;
     result.latency_us = result.prefetch_wait_us + latency_.buffer_hit_us;
     result.source = AccessSource::kBufferHit;
+    // First consumption of a prefetched frame gets the prefetch credit
+    // (a clean hit or a wait-hit); the flag then clears so repeat hits on
+    // the same resident frame are plain buffer hits and cannot inflate
+    // useful-prefetch ratios forever.
     result.served_by_prefetch = f.installed_by_prefetch;
-    ++stats_.buffer_hits;
-    if (f.installed_by_prefetch) ++stats_.prefetch_hits;
-    policy_->OnAccess(it->second);
+    if (f.installed_by_prefetch) {
+      if (!waited) ++shard.stats.prefetch_hits;
+      f.installed_by_prefetch = false;
+    }
+    if (!waited) ++shard.stats.buffer_hits;
+    shard.policy->OnAccess(it->second);
     return result;
   }
 
@@ -80,23 +178,23 @@ Result<FetchResult> BufferPool::FetchPage(PageId page, SimTime now) {
       break;
     }
     if (attempt >= options_.retry.max_attempts) {
-      ++stats_.failed_fetches;
+      ++shard.stats.failed_fetches;
       return Status::IoError("page read failed after " +
                              std::to_string(attempt) +
                              " attempts: " + r.status().message());
     }
-    ++stats_.read_retries;
+    ++shard.stats.read_retries;
     if (r.status().code() == StatusCode::kDataCorruption) {
-      ++stats_.corrupt_retries;
+      ++shard.stats.corrupt_retries;
     }
     PYTHIA_TRACE_INSTANT("bufmgr", "read.retry", now, "attempt", attempt,
                          "page", page.page_no);
     ++result.retries;
     retry_penalty_us += latency_.disk_random_read_us;
-    FaultInjector* injector = os_cache_->fault_injector();
-    if (injector != nullptr) {
-      retry_penalty_us += injector->RetryBackoff(options_.retry, attempt);
-    }
+    // Backoff jitter comes from the owning storage channel's injector
+    // stream, drawn under that channel's mutex (FaultInjector itself is not
+    // thread-safe).
+    retry_penalty_us += os_cache_->RetryBackoff(page, options_.retry, attempt);
   }
   result.latency_us = retry_penalty_us + os.latency_us;
   result.source = os.source;
@@ -110,90 +208,116 @@ Result<FetchResult> BufferPool::FetchPage(PageId page, SimTime now) {
                       "obj", page.object_id, "page", page.page_no);
   }
   switch (os.source) {
-    case AccessSource::kOsCache: ++stats_.os_cache_copies; break;
-    case AccessSource::kDiskSequential: ++stats_.disk_seq_reads; break;
-    case AccessSource::kDiskRandom: ++stats_.disk_random_reads; break;
+    case AccessSource::kOsCache: ++shard.stats.os_cache_copies; break;
+    case AccessSource::kDiskSequential: ++shard.stats.disk_seq_reads; break;
+    case AccessSource::kDiskRandom: ++shard.stats.disk_random_reads; break;
     case AccessSource::kBufferHit: break;  // unreachable from OS read
   }
 
-  const int64_t frame = AllocateFrame(now);
+  const int64_t frame = AllocateFrame(&shard, now);
   if (frame < 0) {
-    // Every frame pinned or in flight: serve the read without caching it,
-    // like a strategy ring falling back to a one-off read.
-    ++stats_.uncached_reads;
+    // Every frame of this shard pinned or in flight: serve the read without
+    // caching it, like a strategy ring falling back to a one-off read.
+    ++shard.stats.uncached_reads;
     return result;
   }
-  Frame& f = frames_[static_cast<size_t>(frame)];
+  Frame& f = shard.frames[static_cast<size_t>(frame)];
   f.page = page;
   f.valid = true;
   f.in_flight = false;
   f.installed_by_prefetch = false;
   f.pin_count = 0;
-  page_table_[page] = static_cast<size_t>(frame);
-  policy_->OnInsert(static_cast<size_t>(frame));
+  shard.page_table[page] = static_cast<size_t>(frame);
+  shard.policy->OnInsert(static_cast<size_t>(frame));
   return result;
 }
 
 Status BufferPool::StartPrefetch(PageId page, SimTime completion, bool pin,
                                  SimTime now) {
-  auto it = page_table_.find(page);
-  if (it != page_table_.end()) {
+  Shard& shard = *shards_[ShardOf(page)];
+  Guard guard(this, &shard);
+  auto it = shard.page_table.find(page);
+  if (it != shard.page_table.end()) {
     // Already buffered: just bump its usage (and pin if requested).
-    Frame& f = frames_[it->second];
+    Frame& f = shard.frames[it->second];
     if (pin) ++f.pin_count;
-    policy_->OnAccess(it->second);
+    shard.policy->OnAccess(it->second);
     return Status::OK();
   }
-  const int64_t frame = AllocateFrame(now);
+  const int64_t frame = AllocateFrame(&shard, now);
   if (frame < 0) {
-    ++stats_.prefetches_rejected;
+    ++shard.stats.prefetches_rejected;
     return Status::ResourceExhausted("buffer pool full: prefetch skipped");
   }
-  Frame& f = frames_[static_cast<size_t>(frame)];
+  Frame& f = shard.frames[static_cast<size_t>(frame)];
   f.page = page;
   f.valid = true;
   f.in_flight = true;
   f.installed_by_prefetch = true;
   f.pin_count = pin ? 1 : 0;
   f.arrival = completion;
-  page_table_[page] = static_cast<size_t>(frame);
-  policy_->OnInsert(static_cast<size_t>(frame));
-  ++stats_.prefetches_started;
+  shard.page_table[page] = static_cast<size_t>(frame);
+  shard.policy->OnInsert(static_cast<size_t>(frame));
+  ++shard.stats.prefetches_started;
   return Status::OK();
 }
 
 void BufferPool::Pin(PageId page) {
-  auto it = page_table_.find(page);
-  if (it != page_table_.end()) ++frames_[it->second].pin_count;
+  Shard& shard = *shards_[ShardOf(page)];
+  Guard guard(this, &shard);
+  auto it = shard.page_table.find(page);
+  if (it != shard.page_table.end()) ++shard.frames[it->second].pin_count;
 }
 
 void BufferPool::Unpin(PageId page) {
-  auto it = page_table_.find(page);
-  if (it != page_table_.end() && frames_[it->second].pin_count > 0) {
-    --frames_[it->second].pin_count;
+  Shard& shard = *shards_[ShardOf(page)];
+  Guard guard(this, &shard);
+  auto it = shard.page_table.find(page);
+  if (it != shard.page_table.end() &&
+      shard.frames[it->second].pin_count > 0) {
+    --shard.frames[it->second].pin_count;
   }
 }
 
 bool BufferPool::Contains(PageId page) const {
-  return page_table_.count(page) > 0;
+  const Shard& shard = *shards_[ShardOf(page)];
+  Guard guard(this, const_cast<Shard*>(&shard));
+  return shard.page_table.count(page) > 0;
 }
 
 bool BufferPool::IsPinned(PageId page) const {
-  auto it = page_table_.find(page);
-  return it != page_table_.end() && frames_[it->second].pin_count > 0;
+  const Shard& shard = *shards_[ShardOf(page)];
+  Guard guard(this, const_cast<Shard*>(&shard));
+  auto it = shard.page_table.find(page);
+  return it != shard.page_table.end() &&
+         shard.frames[it->second].pin_count > 0;
 }
 
 bool BufferPool::IsInFlight(PageId page, SimTime now) const {
-  auto it = page_table_.find(page);
-  if (it == page_table_.end()) return false;
-  const Frame& f = frames_[it->second];
+  const Shard& shard = *shards_[ShardOf(page)];
+  Guard guard(this, const_cast<Shard*>(&shard));
+  auto it = shard.page_table.find(page);
+  if (it == shard.page_table.end()) return false;
+  const Frame& f = shard.frames[it->second];
   return f.in_flight && f.arrival > now;
+}
+
+size_t BufferPool::used_frames() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    Guard guard(this, shard.get(), /*profile=*/false);
+    n += shard->page_table.size();
+  }
+  return n;
 }
 
 size_t BufferPool::pinned_frames() const {
   size_t n = 0;
-  for (const Frame& f : frames_) {
-    if (f.valid && f.pin_count > 0) ++n;
+  for (const auto& shard : shards_) {
+    Guard guard(this, shard.get(), /*profile=*/false);
+    for (const Frame& f : shard->frames) {
+      if (f.valid && f.pin_count > 0) ++n;
+    }
   }
   return n;
 }
@@ -201,21 +325,60 @@ size_t BufferPool::pinned_frames() const {
 double BufferPool::UnevictablePressure(SimTime now) const {
   if (options_.capacity_pages == 0) return 0.0;
   size_t n = 0;
-  for (const Frame& f : frames_) {
-    if (!f.valid) continue;
-    if (f.pin_count > 0 || (f.in_flight && f.arrival > now)) ++n;
+  for (const auto& shard : shards_) {
+    Guard guard(this, shard.get(), /*profile=*/false);
+    for (const Frame& f : shard->frames) {
+      if (!f.valid) continue;
+      if (f.pin_count > 0 || (f.in_flight && f.arrival > now)) ++n;
+    }
   }
   return static_cast<double>(n) / static_cast<double>(options_.capacity_pages);
 }
 
-void BufferPool::Reset() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].valid) policy_->OnRemove(i);
-    frames_[i] = Frame();
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const auto& shard : shards_) {
+    Guard guard(this, shard.get(), /*profile=*/false);
+    AccumulateStats(&total, shard->stats);
   }
-  page_table_.clear();
-  free_list_.clear();
-  for (size_t i = frames_.size(); i > 0; --i) free_list_.push_back(i - 1);
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (const auto& shard : shards_) {
+    Guard guard(this, shard.get(), /*profile=*/false);
+    shard->stats = BufferPoolStats();
+    shard->lock = BufferPoolLockStats();
+  }
+}
+
+BufferPoolLockStats BufferPool::lock_stats() const {
+  BufferPoolLockStats total;
+  for (const auto& shard : shards_) {
+    Guard guard(this, shard.get(), /*profile=*/false);
+    total.acquisitions += shard->lock.acquisitions;
+    total.contended += shard->lock.contended;
+    total.wait_ns += shard->lock.wait_ns;
+    total.hold_ns += shard->lock.hold_ns;
+    total.hold_samples += shard->lock.hold_samples;
+  }
+  return total;
+}
+
+void BufferPool::Reset() {
+  for (const auto& shard : shards_) {
+    Guard guard(this, shard.get(), /*profile=*/false);
+    for (Frame& f : shard->frames) f = Frame();
+    shard->page_table.clear();
+    shard->free_list.clear();
+    for (size_t i = shard->frames.size(); i > 0; --i) {
+      shard->free_list.push_back(i - 1);
+    }
+    // The whole point of the restart protocol: a Reset pool and a fresh
+    // pool must be indistinguishable, which includes the replacement
+    // policy's internal sweep state (the Clock hand).
+    shard->policy->Reset();
+  }
 }
 
 }  // namespace pythia

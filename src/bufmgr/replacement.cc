@@ -1,5 +1,7 @@
 #include "bufmgr/replacement.h"
 
+#include <algorithm>
+
 namespace pythia {
 
 const char* ReplacementPolicyName(ReplacementPolicyKind kind) {
@@ -53,6 +55,12 @@ std::optional<size_t> ClockPolicy::PickVictim(
   return std::nullopt;
 }
 
+void ClockPolicy::Reset() {
+  std::fill(usage_.begin(), usage_.end(), 0);
+  std::fill(present_.begin(), present_.end(), false);
+  hand_ = 0;
+}
+
 void RecencyPolicy::OnInsert(size_t frame) {
   OnRemove(frame);
   order_.push_front(frame);
@@ -84,6 +92,11 @@ std::optional<size_t> RecencyPolicy::PickVictim(
     }
   }
   return std::nullopt;
+}
+
+void RecencyPolicy::Reset() {
+  order_.clear();
+  where_.clear();
 }
 
 std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(

@@ -35,6 +35,12 @@ class ReplacementPolicy {
   virtual std::optional<size_t> PickVictim(
       const std::function<bool(size_t)>& evictable) = 0;
 
+  // Restores the policy to its freshly-constructed state. A buffer-pool
+  // Reset() that forgets every frame but keeps internal sweep state (the
+  // Clock hand) makes a "Postgres restart" diverge from a fresh pool on the
+  // same trace — every implementation must drop ALL internal state here.
+  virtual void Reset() = 0;
+
   virtual ReplacementPolicyKind kind() const = 0;
 };
 
@@ -48,9 +54,14 @@ class ClockPolicy : public ReplacementPolicy {
   void OnRemove(size_t frame) override;
   std::optional<size_t> PickVictim(
       const std::function<bool(size_t)>& evictable) override;
+  void Reset() override;
   ReplacementPolicyKind kind() const override {
     return ReplacementPolicyKind::kClock;
   }
+
+  // Exposed so tests can assert that Reset() actually rewinds the sweep
+  // (the bug: Reset left the hand wherever the prior run parked it).
+  size_t hand() const { return hand_; }
 
  private:
   static constexpr uint8_t kMaxUsage = 5;
@@ -71,6 +82,7 @@ class RecencyPolicy : public ReplacementPolicy {
   void OnRemove(size_t frame) override;
   std::optional<size_t> PickVictim(
       const std::function<bool(size_t)>& evictable) override;
+  void Reset() override;
   ReplacementPolicyKind kind() const override {
     return evict_most_recent_ ? ReplacementPolicyKind::kMru
                               : ReplacementPolicyKind::kLru;

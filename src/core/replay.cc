@@ -1,8 +1,10 @@
 #include "core/replay.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <limits>
+#include <thread>
 
 #include "util/metrics_registry.h"
 #include "util/trace.h"
@@ -17,6 +19,7 @@ BufferPoolStats StatsDelta(const BufferPoolStats& after,
   d.fetches = after.fetches - before.fetches;
   d.buffer_hits = after.buffer_hits - before.buffer_hits;
   d.prefetch_hits = after.prefetch_hits - before.prefetch_hits;
+  d.prefetch_wait_hits = after.prefetch_wait_hits - before.prefetch_wait_hits;
   d.os_cache_copies = after.os_cache_copies - before.os_cache_copies;
   d.disk_seq_reads = after.disk_seq_reads - before.disk_seq_reads;
   d.disk_random_reads = after.disk_random_reads - before.disk_random_reads;
@@ -39,25 +42,60 @@ SimEnvironment::SimEnvironment(const SimOptions& options)
   OsPageCache::Options os_options;
   os_options.capacity_pages = options.os_cache_pages;
   os_options.readahead_pages = options.os_readahead_pages;
+  os_options.num_channels = options.storage_channels;
   os_cache_ = std::make_unique<OsPageCache>(os_options, options.latency);
+  const size_t channels = os_cache_->num_channels();
 
   BufferPool::Options pool_options;
   pool_options.capacity_pages = options.buffer_pages;
   pool_options.policy = options.policy;
   pool_options.retry = options.retry;
+  pool_options.num_shards = options.buffer_shards;
+  pool_options.seed = options.disk_content_seed;
+  pool_options.profile_locks = options.profile_pool_locks;
   pool_ = std::make_unique<BufferPool>(pool_options, os_cache_.get(),
                                        options.latency);
   io_ = std::make_unique<IoScheduler>(options.io_channels);
 
+  // Single-channel (the default): one injector and one disk shared by
+  // everything, exactly the historical wiring, so seed benches are
+  // bit-identical. Multi-channel: channel 0 keeps injector_/disk_, channels
+  // 1..N-1 get their own instances — injector seeds derived from the base
+  // seed and channel index (independent but reproducible fault streams),
+  // disks sharing the content seed (identical page images) — and the AIO
+  // scheduler gets a dedicated stall stream. FaultInjector and
+  // SimulatedDisk are not thread-safe; per-channel instances let the
+  // channel mutexes do the serialization.
   if (options.faults.enabled()) {
     injector_ = std::make_unique<FaultInjector>(options.faults);
     os_cache_->set_fault_injector(injector_.get());
-    io_->set_fault_injector(injector_.get());
+    if (channels > 1) {
+      for (size_t c = 1; c < channels; ++c) {
+        FaultConfig config = options.faults;
+        config.seed = options.faults.seed ^ (0x9e3779b97f4a7c15ULL * c);
+        channel_injectors_.push_back(std::make_unique<FaultInjector>(config));
+        os_cache_->set_channel_fault_injector(c,
+                                              channel_injectors_.back().get());
+      }
+      FaultConfig aio_config = options.faults;
+      aio_config.seed = options.faults.seed ^ 0xa10a10a10a10a10aULL;
+      aio_injector_ = std::make_unique<FaultInjector>(aio_config);
+      io_->set_fault_injector(aio_injector_.get());
+    } else {
+      io_->set_fault_injector(injector_.get());
+    }
   }
   if (options.faults.corruption_enabled() || options.verify_page_checksums) {
     disk_ = std::make_unique<SimulatedDisk>(options.disk_content_seed,
                                             injector_.get());
     os_cache_->set_disk(disk_.get());
+    for (size_t c = 1; c < channels; ++c) {
+      FaultInjector* channel_injector =
+          options.faults.enabled() ? channel_injectors_[c - 1].get() : nullptr;
+      channel_disks_.push_back(std::make_unique<SimulatedDisk>(
+          options.disk_content_seed, channel_injector));
+      os_cache_->set_channel_disk(c, channel_disks_.back().get());
+    }
   }
 }
 
@@ -70,6 +108,8 @@ void SimEnvironment::ColdRestart() {
 
 void SimEnvironment::ResetFaults() {
   if (injector_ != nullptr) injector_->Reset();
+  for (auto& injector : channel_injectors_) injector->Reset();
+  if (aio_injector_ != nullptr) aio_injector_->Reset();
 }
 
 ReplayResult ReplayQuery(const QueryTrace& trace,
@@ -362,6 +402,76 @@ ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
 ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
                                   SimEnvironment* env) {
   return ReplayConcurrent(queries, ConcurrentOptions{}, env);
+}
+
+ParallelReplayResult ReplayParallelFleet(
+    const std::vector<ParallelReplayThread>& threads,
+    const ParallelReplayOptions& options, SimEnvironment* env) {
+  const LatencyModel& latency = env->options().latency;
+  const size_t n = threads.size();
+  ParallelReplayResult result;
+  result.threads.resize(n);
+  const BufferPoolStats stats_before = env->pool().stats();
+  const BufferPoolLockStats lock_before = env->pool().lock_stats();
+
+  // Body of one fleet thread: the ReplayQuery loop minus tracer context
+  // switching (the tracer's SetTime/SetTrack are single-threaded; event
+  // recording itself is spinlock-guarded and safe, so sites below this
+  // layer stay harmless if tracing happens to be on).
+  auto run_thread = [&](size_t idx) {
+    const ParallelReplayThread& in = threads[idx];
+    ParallelThreadResult& out = result.threads[idx];
+    std::unique_ptr<PrefetchSession> session;
+    if (!in.prefetch_pages.empty()) {
+      PrefetcherOptions opts = options.prefetch;
+      opts.governor = nullptr;  // the ladder is single-threaded control
+      session = std::make_unique<PrefetchSession>(
+          in.prefetch_pages, opts, &env->pool(), &env->os_cache(), &env->io(),
+          latency);
+    }
+    SimTime now = 0;
+    for (const PageAccess& access : in.trace->accesses) {
+      now += static_cast<SimTime>(access.cpu_tuples_before) *
+             latency.cpu_per_tuple_us;
+      if (session != nullptr) session->Pump(now);
+      const Result<FetchResult> fetch = env->pool().FetchPage(access.page, now);
+      if (!fetch.ok()) {
+        out.status = fetch.status();
+        break;
+      }
+      now += fetch->latency_us;
+      ++out.completed_accesses;
+      if (session != nullptr) session->OnFetch(access.page, now);
+    }
+    if (session != nullptr) {
+      session->Finish();
+      out.prefetch_stats = session->stats();
+    }
+    out.elapsed_us = now;
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (size_t i = 0; i < n; ++i) workers.emplace_back(run_thread, i);
+  // Joined in thread index order; results were written into index-addressed
+  // slots, so the merge below is independent of the real interleaving.
+  for (std::thread& t : workers) t.join();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  result.pool_stats = StatsDelta(env->pool().stats(), stats_before);
+  const BufferPoolLockStats lock_after = env->pool().lock_stats();
+  result.lock_stats.acquisitions =
+      lock_after.acquisitions - lock_before.acquisitions;
+  result.lock_stats.contended = lock_after.contended - lock_before.contended;
+  result.lock_stats.wait_ns = lock_after.wait_ns - lock_before.wait_ns;
+  result.lock_stats.hold_ns = lock_after.hold_ns - lock_before.hold_ns;
+  result.lock_stats.hold_samples =
+      lock_after.hold_samples - lock_before.hold_samples;
+  return result;
 }
 
 }  // namespace pythia

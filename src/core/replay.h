@@ -39,6 +39,18 @@ struct SimOptions {
   size_t os_cache_pages = 4096;
   uint32_t os_readahead_pages = 32;
   size_t io_channels = 8;
+  // Lock-striped buffer-pool shards (PageId-hash keyed) and OS-cache/disk
+  // channels (object-id keyed). 1 each (the defaults) is the historical
+  // single-lock stack, bit-identical on every seed bench. With
+  // storage_channels > 1 each channel gets its own fault-injector stream
+  // (seed derived from faults.seed and the channel index) and its own
+  // SimulatedDisk handle (same content seed, so images are identical), so
+  // multi-threaded replays never race on a shared RNG.
+  size_t buffer_shards = 1;
+  size_t storage_channels = 1;
+  // Wall-clock lock wait/hold instrumentation on the pool shards (see
+  // BufferPool::Options::profile_locks). Virtual-time results unaffected.
+  bool profile_pool_locks = false;
   // Fault injection for the storage stack; disabled by default. Foreground
   // retry behaviour under injected errors is governed by `retry`.
   FaultConfig faults;
@@ -78,6 +90,13 @@ class SimEnvironment {
   SimOptions options_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<SimulatedDisk> disk_;
+  // With storage_channels > 1: per-channel injector/disk instances for
+  // channels 1..N-1 (channel 0 keeps injector_/disk_), plus a dedicated
+  // injector for the AIO scheduler so its stall stream never races the
+  // channel read streams across threads.
+  std::vector<std::unique_ptr<FaultInjector>> channel_injectors_;
+  std::vector<std::unique_ptr<SimulatedDisk>> channel_disks_;
+  std::unique_ptr<FaultInjector> aio_injector_;
   std::unique_ptr<OsPageCache> os_cache_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<IoScheduler> io_;
@@ -175,6 +194,56 @@ ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
 // governor.
 ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
                                   SimEnvironment* env);
+
+// ---------------------------------------------------------------------------
+// True multi-threaded fleet replay.
+//
+// ReplayConcurrent above interleaves queries on ONE OS thread in virtual
+// time; it measures what the queries experience, not whether the storage
+// stack scales. This arm runs one real std::thread per entry, all hammering
+// the shared sharded pool / striped cache / scheduler concurrently — the
+// workload `bench_shard` uses to show lock striping removed the single-mutex
+// ceiling. Determinism story: thread interleaving is real and uncontrolled,
+// so per-thread latency totals vary run to run; what IS deterministic (and
+// asserted by tests) is the merge structure — threads are joined and their
+// results recorded in thread index order, pool stats reduce over shards in
+// shard order — plus the interleaving-independent invariants: every access
+// of every trace completes exactly once, and no pins are leaked. Sessions
+// run ungoverned (PrefetchGovernor is single-threaded control logic) and
+// tracing should be disabled around this call (per-thread trace context is
+// not supported).
+
+// One fleet thread: a query trace plus an optional prefetch plan.
+struct ParallelReplayThread {
+  const QueryTrace* trace = nullptr;
+  std::vector<PageId> prefetch_pages;  // empty = demand reads only
+};
+
+struct ParallelReplayOptions {
+  // Session knobs for threads that carry prefetch pages. The governor field
+  // is ignored (forced to nullptr): the ladder is not thread-safe.
+  PrefetcherOptions prefetch;
+};
+
+struct ParallelThreadResult {
+  Status status;
+  SimTime elapsed_us = 0;          // the thread's own virtual clock at end
+  uint64_t completed_accesses = 0;
+  PrefetchSessionStats prefetch_stats;
+};
+
+struct ParallelReplayResult {
+  // Real wall-clock time of the threaded region (spawn of the first thread
+  // to join of the last), the throughput numerator for bench_shard.
+  double wall_ms = 0.0;
+  std::vector<ParallelThreadResult> threads;  // thread index order
+  BufferPoolStats pool_stats;                 // delta over the run
+  BufferPoolLockStats lock_stats;             // delta over the run
+};
+
+ParallelReplayResult ReplayParallelFleet(
+    const std::vector<ParallelReplayThread>& threads,
+    const ParallelReplayOptions& options, SimEnvironment* env);
 
 }  // namespace pythia
 

@@ -9,6 +9,7 @@
 #define PYTHIA_STORAGE_IO_SCHEDULER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "storage/fault_injector.h"
@@ -17,6 +18,12 @@
 
 namespace pythia {
 
+// Thread-safe: one mutex over the channel free-times. This is the *request
+// bookkeeping* lock, held for a handful of arithmetic ops — the simulated
+// device parallelism is the channel count, not the lock. With a fault
+// injector attached, OnAioSchedule is called under this mutex, which is the
+// only thing serializing the injector's stall stream in multi-threaded
+// replays.
 class IoScheduler {
  public:
   explicit IoScheduler(size_t num_channels)
@@ -29,6 +36,7 @@ class IoScheduler {
   // servicing the request, delaying this completion and everything queued
   // behind it on the same channel.
   SimTime Schedule(SimTime now, SimTime latency_us) {
+    std::lock_guard<std::mutex> lock(mu_);
     size_t best = 0;
     for (size_t i = 1; i < free_at_.size(); ++i) {
       if (free_at_[i] < free_at_[best]) best = i;
@@ -50,6 +58,7 @@ class IoScheduler {
 
   // Earliest time a new request issued at `now` could start.
   SimTime EarliestStart(SimTime now) const {
+    std::lock_guard<std::mutex> lock(mu_);
     SimTime best = free_at_[0];
     for (SimTime t : free_at_) best = t < best ? t : best;
     return best > now ? best : now;
@@ -61,6 +70,7 @@ class IoScheduler {
   // growing backlog means speculative reads are queuing behind each other
   // (and behind injected stalls) faster than the device retires them.
   SimTime QueueBacklogUs(SimTime now) const {
+    std::lock_guard<std::mutex> lock(mu_);
     SimTime backlog = 0;
     for (SimTime t : free_at_) {
       if (t > now) backlog += t - now;
@@ -69,14 +79,19 @@ class IoScheduler {
   }
 
   size_t num_channels() const { return free_at_.size(); }
-  uint64_t scheduled_ops() const { return scheduled_ops_; }
+  uint64_t scheduled_ops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return scheduled_ops_;
+  }
 
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     for (SimTime& t : free_at_) t = 0;
     scheduled_ops_ = 0;
   }
 
  private:
+  mutable std::mutex mu_;
   std::vector<SimTime> free_at_;
   uint64_t scheduled_ops_ = 0;
   FaultInjector* injector_ = nullptr;

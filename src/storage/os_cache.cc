@@ -4,34 +4,75 @@
 
 namespace pythia {
 
+OsPageCache::OsPageCache(const Options& options, const LatencyModel& latency)
+    : options_(options), latency_(latency) {
+  const size_t n = options.num_channels == 0 ? 1 : options.num_channels;
+  options_.num_channels = n;
+  channels_.reserve(n);
+  for (size_t c = 0; c < n; ++c) {
+    auto channel = std::make_unique<Channel>();
+    channel->capacity = options.capacity_pages / n +
+                        (c < options.capacity_pages % n ? 1 : 0);
+    channels_.push_back(std::move(channel));
+  }
+}
+
+void OsPageCache::set_fault_injector(FaultInjector* injector) {
+  for (auto& ch : channels_) ch->injector = injector;
+}
+
+void OsPageCache::set_channel_fault_injector(size_t channel,
+                                             FaultInjector* injector) {
+  channels_[channel]->injector = injector;
+}
+
+void OsPageCache::set_disk(SimulatedDisk* disk) {
+  for (auto& ch : channels_) ch->disk = disk;
+}
+
+void OsPageCache::set_channel_disk(size_t channel, SimulatedDisk* disk) {
+  channels_[channel]->disk = disk;
+}
+
+SimTime OsPageCache::RetryBackoff(PageId page, const RetryPolicy& policy,
+                                  uint32_t attempt) {
+  Channel& ch = *channels_[ChannelOf(page)];
+  std::lock_guard<std::mutex> lock(ch.mu);
+  if (ch.injector == nullptr) return 0;
+  return ch.injector->RetryBackoff(policy, attempt);
+}
+
 Result<OsReadResult> OsPageCache::Read(PageId page) {
+  Channel& ch = *channels_[ChannelOf(page)];
+  std::lock_guard<std::mutex> lock(ch.mu);
+
   OsReadResult result;
-  auto it = map_.find(page);
-  if (it != map_.end()) {
-    Touch(page);
-    ++hits_;
+  auto it = ch.map.find(page);
+  if (it != ch.map.end()) {
+    Touch(&ch, page);
+    ++ch.hits;
     result.latency_us = latency_.os_cache_copy_us;
     result.source = AccessSource::kOsCache;
     // A cache hit still counts as progress for readahead detection, so a
     // long scan keeps extending its readahead run.
-    last_page_[page.object_id] = page.page_no;
+    ch.last_page[page.object_id] = page.page_no;
     return result;
   }
 
-  auto last_it = last_page_.find(page.object_id);
+  auto last_it = ch.last_page.find(page.object_id);
   const bool sequential =
-      last_it != last_page_.end() && page.page_no == last_it->second + 1;
-  last_page_[page.object_id] = page.page_no;
+      last_it != ch.last_page.end() && page.page_no == last_it->second + 1;
+  ch.last_page[page.object_id] = page.page_no;
 
   result.latency_us =
       sequential ? latency_.disk_seq_read_us : latency_.disk_random_read_us;
   result.source =
       sequential ? AccessSource::kDiskSequential : AccessSource::kDiskRandom;
 
-  if (injector_ != nullptr) {
-    const DiskReadFault fault = injector_->OnDiskRead(result.latency_us);
+  if (ch.injector != nullptr) {
+    const DiskReadFault fault = ch.injector->OnDiskRead(result.latency_us);
     if (fault.transient_error) {
-      ++failed_reads_;
+      ++ch.failed_reads;
       PYTHIA_TRACE_INSTANT_CTX("storage", "read.error", "obj", page.object_id,
                                "page", page.page_no);
       return Status::IoError("transient disk read error");
@@ -41,11 +82,11 @@ Result<OsReadResult> OsPageCache::Read(PageId page) {
 
   // With a device attached the returned image is verified before anything
   // is cached; a corrupt image is discarded, never served.
-  if (disk_ != nullptr) {
-    const Result<SimulatedDisk::PageImage> image = disk_->ReadPage(page);
+  if (ch.disk != nullptr) {
+    const Result<SimulatedDisk::PageImage> image = ch.disk->ReadPage(page);
     if (!image.ok()) {
-      ++corrupt_reads_;
-      ++failed_reads_;
+      ++ch.corrupt_reads;
+      ++ch.failed_reads;
       PYTHIA_TRACE_INSTANT_CTX("storage", "read.corrupt", "obj",
                                page.object_id, "page", page.page_no);
       return image.status();
@@ -53,58 +94,131 @@ Result<OsReadResult> OsPageCache::Read(PageId page) {
   }
 
   if (sequential) {
-    ++sequential_reads_;
+    ++ch.sequential_reads;
     // The kernel reads ahead: the next `readahead_pages` pages of this file
     // land in the cache and will be served as memory copies. Each readahead
     // image is its own device read and is verified too — the kernel drops
     // (rather than caches) one that fails its checksum, so a later hit on a
     // readahead page is always a hit on verified bytes. Under governor
     // suppression (kNoPrefetch rung) the scan still pays sequential device
-    // time but nothing is pulled ahead.
+    // time but nothing is pulled ahead. Readahead pages share the object id
+    // and therefore always land on this same channel.
     const uint32_t ahead_pages =
-        readahead_suppressed_ ? 0 : options_.readahead_pages;
+        readahead_suppressed() ? 0 : options_.readahead_pages;
     for (uint32_t i = 1; i <= ahead_pages; ++i) {
       const PageId ahead{page.object_id, page.page_no + i};
-      if (disk_ != nullptr && map_.count(ahead) == 0) {
-        if (!disk_->ReadPage(ahead).ok()) {
-          ++readahead_dropped_corrupt_;
+      if (ch.disk != nullptr && ch.map.count(ahead) == 0) {
+        if (!ch.disk->ReadPage(ahead).ok()) {
+          ++ch.readahead_dropped_corrupt;
           PYTHIA_TRACE_INSTANT_CTX("storage", "readahead.drop_corrupt", "obj",
                                    ahead.object_id, "page", ahead.page_no);
           continue;
         }
       }
-      Insert(ahead);
+      Insert(&ch, ahead);
     }
   } else {
-    ++random_reads_;
+    ++ch.random_reads;
   }
-  Insert(page);
+  Insert(&ch, page);
   return result;
 }
 
 void OsPageCache::DropCaches() {
-  lru_.clear();
-  map_.clear();
-  last_page_.clear();
+  for (auto& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    ch->lru.clear();
+    ch->map.clear();
+    ch->last_page.clear();
+  }
 }
 
-void OsPageCache::Insert(PageId page) {
-  auto it = map_.find(page);
-  if (it != map_.end()) {
-    Touch(page);
+bool OsPageCache::Contains(PageId page) const {
+  const Channel& ch = *channels_[ChannelOf(page)];
+  std::lock_guard<std::mutex> lock(ch.mu);
+  return ch.map.count(page) > 0;
+}
+
+size_t OsPageCache::cached_pages() const {
+  size_t n = 0;
+  for (const auto& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    n += ch->map.size();
+  }
+  return n;
+}
+
+uint64_t OsPageCache::hits() const {
+  uint64_t n = 0;
+  for (const auto& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    n += ch->hits;
+  }
+  return n;
+}
+
+uint64_t OsPageCache::sequential_reads() const {
+  uint64_t n = 0;
+  for (const auto& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    n += ch->sequential_reads;
+  }
+  return n;
+}
+
+uint64_t OsPageCache::random_reads() const {
+  uint64_t n = 0;
+  for (const auto& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    n += ch->random_reads;
+  }
+  return n;
+}
+
+uint64_t OsPageCache::failed_reads() const {
+  uint64_t n = 0;
+  for (const auto& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    n += ch->failed_reads;
+  }
+  return n;
+}
+
+uint64_t OsPageCache::corrupt_reads() const {
+  uint64_t n = 0;
+  for (const auto& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    n += ch->corrupt_reads;
+  }
+  return n;
+}
+
+uint64_t OsPageCache::readahead_dropped_corrupt() const {
+  uint64_t n = 0;
+  for (const auto& ch : channels_) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    n += ch->readahead_dropped_corrupt;
+  }
+  return n;
+}
+
+void OsPageCache::Insert(Channel* ch, PageId page) {
+  auto it = ch->map.find(page);
+  if (it != ch->map.end()) {
+    Touch(ch, page);
     return;
   }
-  lru_.push_front(page);
-  map_[page] = lru_.begin();
-  while (map_.size() > options_.capacity_pages) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
+  ch->lru.push_front(page);
+  ch->map[page] = ch->lru.begin();
+  while (ch->map.size() > ch->capacity) {
+    ch->map.erase(ch->lru.back());
+    ch->lru.pop_back();
   }
 }
 
-void OsPageCache::Touch(PageId page) {
-  auto it = map_.find(page);
-  lru_.splice(lru_.begin(), lru_, it->second);
+void OsPageCache::Touch(Channel* ch, PageId page) {
+  auto it = ch->map.find(page);
+  ch->lru.splice(ch->lru.begin(), ch->lru, it->second);
 }
 
 }  // namespace pythia

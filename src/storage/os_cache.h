@@ -1,15 +1,33 @@
-// Simulated OS page cache with Linux-style sequential readahead.
+// Simulated OS page cache with Linux-style sequential readahead, striped
+// into independent channels.
 //
 // Postgres "relies heavily on OS readahead" (Section 4): a sequential scan's
 // page reads mostly hit the OS cache because the kernel detects the pattern
 // and reads ahead. The Pythia prefetcher also exploits this by issuing its
 // prefetches in file-offset order, so runs of adjacent predicted pages cost
 // one seek plus cheap follow-on reads. This class reproduces both effects.
+//
+// Channel striping (the fleet-scale refactor): the LRU, page map, readahead
+// run state, fault injector, device, and counters are partitioned into
+// `num_channels` independent channels, each behind its own mutex, so
+// concurrent reads against different objects never serialize on one cache
+// lock. Channels are keyed by OBJECT id hash, deliberately not PageId hash:
+// sequential-pattern detection tracks the last page read *per object*, and
+// scattering adjacent pages of one file across channels would make every
+// scan look random and destroy the readahead latency economics. All of one
+// object's pages — and therefore one scan's entire run state — live on one
+// channel. `num_channels = 1` (the default) is the historical single-lock
+// cache, bit-identical on every seed bench; counter accessors sum over
+// channels in index order so aggregates stay deterministic at any width.
 #ifndef PYTHIA_STORAGE_OS_CACHE_H_
 #define PYTHIA_STORAGE_OS_CACHE_H_
 
+#include <atomic>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/fault_injector.h"
 #include "storage/latency_model.h"
@@ -30,37 +48,63 @@ class OsPageCache {
     size_t capacity_pages = 1 << 16;
     // Pages pulled into the cache ahead of a detected sequential read.
     uint32_t readahead_pages = 32;
+    // Independent lock-striped channels keyed by object id hash (see file
+    // comment for why not PageId hash). 1 is the historical single-lock
+    // cache; 0 is treated as 1. Capacity splits round-robin by index.
+    size_t num_channels = 1;
   };
 
-  explicit OsPageCache(const Options& options, const LatencyModel& latency)
-      : options_(options), latency_(latency) {}
+  OsPageCache(const Options& options, const LatencyModel& latency);
 
   // Reads one page through the OS: returns the latency and where it was
-  // served from, updating cache contents and per-object readahead state.
-  // Fallible: with a fault injector attached, a disk read (never a cache
-  // hit) may fail with IoError or absorb a tail-latency spike; with a
-  // SimulatedDisk attached, the returned image is checksum-verified and a
-  // corrupt one fails with DataCorruption instead of being cached. A failed
-  // read leaves the cache contents untouched — the data never arrived (or
-  // was discarded as unverifiable) — but the head movement still updates
-  // the readahead run state.
+  // served from, updating the owning channel's contents and per-object
+  // readahead state. Fallible: with a fault injector attached, a disk read
+  // (never a cache hit) may fail with IoError or absorb a tail-latency
+  // spike; with a SimulatedDisk attached, the returned image is
+  // checksum-verified and a corrupt one fails with DataCorruption instead
+  // of being cached. A failed read leaves the cache contents untouched —
+  // the data never arrived (or was discarded as unverifiable) — but the
+  // head movement still updates the readahead run state.
+  // Thread-safe: takes only the owning channel's mutex.
   Result<OsReadResult> Read(PageId page);
 
-  // Attaches a fault injector consulted on every disk read. May be nullptr
-  // (the default): reads are then infallible. Not owned; must outlive the
-  // cache or be detached first.
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
-  FaultInjector* fault_injector() const { return injector_; }
+  // Attaches a fault injector consulted on every disk read of EVERY
+  // channel. May be nullptr (the default): reads are then infallible. Not
+  // owned; must outlive the cache or be detached first. FaultInjector is
+  // not itself thread-safe — multi-threaded runs with faults enabled must
+  // give each channel its own injector via set_channel_fault_injector so
+  // the channel mutex serializes each stream.
+  void set_fault_injector(FaultInjector* injector);
+  FaultInjector* fault_injector() const {
+    return channels_[0]->injector;
+  }
+  void set_channel_fault_injector(size_t channel, FaultInjector* injector);
+  FaultInjector* channel_fault_injector(size_t channel) const {
+    return channels_[channel]->injector;
+  }
 
-  // Attaches the device with real page images. May be nullptr (the
-  // default): reads are then latency-only and never corrupt. Not owned.
-  // With a disk attached, every image entering the cache — demand reads and
-  // kernel readahead alike — is verified first, so the cache can only ever
-  // serve verified pages.
-  void set_disk(SimulatedDisk* disk) { disk_ = disk; }
-  SimulatedDisk* disk() const { return disk_; }
+  // Foreground-retry backoff for a failed read of `page`, drawn from the
+  // owning channel's injector stream under the channel mutex (so
+  // multi-threaded retries never race on the backoff RNG). 0 when that
+  // channel has no injector.
+  SimTime RetryBackoff(PageId page, const RetryPolicy& policy,
+                       uint32_t attempt);
 
-  // Drops all cached pages and readahead state — `echo 3 >
+  // Attaches the device with real page images to EVERY channel. May be
+  // nullptr (the default): reads are then latency-only and never corrupt.
+  // Not owned. With a disk attached, every image entering the cache —
+  // demand reads and kernel readahead alike — is verified first, so the
+  // cache can only ever serve verified pages. SimulatedDisk mutates its own
+  // stats on reads — multi-threaded runs must give each channel its own
+  // disk (same content seed ⇒ identical images) via set_channel_disk.
+  void set_disk(SimulatedDisk* disk);
+  SimulatedDisk* disk() const { return channels_[0]->disk; }
+  void set_channel_disk(size_t channel, SimulatedDisk* disk);
+  SimulatedDisk* channel_disk(size_t channel) const {
+    return channels_[channel]->disk;
+  }
+
+  // Drops all cached pages and readahead state on every channel — `echo 3 >
   // /proc/sys/vm/drop_caches` between experiment runs.
   void DropCaches();
 
@@ -69,45 +113,67 @@ class OsPageCache {
   // the cache — strictly demand I/O. Run state keeps updating so readahead
   // resumes seamlessly when the ladder recovers.
   void set_readahead_suppressed(bool suppressed) {
-    readahead_suppressed_ = suppressed;
+    readahead_suppressed_.store(suppressed, std::memory_order_relaxed);
   }
-  bool readahead_suppressed() const { return readahead_suppressed_; }
-
-  bool Contains(PageId page) const { return map_.count(page) > 0; }
-  size_t cached_pages() const { return map_.size(); }
-
-  // Cumulative counters for tests/diagnostics.
-  uint64_t hits() const { return hits_; }
-  uint64_t sequential_reads() const { return sequential_reads_; }
-  uint64_t random_reads() const { return random_reads_; }
-  uint64_t failed_reads() const { return failed_reads_; }
-  uint64_t corrupt_reads() const { return corrupt_reads_; }
-  uint64_t readahead_dropped_corrupt() const {
-    return readahead_dropped_corrupt_;
+  bool readahead_suppressed() const {
+    return readahead_suppressed_.load(std::memory_order_relaxed);
   }
+
+  bool Contains(PageId page) const;
+  size_t cached_pages() const;
+
+  size_t num_channels() const { return channels_.size(); }
+  // Which channel owns `page` — a pure function of its OBJECT id.
+  size_t ChannelOf(PageId page) const {
+    if (channels_.size() == 1) return 0;
+    uint64_t x = page.object_id;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x % channels_.size());
+  }
+
+  // Cumulative counters for tests/diagnostics, summed over channels in
+  // channel index order.
+  uint64_t hits() const;
+  uint64_t sequential_reads() const;
+  uint64_t random_reads() const;
+  uint64_t failed_reads() const;
+  uint64_t corrupt_reads() const;
+  uint64_t readahead_dropped_corrupt() const;
 
  private:
-  void Insert(PageId page);
-  void Touch(PageId page);
+  struct Channel {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    FaultInjector* injector = nullptr;
+    SimulatedDisk* disk = nullptr;
+
+    // LRU: most recent at front.
+    std::list<PageId> lru;
+    std::unordered_map<PageId, std::list<PageId>::iterator> map;
+    // Last page read per object, for sequential-pattern detection. Every
+    // page of an object maps to this channel, so the run state is complete.
+    std::unordered_map<ObjectId, uint32_t> last_page;
+
+    uint64_t hits = 0;
+    uint64_t sequential_reads = 0;
+    uint64_t random_reads = 0;
+    uint64_t failed_reads = 0;
+    uint64_t corrupt_reads = 0;             // demand reads failing verify
+    uint64_t readahead_dropped_corrupt = 0; // readahead pages not cached
+  };
+
+  // Caller holds the channel mutex.
+  static void Insert(Channel* ch, PageId page);
+  static void Touch(Channel* ch, PageId page);
 
   Options options_;
   LatencyModel latency_;
-  FaultInjector* injector_ = nullptr;
-  SimulatedDisk* disk_ = nullptr;
-  bool readahead_suppressed_ = false;
-
-  // LRU: most recent at front.
-  std::list<PageId> lru_;
-  std::unordered_map<PageId, std::list<PageId>::iterator> map_;
-  // Last page read per object, for sequential-pattern detection.
-  std::unordered_map<ObjectId, uint32_t> last_page_;
-
-  uint64_t hits_ = 0;
-  uint64_t sequential_reads_ = 0;
-  uint64_t random_reads_ = 0;
-  uint64_t failed_reads_ = 0;
-  uint64_t corrupt_reads_ = 0;             // demand reads failing verification
-  uint64_t readahead_dropped_corrupt_ = 0; // readahead pages not cached
+  std::atomic<bool> readahead_suppressed_{false};
+  std::vector<std::unique_ptr<Channel>> channels_;
 };
 
 }  // namespace pythia

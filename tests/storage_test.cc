@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "storage/io_scheduler.h"
 #include "storage/latency_model.h"
 #include "storage/os_cache.h"
@@ -159,6 +161,93 @@ TEST(IoSchedulerTest, ResetClearsTimelines) {
 TEST(IoSchedulerTest, ZeroChannelsClampedToOne) {
   IoScheduler io(0);
   EXPECT_EQ(io.num_channels(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Striped OS cache channels.
+// ---------------------------------------------------------------------------
+
+TEST(StripedOsCacheTest, ChannelsKeyedByObjectId) {
+  LatencyModel latency;
+  OsPageCache cache(
+      OsPageCache::Options{.capacity_pages = 256, .num_channels = 4},
+      latency);
+  EXPECT_EQ(cache.num_channels(), 4u);
+  // Every page of an object lands on the same channel — the invariant that
+  // keeps sequential-run detection whole. PageId-hash keying would break it.
+  for (ObjectId obj = 1; obj < 20; ++obj) {
+    const size_t channel = cache.ChannelOf(PageId{obj, 0});
+    for (uint32_t p = 1; p < 50; ++p) {
+      EXPECT_EQ(cache.ChannelOf(PageId{obj, p}), channel);
+    }
+  }
+}
+
+TEST(StripedOsCacheTest, SequentialDetectionSurvivesStriping) {
+  LatencyModel latency;
+  OsPageCache cache(OsPageCache::Options{.capacity_pages = 1024,
+                                         .readahead_pages = 4,
+                                         .num_channels = 4},
+                    latency);
+  // Interleave scans of several objects (they hash to various channels):
+  // each scan's run must still be detected as sequential from its second
+  // page on, exactly as with the unstriped cache.
+  for (uint32_t p = 0; p < 8; ++p) {
+    for (ObjectId obj = 1; obj <= 6; ++obj) {
+      const OsReadResult r = *cache.Read(PageId{obj, p});
+      if (p == 0) {
+        EXPECT_EQ(r.source, AccessSource::kDiskRandom) << "obj " << obj;
+      } else {
+        // Page p is either a readahead hit or (first page past the window)
+        // a detected-sequential device read — never a random read.
+        EXPECT_NE(r.source, AccessSource::kDiskRandom)
+            << "obj " << obj << " page " << p;
+      }
+    }
+  }
+  EXPECT_EQ(cache.random_reads(), 6u);  // one cold start per object
+}
+
+TEST(StripedOsCacheTest, CountersSumOverChannels) {
+  LatencyModel latency;
+  OsPageCache cache(
+      OsPageCache::Options{.capacity_pages = 512,
+                           .readahead_pages = 0,
+                           .num_channels = 3},
+      latency);
+  for (ObjectId obj = 1; obj <= 9; ++obj) {
+    cache.Read(PageId{obj, 0});     // random
+    cache.Read(PageId{obj, 1});     // sequential
+    cache.Read(PageId{obj, 0});     // hit
+  }
+  EXPECT_EQ(cache.random_reads(), 9u);
+  EXPECT_EQ(cache.sequential_reads(), 9u);
+  EXPECT_EQ(cache.hits(), 9u);
+  EXPECT_EQ(cache.cached_pages(), 18u);
+  cache.DropCaches();
+  EXPECT_EQ(cache.cached_pages(), 0u);
+  // Counters are cumulative, not cleared by DropCaches.
+  EXPECT_EQ(cache.hits(), 9u);
+}
+
+TEST(StripedOsCacheTest, SingleChannelMatchesStripedOnSameTrace) {
+  // Same read sequence against 1 and 4 channels: per-read outcomes must be
+  // identical (striping partitions state, it must not change semantics).
+  LatencyModel latency;
+  auto run = [&](size_t channels) {
+    OsPageCache cache(OsPageCache::Options{.capacity_pages = 1024,
+                                           .readahead_pages = 8,
+                                           .num_channels = channels},
+                      latency);
+    std::vector<AccessSource> sources;
+    for (uint32_t p = 0; p < 20; ++p) {
+      for (ObjectId obj = 1; obj <= 5; ++obj) {
+        sources.push_back((*cache.Read(PageId{obj, p})).source);
+      }
+    }
+    return sources;
+  };
+  EXPECT_EQ(run(1), run(4));
 }
 
 TEST(LatencyModelTest, DefaultOrdering) {
