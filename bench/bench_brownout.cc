@@ -1,0 +1,447 @@
+// Gray-failure (brownout) resilience sweep: hedged vs unhedged reads.
+//
+// Fail-stop faults (errors, corruption) were covered by bench_fault_tolerance
+// and bench_integrity; this bench covers the failures that DON'T fail — a
+// storage channel that silently serves every read N times slower. One channel
+// of the striped cache is browned out over a severity x duration grid while a
+// foreground workload keeps reading through it, and the hedged arm (per-
+// channel health tracking + deadline hedges, storage/channel_health.h) is
+// compared against the unhedged arm on foreground p99 over the brownout-
+// active span. The victim channel carries ~3% of the traffic, so the 5%
+// global hedge budget covers it — exactly the regime hedging is for: a rare-
+// but-slow channel poisoning the tail of an otherwise healthy workload.
+//
+// Self-checking, exit 1 on violation:
+//  - efficacy: at severity 10x (longest duration), hedged foreground p99
+//    must be at least 2x better than unhedged;
+//  - budget conservation: in every hedged arm, hedges_issued <=
+//    budget_fraction x reads_observed, and every issued hedge is accounted
+//    won or wasted;
+//  - injection accounting: each browned arm injects exactly `duration`
+//    brownout reads, all of them on the victim channel;
+//  - determinism: the severity-10 hedged arm reruns bit-identical (p99,
+//    virtual elapsed, hedge counters);
+//  - healthy-path overhead: with no brownout, enabling health tracking +
+//    hedging must not change virtual elapsed by more than 2% (it should
+//    change it by exactly zero: no deadline is ever exceeded);
+//  - breaker timeline: with per-channel breakers armed, a finite brownout
+//    must produce at least one quarantine AND at least one reinstatement
+//    after the channel recovers.
+//
+// Results land in BENCH_brownout.json. `--smoke` shrinks the sweep for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/channel_breaker.h"
+#include "core/replay.h"
+#include "storage/channel_health.h"
+#include "util/table_printer.h"
+
+#include "bench/json_writer.h"
+
+namespace pythia {
+namespace {
+
+struct BrownoutConfig {
+  size_t channels = 4;
+  size_t warmup_accesses = 1024;  // fills every channel's health window
+  size_t tail_accesses = 1024;    // post-brownout recovery runway
+  size_t victim_period = 32;      // 1 in 32 accesses hits the victim channel
+  uint64_t window_samples = 8;
+  double hedge_budget_fraction = 0.05;
+  std::vector<double> severities = {2.0, 5.0, 10.0};
+  std::vector<uint64_t> durations = {32, 128};  // in victim-channel reads
+  uint64_t seed = 20260808;
+};
+
+SimOptions BaseSim(const BrownoutConfig& cfg, bool health, bool hedging) {
+  SimOptions sim;
+  sim.buffer_pages = 64;
+  sim.os_cache_pages = 64;
+  sim.os_readahead_pages = 0;
+  sim.storage_channels = cfg.channels;
+  sim.channel_health.enabled = health;
+  sim.channel_health.window_samples = cfg.window_samples;
+  sim.channel_health.hedging_enabled = hedging;
+  sim.channel_health.hedge_budget_fraction = cfg.hedge_budget_fraction;
+  return sim;
+}
+
+SimOptions BrownedSim(const BrownoutConfig& cfg, bool hedging, double severity,
+                      uint64_t duration) {
+  SimOptions sim = BaseSim(cfg, /*health=*/true, hedging);
+  if (severity > 1.0) {
+    sim.faults.brownout_latency_mult = severity;
+    // The brownout starts once the victim's own device-read ordinal passes
+    // its warmup share: the health window is warm when the slowness begins.
+    sim.faults.brownout_start_read = cfg.warmup_accesses / cfg.victim_period;
+    sim.faults.brownout_duration_reads = duration;
+    sim.faults.seed = cfg.seed;
+    sim.brownout_channel = 0;  // the victim; scoping confines injection
+  }
+  return sim;
+}
+
+// Every access is a cold 900us random device read: unique stride-3 pages
+// (defeats both caches and sequential detection), one object per channel so
+// the stripe mapping is explicit. Every `victim_period`-th access goes to
+// the victim channel (channel 0); the rest round-robin the healthy ones.
+std::vector<PageId> MakeTrace(const BrownoutConfig& cfg, size_t accesses) {
+  SimEnvironment probe(BaseSim(cfg, false, false));
+  ObjectId victim_obj = 0;
+  std::vector<ObjectId> healthy;
+  std::vector<bool> covered(cfg.channels, false);
+  for (ObjectId obj = 1; healthy.size() < cfg.channels - 1 || victim_obj == 0;
+       ++obj) {
+    const size_t c = probe.os_cache().ChannelOf(PageId{obj, 0});
+    if (c == 0) {
+      if (victim_obj == 0) victim_obj = obj;
+    } else if (!covered[c]) {
+      covered[c] = true;
+      healthy.push_back(obj);
+    }
+  }
+  std::vector<PageId> trace;
+  trace.reserve(accesses);
+  std::vector<uint32_t> next_page(cfg.channels + healthy.size(), 0);
+  size_t healthy_rr = 0;
+  for (size_t i = 0; i < accesses; ++i) {
+    ObjectId obj;
+    size_t slot;
+    if (i % cfg.victim_period == cfg.victim_period - 1) {
+      obj = victim_obj;
+      slot = 0;
+    } else {
+      slot = 1 + healthy_rr;
+      obj = healthy[healthy_rr];
+      healthy_rr = (healthy_rr + 1) % healthy.size();
+    }
+    trace.push_back(PageId{obj, 3 * next_page[slot]++});
+  }
+  return trace;
+}
+
+struct ArmOutcome {
+  double p99_us = 0.0;        // foreground p99 over the brownout-active span
+  uint64_t span_accesses = 0;
+  uint64_t browned_reads = 0;  // injector-tagged reads inside the span
+  uint64_t elapsed_us = 0;     // total virtual time, whole run
+  double wall_ms = 0.0;
+  uint64_t hedges_issued = 0;
+  uint64_t hedges_won = 0;
+  uint64_t hedges_wasted = 0;
+  uint64_t hedges_denied = 0;
+  uint64_t reads_observed = 0;
+  uint64_t quarantines = 0;
+  uint64_t reinstatements = 0;
+};
+
+double Percentile(std::vector<SimTime> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx =
+      static_cast<size_t>(q * static_cast<double>(v.size() - 1) + 0.5);
+  return static_cast<double>(v[idx]);
+}
+
+// Replays the trace access by access through the buffer pool, tagging each
+// access that consumed a brownout-injected device read via the victim
+// injector's counter delta. Device-read ordinals are identical across the
+// hedged and unhedged arms (a hedge never touches the victim's injector), so
+// both arms tag the same span and the p99s compare like for like.
+ArmOutcome RunArm(const SimOptions& sim, const std::vector<PageId>& trace,
+                  bool drive_breakers) {
+  SimEnvironment env(sim);
+  const FaultInjector* victim =
+      env.os_cache().channel_fault_injector(0);
+  ArmOutcome out;
+  std::vector<SimTime> latencies(trace.size(), 0);
+  int64_t first_browned = -1, last_browned = -1;
+  SimTime now = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const uint64_t before =
+        victim != nullptr ? victim->stats().injected_brownout_reads : 0;
+    const Result<FetchResult> r = env.pool().FetchPage(trace[i], now);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAIL: fetch error at access %zu: %s\n", i,
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    now += r->latency_us;
+    latencies[i] = r->latency_us;
+    const uint64_t after =
+        victim != nullptr ? victim->stats().injected_brownout_reads : 0;
+    if (after > before) {
+      ++out.browned_reads;
+      if (first_browned < 0) first_browned = static_cast<int64_t>(i);
+      last_browned = static_cast<int64_t>(i);
+    }
+    if (drive_breakers && env.channel_breakers() != nullptr) {
+      // Stand-in for the prefetcher's admission check: one speculative-read
+      // admission probe against the victim channel per foreground access.
+      env.channel_breakers()->AllowSpeculative(0);
+    }
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  out.elapsed_us = now;
+  if (first_browned >= 0) {
+    const std::vector<SimTime> span(
+        latencies.begin() + first_browned,
+        latencies.begin() + last_browned + 1);
+    out.span_accesses = span.size();
+    out.p99_us = Percentile(span, 0.99);
+  } else {
+    out.span_accesses = trace.size();
+    out.p99_us = Percentile(latencies, 0.99);
+  }
+  if (env.channel_health() != nullptr) {
+    const ChannelHealthCounters c = env.channel_health()->counters();
+    out.hedges_issued = c.hedges_issued;
+    out.hedges_won = c.hedges_won;
+    out.hedges_wasted = c.hedges_wasted;
+    out.hedges_denied = c.hedges_denied_budget;
+    out.reads_observed = c.reads_observed;
+    // Conservation gates: the budget is an invariant, not a hint.
+    if (static_cast<double>(c.hedges_issued) >
+        sim.channel_health.hedge_budget_fraction *
+            static_cast<double>(c.reads_observed)) {
+      std::fprintf(stderr,
+                   "FAIL: hedge budget violated (issued=%llu reads=%llu "
+                   "fraction=%.3f)\n",
+                   static_cast<unsigned long long>(c.hedges_issued),
+                   static_cast<unsigned long long>(c.reads_observed),
+                   sim.channel_health.hedge_budget_fraction);
+      std::exit(1);
+    }
+    if (c.hedges_issued != c.hedges_won + c.hedges_wasted) {
+      std::fprintf(stderr, "FAIL: hedge accounting leak (issued=%llu "
+                           "won=%llu wasted=%llu)\n",
+                   static_cast<unsigned long long>(c.hedges_issued),
+                   static_cast<unsigned long long>(c.hedges_won),
+                   static_cast<unsigned long long>(c.hedges_wasted));
+      std::exit(1);
+    }
+  }
+  if (env.channel_breakers() != nullptr) {
+    const ChannelBreakerStats s = env.channel_breakers()->stats();
+    out.quarantines = s.quarantines + s.requarantines;
+    out.reinstatements = s.reinstatements;
+  }
+  if (env.pool().pinned_frames() != 0) {
+    std::fprintf(stderr, "FAIL: leaked pins\n");
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace pythia
+
+int main(int argc, char** argv) {
+  using namespace pythia;
+  using bench::JsonWriter;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  BrownoutConfig cfg;
+  if (smoke) {
+    cfg.severities = {10.0};
+    cfg.durations = {32};
+  }
+
+  std::printf(
+      "brownout bench: %zu channels, victim carries 1/%zu of reads, hedge "
+      "budget %.0f%%%s\n",
+      cfg.channels, cfg.victim_period, 100.0 * cfg.hedge_budget_fraction,
+      smoke ? " [smoke]" : "");
+
+  struct SweepRow {
+    double severity;
+    uint64_t duration;
+    ArmOutcome unhedged, hedged;
+  };
+  std::vector<SweepRow> rows;
+  double gate_speedup = 0.0;  // severity-10, longest-duration speedup
+
+  for (double severity : cfg.severities) {
+    for (uint64_t duration : cfg.durations) {
+      const size_t accesses = cfg.warmup_accesses +
+                              cfg.victim_period * duration +
+                              cfg.tail_accesses;
+      const std::vector<PageId> trace = MakeTrace(cfg, accesses);
+      SweepRow row;
+      row.severity = severity;
+      row.duration = duration;
+      row.unhedged = RunArm(BrownedSim(cfg, false, severity, duration), trace,
+                            false);
+      row.hedged = RunArm(BrownedSim(cfg, true, severity, duration), trace,
+                          false);
+      for (const ArmOutcome* arm : {&row.unhedged, &row.hedged}) {
+        if (arm->browned_reads != duration) {
+          std::fprintf(stderr,
+                       "FAIL: injection accounting (severity=%.0f duration="
+                       "%llu): tagged %llu browned reads\n",
+                       severity, static_cast<unsigned long long>(duration),
+                       static_cast<unsigned long long>(arm->browned_reads));
+          return 1;
+        }
+      }
+      if (severity == cfg.severities.back() &&
+          duration == cfg.durations.back()) {
+        gate_speedup = row.unhedged.p99_us / row.hedged.p99_us;
+      }
+      rows.push_back(row);
+    }
+  }
+
+  // Determinism: the headline arm reruns bit-identical.
+  {
+    const uint64_t duration = cfg.durations.back();
+    const double severity = cfg.severities.back();
+    const size_t accesses = cfg.warmup_accesses +
+                            cfg.victim_period * duration + cfg.tail_accesses;
+    const std::vector<PageId> trace = MakeTrace(cfg, accesses);
+    const SimOptions sim = BrownedSim(cfg, true, severity, duration);
+    const ArmOutcome a = RunArm(sim, trace, false);
+    const ArmOutcome b = RunArm(sim, trace, false);
+    if (a.p99_us != b.p99_us || a.elapsed_us != b.elapsed_us ||
+        a.hedges_issued != b.hedges_issued || a.hedges_won != b.hedges_won) {
+      std::fprintf(stderr, "FAIL: hedged rerun not bit-identical\n");
+      return 1;
+    }
+  }
+
+  // Healthy-path overhead: no brownout, tracker+hedging on vs fully off.
+  const size_t healthy_accesses = cfg.warmup_accesses + 2048;
+  const std::vector<PageId> healthy_trace = MakeTrace(cfg, healthy_accesses);
+  const ArmOutcome plain =
+      RunArm(BaseSim(cfg, /*health=*/false, /*hedging=*/false), healthy_trace,
+             false);
+  const ArmOutcome tracked =
+      RunArm(BaseSim(cfg, /*health=*/true, /*hedging=*/true), healthy_trace,
+             false);
+  const double overhead =
+      static_cast<double>(tracked.elapsed_us) /
+          static_cast<double>(plain.elapsed_us) -
+      1.0;
+  if (overhead > 0.02) {
+    std::fprintf(stderr,
+                 "FAIL: healthy-path virtual overhead %.2f%% > 2%% "
+                 "(%llu -> %llu us)\n",
+                 100.0 * overhead,
+                 static_cast<unsigned long long>(plain.elapsed_us),
+                 static_cast<unsigned long long>(tracked.elapsed_us));
+    return 1;
+  }
+  if (tracked.hedges_issued != 0) {
+    std::fprintf(stderr, "FAIL: %llu spurious hedges on the healthy path\n",
+                 static_cast<unsigned long long>(tracked.hedges_issued));
+    return 1;
+  }
+
+  // Breaker timeline: finite brownout with breakers armed must quarantine
+  // the victim and reinstate it after recovery.
+  const uint64_t breaker_duration = cfg.durations.back();
+  const size_t breaker_accesses = cfg.warmup_accesses +
+                                  cfg.victim_period * breaker_duration +
+                                  cfg.tail_accesses;
+  SimOptions breaker_sim =
+      BrownedSim(cfg, true, cfg.severities.back(), breaker_duration);
+  breaker_sim.channel_breakers = true;
+  const ArmOutcome breaker =
+      RunArm(breaker_sim, MakeTrace(cfg, breaker_accesses), true);
+  if (breaker.quarantines < 1 || breaker.reinstatements < 1) {
+    std::fprintf(stderr,
+                 "FAIL: breaker timeline (quarantines=%llu "
+                 "reinstatements=%llu)\n",
+                 static_cast<unsigned long long>(breaker.quarantines),
+                 static_cast<unsigned long long>(breaker.reinstatements));
+    return 1;
+  }
+
+  TablePrinter table({"severity", "duration", "unhedged_p99", "hedged_p99",
+                      "speedup", "hedges", "won", "denied"});
+  for (const SweepRow& row : rows) {
+    table.AddRow({TablePrinter::Num(row.severity, 0),
+                  std::to_string(row.duration),
+                  TablePrinter::Num(row.unhedged.p99_us, 0),
+                  TablePrinter::Num(row.hedged.p99_us, 0),
+                  TablePrinter::Num(row.unhedged.p99_us / row.hedged.p99_us, 2),
+                  std::to_string(row.hedged.hedges_issued),
+                  std::to_string(row.hedged.hedges_won),
+                  std::to_string(row.hedged.hedges_denied)});
+  }
+  table.Print();
+  std::printf("healthy-path virtual overhead: %.3f%%; breaker timeline: %llu "
+              "quarantined, %llu reinstated\n",
+              100.0 * overhead,
+              static_cast<unsigned long long>(breaker.quarantines),
+              static_cast<unsigned long long>(breaker.reinstatements));
+
+  if (gate_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: severity-10 hedged p99 speedup %.2fx < 2x\n",
+                 gate_speedup);
+    return 1;
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "brownout");
+  json.Field("smoke", smoke);
+  json.Field("channels", static_cast<uint64_t>(cfg.channels));
+  json.Field("victim_period", static_cast<uint64_t>(cfg.victim_period));
+  json.Field("hedge_budget_fraction", cfg.hedge_budget_fraction);
+  json.Key("sweep").BeginArray();
+  for (const SweepRow& row : rows) {
+    json.BeginObject();
+    json.Field("severity", row.severity);
+    json.Field("duration_reads", row.duration);
+    json.Field("span_accesses", row.unhedged.span_accesses);
+    json.Field("unhedged_p99_us", row.unhedged.p99_us);
+    json.Field("hedged_p99_us", row.hedged.p99_us);
+    json.Field("p99_speedup", row.unhedged.p99_us / row.hedged.p99_us);
+    json.Field("unhedged_elapsed_us", row.unhedged.elapsed_us);
+    json.Field("hedged_elapsed_us", row.hedged.elapsed_us);
+    json.Field("hedges_issued", row.hedged.hedges_issued);
+    json.Field("hedges_won", row.hedged.hedges_won);
+    json.Field("hedges_wasted", row.hedged.hedges_wasted);
+    json.Field("hedges_denied_by_budget", row.hedged.hedges_denied);
+    json.Field("reads_observed", row.hedged.reads_observed);
+    json.Field("unhedged_wall_ms", row.unhedged.wall_ms);
+    json.Field("hedged_wall_ms", row.hedged.wall_ms);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("healthy_path").BeginObject();
+  json.Field("plain_elapsed_us", plain.elapsed_us);
+  json.Field("tracked_elapsed_us", tracked.elapsed_us);
+  json.Field("virtual_overhead", overhead);
+  json.Field("plain_wall_ms", plain.wall_ms);
+  json.Field("tracked_wall_ms", tracked.wall_ms);
+  json.EndObject();
+  json.Key("breaker").BeginObject();
+  json.Field("quarantines", breaker.quarantines);
+  json.Field("reinstatements", breaker.reinstatements);
+  json.Field("hedges_issued", breaker.hedges_issued);
+  json.EndObject();
+  json.Field("severity10_p99_speedup", gate_speedup);
+  json.Field("deterministic", true);
+  json.EndObject();
+  if (!json.WriteToFile("BENCH_brownout.json")) {
+    std::fprintf(stderr, "warning: could not write BENCH_brownout.json\n");
+    return 0;
+  }
+  std::printf("wrote BENCH_brownout.json\n");
+  return 0;
+}

@@ -71,4 +71,15 @@ if [[ "${MODE}" == thread ]]; then
       --gtest_filter='ShardedPoolTest.*' --gtest_repeat=5
   cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_shard
   "${BUILD_DIR}/bench/bench_shard" --smoke
+
+  # Hedged-read soak: the gray-failure layer under genuine concurrency — the
+  # ChannelHealthTracker's lock-free summary atomics, the global hedge-budget
+  # counters and the ChannelBreakerBoard mutex all cross-talk between fleet
+  # threads while one channel is browned out. Repeats vary the interleavings;
+  # the brownout bench smoke re-checks budget conservation under TSan timing.
+  "${BUILD_DIR}/tests/channel_health_test" \
+      --gtest_filter='GrayFailureEndToEndTest.HedgeSoakParallelFleet' \
+      --gtest_repeat=5
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_brownout
+  "${BUILD_DIR}/bench/bench_brownout" --smoke
 fi

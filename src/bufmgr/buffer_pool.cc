@@ -3,6 +3,7 @@
 #include <chrono>
 #include <string>
 
+#include "util/metrics_registry.h"
 #include "util/trace.h"
 
 namespace pythia {
@@ -45,6 +46,8 @@ void AccumulateStats(BufferPoolStats* into, const BufferPoolStats& from) {
   into->read_retries += from.read_retries;
   into->corrupt_retries += from.corrupt_retries;
   into->failed_fetches += from.failed_fetches;
+  into->hedged_reads += from.hedged_reads;
+  into->hedge_wins += from.hedge_wins;
 }
 
 BufferPool::Guard::Guard(const BufferPool* pool, Shard* shard, bool profile)
@@ -144,6 +147,8 @@ Result<FetchResult> BufferPool::FetchPage(PageId page, SimTime now) {
       result.prefetch_wait_us = f.arrival - now;
       shard.stats.prefetch_wait_us += result.prefetch_wait_us;
       ++shard.stats.prefetch_wait_hits;
+      MetricsRegistry::Global().counter("bufmgr.prefetch_wait_hits")
+          .Increment();
       PYTHIA_TRACE_INSTANT("bufmgr", "prefetch.wait", now, "wait_us",
                            result.prefetch_wait_us, "page", page.page_no);
     }
@@ -198,6 +203,18 @@ Result<FetchResult> BufferPool::FetchPage(PageId page, SimTime now) {
   }
   result.latency_us = retry_penalty_us + os.latency_us;
   result.source = os.source;
+  if (os.hedged) {
+    result.hedged = true;
+    result.hedge_won = os.hedge_won;
+    ++shard.stats.hedged_reads;
+    if (os.hedge_won) ++shard.stats.hedge_wins;
+    // The hedge gets its own span on the async I/O lane: it starts when the
+    // primary blew its deadline and runs for its own device service time,
+    // so a trace shows the overlap with the still-outstanding primary.
+    PYTHIA_TRACE_IO_SPAN("io", "hedge", now + os.hedge_deadline_us,
+                         now + os.hedge_deadline_us + os.hedge_latency_us,
+                         "channel", os.hedge_channel, "won", os.hedge_won);
+  }
   // One span per demand miss that reached the device, on the executor lane:
   // the query is blocked from `now` for the whole retry + read latency.
   // OS-cache copies are deliberately not recorded — they are the hot

@@ -70,6 +70,10 @@ struct FetchResult {
   // Failed read attempts absorbed before this fetch succeeded; their device
   // time and backoff are already folded into `latency_us`.
   uint32_t retries = 0;
+  // A gray-failure hedge was issued for this fetch (storage/channel_health.h);
+  // hedge_won means the hedge completed first and latency_us reflects it.
+  bool hedged = false;
+  bool hedge_won = false;
 };
 
 struct BufferPoolStats {
@@ -91,6 +95,8 @@ struct BufferPoolStats {
   uint64_t read_retries = 0;        // failed foreground attempts retried
   uint64_t corrupt_retries = 0;     // of those, checksum/verification failures
   uint64_t failed_fetches = 0;      // fetches that exhausted the retry budget
+  uint64_t hedged_reads = 0;        // foreground misses that issued a hedge
+  uint64_t hedge_wins = 0;          // of those, hedge beat the slow primary
 };
 
 // Adds `from` into `into`, field by field. Shard merges and replay deltas

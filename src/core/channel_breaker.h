@@ -1,0 +1,102 @@
+// Per-channel brownout breakers: quarantine speculative traffic off slow
+// storage channels.
+//
+// The CircuitBreaker (core/circuit_breaker.h) guards the prefetch path
+// against the *model* going bad; this board guards it against a *channel*
+// going bad — the gray-failure case where one stripe of the storage stack
+// turns 10x slow without ever erroring. Per channel it runs the same
+// closed -> open -> half-open machine, but keyed on the channel-health
+// EWMA score (storage/channel_health.h) instead of error outcomes:
+//
+//  - closed: speculative reads allowed. When the channel's score (EWMA
+//    slowdown vs the healthiest warm channel) reaches `quarantine_score`
+//    — judged only once the channel has `min_samples` of its own and the
+//    tracker has a warm reference — the channel is quarantined.
+//  - open (quarantined): speculative reads are shed (the prefetcher drops
+//    the page and releases its governor pin; the page stays a future miss).
+//    Foreground reads are NOT blocked — a demand read must reach its data
+//    wherever it lives, and it already has retry/backoff and hedging on its
+//    side. The channel keeps being scored by those foreground reads, which
+//    is exactly the probe traffic recovery detection needs. Once the score
+//    falls back to `close_score` the breaker moves to half-open.
+//  - half-open: up to `probe_budget` speculative reads are allowed through
+//    as probes. The budget draining without the score re-degrading closes
+//    the breaker; the score reaching `quarantine_score` again re-opens it.
+//
+// Determinism: transitions are a pure function of the tracker's published
+// scores at each AllowSpeculative call — no clocks, no randomness.
+// Thread-safety: one mutex over the per-channel states; tracker reads are
+// lock-free atomics, so the lock order is trivially acyclic.
+#ifndef PYTHIA_CORE_CHANNEL_BREAKER_H_
+#define PYTHIA_CORE_CHANNEL_BREAKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/circuit_breaker.h"  // BreakerState, BreakerStateName
+#include "storage/channel_health.h"
+
+namespace pythia {
+
+struct ChannelBreakerOptions {
+  // EWMA slowdown (vs the healthiest warm channel) that quarantines a
+  // channel. 4x sits well clear of fleet-typical jitter but trips within
+  // ~15 reads of a 10x brownout at the default EWMA alpha.
+  double quarantine_score = 4.0;
+  // Score a quarantined channel must recover to before probing resumes.
+  // The gap to quarantine_score is the hysteresis band: a channel hovering
+  // between them stays wherever it is, so the breaker cannot flap.
+  double close_score = 1.5;
+  // A channel is never judged before it has this many of its own samples
+  // and the tracker has a warm cross-channel reference.
+  uint64_t min_samples = 16;
+  // Speculative probes admitted while half-open before closing.
+  size_t probe_budget = 8;
+};
+
+struct ChannelBreakerStats {
+  uint64_t quarantines = 0;         // closed -> open transitions
+  uint64_t requarantines = 0;       // half-open -> open (probe phase failed)
+  uint64_t probes = 0;              // speculative reads admitted half-open
+  uint64_t reinstatements = 0;      // half-open -> closed transitions
+  uint64_t speculative_denied = 0;  // prefetch reads shed while open
+};
+
+class ChannelBreakerBoard {
+ public:
+  // `tracker` must outlive the board and cover at least `num_channels()`
+  // channels (the board sizes itself to the tracker).
+  ChannelBreakerBoard(const ChannelBreakerOptions& options,
+                      ChannelHealthTracker* tracker);
+
+  // May a speculative read be issued on `channel` right now? Advances the
+  // channel's state machine against the tracker's current score as a side
+  // effect (the breaker has no other clock than the traffic itself).
+  bool AllowSpeculative(size_t channel);
+
+  BreakerState state(size_t channel) const;
+  size_t num_channels() const { return states_.size(); }
+  ChannelBreakerStats stats() const;
+  const ChannelBreakerOptions& options() const { return options_; }
+
+  // All channels back to closed with zeroed stats (paired experiment arms).
+  void Reset();
+
+ private:
+  struct ChannelSlot {
+    BreakerState state = BreakerState::kClosed;
+    size_t probes_left = 0;
+  };
+
+  ChannelBreakerOptions options_;
+  ChannelHealthTracker* tracker_;
+  mutable std::mutex mu_;
+  std::vector<ChannelSlot> states_;
+  ChannelBreakerStats stats_;
+};
+
+}  // namespace pythia
+
+#endif  // PYTHIA_CORE_CHANNEL_BREAKER_H_

@@ -180,10 +180,15 @@ void PrefetchGovernor::SetRung(DegradationRung next, SimTime now) {
   rung_ = next;
   reg.gauge("overload.rung").Set(static_cast<int64_t>(rung_));
   // The last rung sheds even the kernel's speculation: OS readahead is
-  // suppressed system-wide until the ladder climbs back up.
+  // suppressed system-wide until the ladder climbs back up. Hedged reads
+  // are shed earlier (suppress_hedging_at): under systemic overload a
+  // hedge is extra device work feeding the very queue that is the problem.
   if (os_cache_ != nullptr) {
     os_cache_->set_readahead_suppressed(rung_ ==
                                         DegradationRung::kNoPrefetch);
+    os_cache_->set_hedging_suppressed(
+        static_cast<int>(rung_) >=
+        static_cast<int>(options_.suppress_hedging_at));
   }
   PYTHIA_TRACE_INSTANT("overload", "rung", now, "to",
                        static_cast<uint64_t>(static_cast<int>(rung_)));
@@ -217,6 +222,7 @@ void PrefetchGovernor::Reset() {
   aio_completions_ = {};
   if (rung_ != DegradationRung::kFullNeural && os_cache_ != nullptr) {
     os_cache_->set_readahead_suppressed(false);
+    os_cache_->set_hedging_suppressed(false);
   }
   rung_ = DegradationRung::kFullNeural;
   rung_since_ = 0;

@@ -67,6 +67,13 @@ struct GovernorOptions {
   // Per-channel I/O backlog (virtual µs of queued work) that counts as AIO
   // pressure 1.0 on its own.
   SimTime aio_backlog_full_us = 50000;
+  // Ladder rung at (and past) which hedged reads are suppressed. A hedge
+  // doubles the device work of the read it covers, which is the wrong trade
+  // under systemic overload: the tail is then queueing, not a gray channel,
+  // and hedges would feed the queue. Default kReadahead: hedging survives
+  // the first (cache-only) degradation rung but is shed with learned
+  // prefetch. Set to kNoPrefetch to keep hedging until total shutdown.
+  DegradationRung suppress_hedging_at = DegradationRung::kReadahead;
 };
 
 struct GovernorStats {

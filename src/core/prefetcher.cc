@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/channel_breaker.h"
 #include "core/governor.h"
 #include "util/trace.h"
 
@@ -118,14 +119,31 @@ void PrefetchSession::Pump(SimTime now) {
       ++next_;
       continue;
     }
+    // Brownout shed: a page whose OS-cache channel is quarantined for
+    // speculative traffic is dropped — it stays a future miss, served by
+    // the (hedge-protected) foreground path instead of queueing speculative
+    // work behind a gray-failing channel.
+    if (options_.channel_breakers != nullptr &&
+        !options_.channel_breakers->AllowSpeculative(
+            os_cache_->ChannelOf(page))) {
+      ++stats_.dropped_brownout;
+      if (governor != nullptr) governor->ReleasePin(governor_id_);
+      PYTHIA_TRACE_INSTANT("prefetch", "drop.brownout", now, "obj",
+                           page.object_id, "page", page.page_no);
+      ++next_;
+      continue;
+    }
     // The async read passes through the OS: issuing in offset order makes
     // many of these sequential follow-ons or OS-cache copies. A transient
     // error on this path is absorbed: the prefetch is dropped and the page
     // stays a future miss — never fail the query for a speculative read.
     // Likewise a page that fails checksum verification: it is dropped
     // before it can be installed, so a corrupt prefetch can never poison
-    // the buffer pool.
-    const Result<OsReadResult> os = os_cache_->Read(page);
+    // the buffer pool. Speculative reads are not hedge-eligible: their
+    // cheaper remedy under slowness is this drop path, and hedge budget is
+    // reserved for reads a query is actually waiting on.
+    const Result<OsReadResult> os =
+        os_cache_->Read(page, /*hedge_eligible=*/false);
     if (!os.ok()) {
       if (os.status().code() == StatusCode::kDataCorruption) {
         ++stats_.dropped_corrupt;

@@ -29,6 +29,7 @@
 namespace pythia {
 
 class PrefetchGovernor;
+class ChannelBreakerBoard;
 
 enum class PrefetchOrder {
   kFileOffset,   // Pythia: sort by (object, page) — OS-readahead friendly
@@ -60,6 +61,13 @@ struct PrefetcherOptions {
   // Shed order under governor saturation: strictly-lower-priority sessions
   // are shed first; equal priority is never shed for a peer.
   int priority = 0;
+  // Per-channel brownout breakers (core/channel_breaker.h). When set, each
+  // speculative read first asks the board whether its OS-cache channel is
+  // quarantined for speculative traffic; a denied page is dropped (pin
+  // released, window slides) instead of queueing behind a browned-out
+  // channel. Foreground reads are unaffected. Not owned; nullptr = no
+  // brownout shedding (previous behaviour).
+  ChannelBreakerBoard* channel_breakers = nullptr;
 };
 
 struct PrefetchSessionStats {
@@ -73,6 +81,7 @@ struct PrefetchSessionStats {
   uint64_t timed_out = 0;         // outstanding pages past the deadline
   uint64_t shed_by_governor = 0;  // pages unpinned for higher-priority work
   uint64_t denied_by_governor = 0;  // pin requests the governor refused
+  uint64_t dropped_brownout = 0;  // shed off quarantined (browned-out) channels
 };
 
 class PrefetchSession {

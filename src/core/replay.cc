@@ -32,6 +32,8 @@ BufferPoolStats StatsDelta(const BufferPoolStats& after,
   d.read_retries = after.read_retries - before.read_retries;
   d.corrupt_retries = after.corrupt_retries - before.corrupt_retries;
   d.failed_fetches = after.failed_fetches - before.failed_fetches;
+  d.hedged_reads = after.hedged_reads - before.hedged_reads;
+  d.hedge_wins = after.hedge_wins - before.hedge_wins;
   return d;
 }
 
@@ -66,14 +68,28 @@ SimEnvironment::SimEnvironment(const SimOptions& options)
   // scheduler gets a dedicated stall stream. FaultInjector and
   // SimulatedDisk are not thread-safe; per-channel instances let the
   // channel mutexes do the serialization.
+  // Single-gray-channel scenario: brownout_channel >= 0 confines the
+  // configured brownout window to that one channel's injector; every other
+  // derived config has it stripped (seeds are untouched, so the error/spike
+  // streams stay identical either way).
+  const auto scoped_faults = [&](FaultConfig config, size_t channel) {
+    if (options.brownout_channel >= 0 &&
+        static_cast<size_t>(options.brownout_channel) != channel) {
+      config.brownout_latency_mult = 1.0;
+      config.brownout_duration_reads = 0;
+    }
+    return config;
+  };
   if (options.faults.enabled()) {
-    injector_ = std::make_unique<FaultInjector>(options.faults);
+    injector_ =
+        std::make_unique<FaultInjector>(scoped_faults(options.faults, 0));
     os_cache_->set_fault_injector(injector_.get());
     if (channels > 1) {
       for (size_t c = 1; c < channels; ++c) {
         FaultConfig config = options.faults;
         config.seed = options.faults.seed ^ (0x9e3779b97f4a7c15ULL * c);
-        channel_injectors_.push_back(std::make_unique<FaultInjector>(config));
+        channel_injectors_.push_back(
+            std::make_unique<FaultInjector>(scoped_faults(config, c)));
         os_cache_->set_channel_fault_injector(c,
                                               channel_injectors_.back().get());
       }
@@ -83,6 +99,23 @@ SimEnvironment::SimEnvironment(const SimOptions& options)
       io_->set_fault_injector(aio_injector_.get());
     } else {
       io_->set_fault_injector(injector_.get());
+    }
+  }
+  if (options.channel_health.enabled) {
+    health_ =
+        std::make_unique<ChannelHealthTracker>(channels, options.channel_health);
+    os_cache_->set_health_tracker(health_.get());
+    // The AIO-side tracker is telemetry only: hedging is a cache-read
+    // remedy, and a second hedging tracker would double-count against the
+    // io.hedge.* registry mirrors.
+    ChannelHealthOptions aio_health_options = options.channel_health;
+    aio_health_options.hedging_enabled = false;
+    aio_health_ = std::make_unique<ChannelHealthTracker>(io_->num_channels(),
+                                                         aio_health_options);
+    io_->set_health_tracker(aio_health_.get());
+    if (options.channel_breakers) {
+      breakers_ = std::make_unique<ChannelBreakerBoard>(
+          options.channel_breaker, health_.get());
     }
   }
   if (options.faults.corruption_enabled() || options.verify_page_checksums) {
@@ -112,6 +145,12 @@ void SimEnvironment::ResetFaults() {
   if (aio_injector_ != nullptr) aio_injector_->Reset();
 }
 
+void SimEnvironment::ResetChannelHealth() {
+  if (health_ != nullptr) health_->Reset();
+  if (aio_health_ != nullptr) aio_health_->Reset();
+  if (breakers_ != nullptr) breakers_->Reset();
+}
+
 ReplayResult ReplayQuery(const QueryTrace& trace,
                          const std::vector<PageId>& prefetch_pages,
                          const PrefetcherOptions& prefetch_options,
@@ -122,9 +161,13 @@ ReplayResult ReplayQuery(const QueryTrace& trace,
 
   std::unique_ptr<PrefetchSession> session;
   if (!prefetch_pages.empty()) {
-    session = std::make_unique<PrefetchSession>(
-        prefetch_pages, prefetch_options, &env->pool(), &env->os_cache(),
-        &env->io(), latency);
+    PrefetcherOptions opts = prefetch_options;
+    if (opts.channel_breakers == nullptr) {
+      opts.channel_breakers = env->channel_breakers();
+    }
+    session = std::make_unique<PrefetchSession>(prefetch_pages, opts,
+                                                &env->pool(), &env->os_cache(),
+                                                &env->io(), latency);
   }
 
   SimTime now = 0;
@@ -249,6 +292,9 @@ ConcurrentResult ReplayConcurrent(const std::vector<ConcurrentQuery>& queries,
       PrefetcherOptions opts = queries[i].prefetch_options;
       opts.start_delay_us += start;
       if (opts.governor == nullptr) opts.governor = options.governor;
+      if (opts.channel_breakers == nullptr) {
+        opts.channel_breakers = env->channel_breakers();
+      }
       st.session = std::make_unique<PrefetchSession>(
           queries[i].prefetch_pages, opts, &env->pool(), &env->os_cache(),
           &env->io(), latency);
@@ -425,6 +471,11 @@ ParallelReplayResult ReplayParallelFleet(
     if (!in.prefetch_pages.empty()) {
       PrefetcherOptions opts = options.prefetch;
       opts.governor = nullptr;  // the ladder is single-threaded control
+      // The breaker board IS thread-safe (one mutex, lock-free tracker
+      // reads), so fleet threads shed off browned-out channels too.
+      if (opts.channel_breakers == nullptr) {
+        opts.channel_breakers = env->channel_breakers();
+      }
       session = std::make_unique<PrefetchSession>(
           in.prefetch_pages, opts, &env->pool(), &env->os_cache(), &env->io(),
           latency);

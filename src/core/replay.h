@@ -20,10 +20,12 @@
 #include <vector>
 
 #include "bufmgr/buffer_pool.h"
+#include "core/channel_breaker.h"
 #include "core/governor.h"
 #include "core/prefetcher.h"
 #include "core/query_metrics.h"
 #include "exec/trace.h"
+#include "storage/channel_health.h"
 #include "storage/fault_injector.h"
 #include "storage/io_scheduler.h"
 #include "storage/latency_model.h"
@@ -61,6 +63,23 @@ struct SimOptions {
   // the (virtual-time-free) verification overhead and to harden tests.
   bool verify_page_checksums = false;
   uint64_t disk_content_seed = 0x5eedd15c;
+  // Gray-failure resilience (storage/channel_health.h). channel_health.enabled
+  // constructs one tracker over the OS-cache storage channels (fed by every
+  // device read, consulted for hedged foreground reads when
+  // channel_health.hedging_enabled) and a second, hedging-free tracker over
+  // the AIO scheduler channels (occupancy-time telemetry only).
+  ChannelHealthOptions channel_health;
+  // Per-channel brownout breakers shedding speculative traffic off
+  // gray-failing channels (core/channel_breaker.h). Requires
+  // channel_health.enabled; the board is injected into every replay-built
+  // prefetch session that does not already carry one.
+  bool channel_breakers = false;
+  ChannelBreakerOptions channel_breaker;
+  // Single-gray-channel scenario: when >= 0, only this storage channel's
+  // fault injector keeps the configured brownout window; every other
+  // channel's derived injector has it stripped. < 0 = the brownout config
+  // applies to every channel (the historical per-injector semantics).
+  int brownout_channel = -1;
 };
 
 class SimEnvironment {
@@ -77,6 +96,13 @@ class SimEnvironment {
   // so two experiment arms observe the identical fault sequence.
   void ResetFaults();
 
+  // Clears the health trackers, hedge budget and breaker board back to their
+  // constructed state, for paired experiment arms. Deliberately separate
+  // from ColdRestart(): like the fault streams, channel health is a property
+  // of the device over time, and a database restart does not heal a slow
+  // disk.
+  void ResetChannelHealth();
+
   OsPageCache& os_cache() { return *os_cache_; }
   BufferPool& pool() { return *pool_; }
   IoScheduler& io() { return *io_; }
@@ -84,6 +110,13 @@ class SimEnvironment {
   FaultInjector* fault_injector() { return injector_.get(); }
   // nullptr unless corruption faults or verify_page_checksums are on.
   SimulatedDisk* disk() { return disk_.get(); }
+  // nullptr unless channel_health.enabled. channel_health() covers the
+  // OS-cache storage channels; aio_channel_health() the AIO scheduler
+  // channels.
+  ChannelHealthTracker* channel_health() { return health_.get(); }
+  ChannelHealthTracker* aio_channel_health() { return aio_health_.get(); }
+  // nullptr unless channel_breakers was set (and channel_health.enabled).
+  ChannelBreakerBoard* channel_breakers() { return breakers_.get(); }
   const SimOptions& options() const { return options_; }
 
  private:
@@ -100,6 +133,9 @@ class SimEnvironment {
   std::unique_ptr<OsPageCache> os_cache_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<IoScheduler> io_;
+  std::unique_ptr<ChannelHealthTracker> health_;      // storage channels
+  std::unique_ptr<ChannelHealthTracker> aio_health_;  // AIO channels
+  std::unique_ptr<ChannelBreakerBoard> breakers_;
 };
 
 struct ReplayResult {

@@ -99,6 +99,33 @@ void PythiaSystem::HarvestGovernorStats() {
   robustness_.governor_rung_recoveries = gs.rung_recoveries;
 }
 
+void PythiaSystem::HarvestChannelHealthStats() {
+  // Brownout injections live on the per-channel injector stats; summed over
+  // channels (each channel's injector instance appears exactly once:
+  // channel 0 keeps the shared injector, 1..N-1 their own).
+  uint64_t brownouts = 0;
+  OsPageCache& cache = env_->os_cache();
+  for (size_t c = 0; c < cache.num_channels(); ++c) {
+    if (const FaultInjector* inj = cache.channel_fault_injector(c)) {
+      brownouts += inj->stats().injected_brownout_reads;
+    }
+  }
+  robustness_.injected_brownout_reads = brownouts;
+  if (ChannelHealthTracker* health = env_->channel_health()) {
+    const ChannelHealthCounters c = health->counters();
+    robustness_.hedged_reads = c.hedges_issued;
+    robustness_.hedge_wins = c.hedges_won;
+    robustness_.hedge_wasted = c.hedges_wasted;
+    robustness_.hedge_denied_budget = c.hedges_denied_budget;
+  }
+  if (ChannelBreakerBoard* board = env_->channel_breakers()) {
+    const ChannelBreakerStats s = board->stats();
+    robustness_.channel_quarantines = s.quarantines + s.requarantines;
+    robustness_.channel_probes = s.probes;
+    robustness_.channel_reinstatements = s.reinstatements;
+  }
+}
+
 void PythiaSystem::HarvestWatchdogStats() {
   robustness_.watchdog_demotions = 0;
   robustness_.watchdog_probes = 0;
@@ -293,6 +320,8 @@ void PythiaSystem::AbsorbConcurrentResult(const ConcurrentResult& result) {
     robustness_.corrupt_prefetch_drops += m.prefetch_stats.dropped_corrupt;
     robustness_.shed_prefetches += m.prefetch_stats.rejected_by_pool;
     robustness_.timed_out_prefetches += m.prefetch_stats.timed_out;
+    robustness_.brownout_dropped_prefetches +=
+        m.prefetch_stats.dropped_brownout;
     if (m.degraded_by_governor) ++robustness_.governor_degraded_queries;
   }
   robustness_.deadline_stopped_queries += result.admission.deadline_stops;
@@ -307,6 +336,7 @@ void PythiaSystem::AbsorbConcurrentResult(const ConcurrentResult& result) {
     robustness_.injected_stale_reads = injector->stats().injected_stale_reads;
   }
   HarvestGovernorStats();
+  HarvestChannelHealthStats();
 }
 
 QueryRunMetrics PythiaSystem::RunQuery(
@@ -404,6 +434,8 @@ QueryRunMetrics PythiaSystem::RunQuery(
   robustness_.corrupt_prefetch_drops += replay.prefetch_stats.dropped_corrupt;
   robustness_.shed_prefetches += replay.prefetch_stats.rejected_by_pool;
   robustness_.timed_out_prefetches += replay.prefetch_stats.timed_out;
+  robustness_.brownout_dropped_prefetches +=
+      replay.prefetch_stats.dropped_brownout;
   robustness_.breaker_trips = breaker_.stats().trips;
   robustness_.breaker_probes = breaker_.stats().probes;
   robustness_.corrupt_page_reads = env_->os_cache().corrupt_reads();
@@ -417,6 +449,7 @@ QueryRunMetrics PythiaSystem::RunQuery(
   }
   HarvestWatchdogStats();
   HarvestGovernorStats();
+  HarvestChannelHealthStats();
 
   // Mirror the per-query outcome into the process-wide registry, so one
   // snapshot answers "what has this process done so far" across benches and

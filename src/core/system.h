@@ -205,6 +205,10 @@ class PythiaSystem {
   void HarvestWatchdogStats();
   // Folds the governor's cumulative stats into robustness_.
   void HarvestGovernorStats();
+  // Folds the gray-failure layer (per-channel brownout injections, hedge
+  // accounting, breaker transitions) into robustness_. No-op fields when the
+  // environment runs without channel health tracking.
+  void HarvestChannelHealthStats();
   // The ladder rung a query under `mode` should be planned at right now
   // (governor rung + breaker + watchdog folded via max), with the
   // degradation flags recorded into `metrics`. Also counts breaker/

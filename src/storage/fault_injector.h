@@ -14,14 +14,22 @@
 //    bit-flip somewhere in the page image, a torn write (the image mixes two
 //    page versions), or a stale read (a fully valid but outdated version).
 //    The SimulatedDisk materializes the corrupted image; checksum/header
-//    verification on the read path decides whether it is caught.
+//    verification on the read path decides whether it is caught;
+//  - brownouts (the gray-failure mode): for a window of device reads the
+//    channel is simply slow — every read's latency is multiplied, no error
+//    is ever raised — which is invisible to every error-keyed defense and
+//    exactly what the channel-health layer (storage/channel_health.h) is
+//    built to catch.
 //
 // Every decision is drawn from an explicitly seeded Pcg32 consumed in call
 // order, so two runs with identical seeds and identical call sequences
 // produce bit-identical fault patterns (and therefore identical metrics).
-// Retry-backoff jitter and corruption each use a separate stream so the
-// retry policy cannot perturb the fault sequence itself, and enabling
-// corruption does not shift the transient-error/spike sequence.
+// Retry-backoff jitter, corruption, AIO stalls and brownout jitter each use
+// a separate stream so the retry policy cannot perturb the fault sequence
+// itself, enabling corruption does not shift the transient-error/spike
+// sequence, and stall draws (consumed under the IoScheduler's bookkeeping
+// mutex) never race or interleave with read draws (consumed under a cache
+// channel mutex) on a shared stream.
 #ifndef PYTHIA_STORAGE_FAULT_INJECTOR_H_
 #define PYTHIA_STORAGE_FAULT_INJECTOR_H_
 
@@ -60,8 +68,22 @@ struct FaultConfig {
   //  - durable_rename_fail_prob: the rename(tmp, path) publish step fails.
   double durable_torn_write_prob = 0.0;
   double durable_rename_fail_prob = 0.0;
+  // Sustained-slowness brownout (the gray-failure mode): device reads with
+  // 0-based ordinal in [brownout_start_read, brownout_start_read +
+  // brownout_duration_reads) have their latency multiplied by
+  // brownout_latency_mult — no error is ever raised. brownout_jitter
+  // spreads each read's multiplier uniformly over ±jitter of the nominal
+  // value, drawn from a dedicated stream so enabling a brownout never
+  // perturbs the error/spike/stall sequences.
+  double brownout_latency_mult = 1.0;
+  uint64_t brownout_start_read = 0;
+  uint64_t brownout_duration_reads = 0;  // 0 = no brownout
+  double brownout_jitter = 0.0;
   uint64_t seed = 0;
 
+  bool brownout_enabled() const {
+    return brownout_latency_mult > 1.0 && brownout_duration_reads > 0;
+  }
   bool corruption_enabled() const {
     return bit_flip_prob > 0.0 || torn_write_prob > 0.0 ||
            stale_read_prob > 0.0;
@@ -72,7 +94,7 @@ struct FaultConfig {
   bool enabled() const {
     return transient_error_prob > 0.0 || tail_latency_prob > 0.0 ||
            aio_stall_prob > 0.0 || corruption_enabled() ||
-           durable_faults_enabled();
+           durable_faults_enabled() || brownout_enabled();
   }
 };
 
@@ -87,8 +109,10 @@ struct FaultStats {
   uint64_t durable_writes_probed = 0;
   uint64_t injected_durable_torn_writes = 0;
   uint64_t injected_rename_failures = 0;
+  uint64_t injected_brownout_reads = 0;  // reads slowed inside the window
   SimTime injected_spike_us = 0;  // total extra latency from spikes
   SimTime injected_stall_us = 0;  // total extra latency from stalls
+  SimTime injected_brownout_us = 0;  // total extra latency from the brownout
 };
 
 // What the device silently did to one page image it returned.
@@ -132,7 +156,9 @@ class FaultInjector {
         rng_(config.seed, 0x705eca7a1ULL),
         backoff_rng_(config.seed ^ 0x9e3779b97f4a7c15ULL, 0xbac0ffULL),
         corruption_rng_(config.seed ^ 0xc0de2badc0de2badULL, 0xc42c42ULL),
-        durable_rng_(config.seed ^ 0xd0d0beefcafef00dULL, 0xd00dULL) {}
+        durable_rng_(config.seed ^ 0xd0d0beefcafef00dULL, 0xd00dULL),
+        stall_rng_(config.seed ^ 0x57a1157a1157a115ULL, 0x57a11ULL),
+        brownout_rng_(config.seed ^ 0xb70b70b70b70b70bULL, 0xb707ULL) {}
 
   // Consulted once per disk read, with the latency the device would charge.
   DiskReadFault OnDiskRead(SimTime base_latency_us) {
@@ -154,16 +180,53 @@ class FaultInjector {
       ++stats_.injected_spikes;
       stats_.injected_spike_us += fault.extra_latency_us;
     }
+    // Brownout window: keyed on the device-read ordinal (0-based, counted by
+    // disk_reads_probed above), so the window is a deterministic function of
+    // the read sequence alone. Errors above win — a failed read has no
+    // latency to slow down — and the extra time stacks on top of any spike,
+    // like a slow channel under a slow device would.
+    if (config_.brownout_enabled()) {
+      const uint64_t ordinal = stats_.disk_reads_probed - 1;
+      if (ordinal >= config_.brownout_start_read &&
+          ordinal - config_.brownout_start_read <
+              config_.brownout_duration_reads) {
+        double mult = config_.brownout_latency_mult - 1.0;
+        if (config_.brownout_jitter > 0.0) {
+          const double j = config_.brownout_jitter;
+          mult *= 1.0 - j + 2.0 * j * brownout_rng_.UniformDouble();
+        }
+        const SimTime extra = static_cast<SimTime>(
+            static_cast<double>(base_latency_us) * mult);
+        fault.extra_latency_us += extra;
+        ++stats_.injected_brownout_reads;
+        stats_.injected_brownout_us += extra;
+      }
+    }
     return fault;
   }
 
   // Extra channel-occupancy time for one async request; 0 when no stall.
+  // Dedicated stream: stall draws happen under the IoScheduler's
+  // bookkeeping mutex while read draws happen under a cache channel mutex,
+  // so sharing a stream with OnDiskRead was both a data race (when one
+  // injector served both paths) and a reset hazard (IoScheduler::Reset
+  // could not rewind stalls without rewinding the read faults too).
   SimTime OnAioSchedule() {
     if (config_.aio_stall_prob <= 0.0) return 0;
-    if (rng_.UniformDouble() >= config_.aio_stall_prob) return 0;
+    if (stall_rng_.UniformDouble() >= config_.aio_stall_prob) return 0;
     ++stats_.injected_stalls;
     stats_.injected_stall_us += config_.aio_stall_us;
     return config_.aio_stall_us;
+  }
+
+  // Rewinds ONLY the AIO stall stream to its seeded state — the reset
+  // contract IoScheduler::Reset needs: a reset scheduler replaying the same
+  // request sequence must observe the same stalls as a fresh one, while the
+  // read-fault streams (a property of the device, not of the scheduler)
+  // keep their history. Stall stats are cumulative device history and are
+  // deliberately not cleared.
+  void ResetStallStream() {
+    stall_rng_ = Pcg32(config_.seed ^ 0x57a1157a1157a115ULL, 0x57a11ULL);
   }
 
   // Consulted once per page image the device returns (including each page a
@@ -240,6 +303,8 @@ class FaultInjector {
     backoff_rng_ = Pcg32(config_.seed ^ 0x9e3779b97f4a7c15ULL, 0xbac0ffULL);
     corruption_rng_ = Pcg32(config_.seed ^ 0xc0de2badc0de2badULL, 0xc42c42ULL);
     durable_rng_ = Pcg32(config_.seed ^ 0xd0d0beefcafef00dULL, 0xd00dULL);
+    stall_rng_ = Pcg32(config_.seed ^ 0x57a1157a1157a115ULL, 0x57a11ULL);
+    brownout_rng_ = Pcg32(config_.seed ^ 0xb70b70b70b70b70bULL, 0xb707ULL);
     stats_ = FaultStats();
   }
 
@@ -252,6 +317,8 @@ class FaultInjector {
   Pcg32 backoff_rng_;
   Pcg32 corruption_rng_;
   Pcg32 durable_rng_;
+  Pcg32 stall_rng_;
+  Pcg32 brownout_rng_;
   FaultStats stats_;
 };
 

@@ -8,12 +8,17 @@
 #ifndef PYTHIA_STORAGE_IO_SCHEDULER_H_
 #define PYTHIA_STORAGE_IO_SCHEDULER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "storage/channel_health.h"
 #include "storage/fault_injector.h"
 #include "storage/sim_clock.h"
+#include "util/metrics_registry.h"
 #include "util/trace.h"
 
 namespace pythia {
@@ -23,11 +28,34 @@ namespace pythia {
 // device parallelism is the channel count, not the lock. With a fault
 // injector attached, OnAioSchedule is called under this mutex, which is the
 // only thing serializing the injector's stall stream in multi-threaded
-// replays.
+// replays (the stream is dedicated to stalls, so cache-channel read draws
+// never race it).
+//
+// The earliest-free channel is tracked with a binary min-heap of
+// (free_time, channel) pairs — one entry per channel, replaced on every
+// Schedule — instead of the former O(num_channels) scan under the mutex.
+// Pair ordering breaks free-time ties toward the lowest channel index,
+// which is exactly the order the linear scan picked, so scheduling
+// decisions (and therefore every seeded bench) are bit-identical to the
+// scan at any channel count.
 class IoScheduler {
  public:
   explicit IoScheduler(size_t num_channels)
-      : free_at_(num_channels == 0 ? 1 : num_channels, 0) {}
+      : free_at_(num_channels == 0 ? 1 : num_channels, 0),
+        channel_ops_(free_at_.size(), 0),
+        channel_busy_us_(free_at_.size(), 0) {
+    heap_.reserve(free_at_.size());
+    for (size_t i = 0; i < free_at_.size(); ++i) heap_.emplace_back(0, i);
+    // (0, i) pairs arrive index-sorted: already a valid min-heap.
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    ops_counters_.reserve(free_at_.size());
+    busy_counters_.reserve(free_at_.size());
+    for (size_t i = 0; i < free_at_.size(); ++i) {
+      const std::string prefix = "io.channel." + std::to_string(i);
+      ops_counters_.push_back(&reg.counter(prefix + ".ops"));
+      busy_counters_.push_back(&reg.counter(prefix + ".busy_us"));
+    }
+  }
 
   // Schedules an async operation of duration `latency_us` not earlier than
   // `now`; returns its completion time. Channels are FIFO per-channel; the
@@ -37,15 +65,21 @@ class IoScheduler {
   // behind it on the same channel.
   SimTime Schedule(SimTime now, SimTime latency_us) {
     std::lock_guard<std::mutex> lock(mu_);
-    size_t best = 0;
-    for (size_t i = 1; i < free_at_.size(); ++i) {
-      if (free_at_[i] < free_at_[best]) best = i;
-    }
+    std::pop_heap(heap_.begin(), heap_.end(), HeapAfter);
+    const size_t best = heap_.back().second;
     const SimTime start = free_at_[best] > now ? free_at_[best] : now;
     const SimTime stall =
         injector_ != nullptr ? injector_->OnAioSchedule() : 0;
     free_at_[best] = start + stall + latency_us;
+    heap_.back().first = free_at_[best];
+    std::push_heap(heap_.begin(), heap_.end(), HeapAfter);
     ++scheduled_ops_;
+    ++channel_ops_[best];
+    const SimTime busy = stall + latency_us;
+    channel_busy_us_[best] += busy;
+    ops_counters_[best]->Increment();
+    busy_counters_[best]->Increment(busy);
+    if (health_ != nullptr) health_->RecordRead(best, busy);
     // The span covers queueing + stall + device time, so in the trace the
     // async read visibly overlaps the executor lane it was issued from.
     PYTHIA_TRACE_IO_SPAN("io", "aio", now, free_at_[best], "channel", best,
@@ -56,11 +90,15 @@ class IoScheduler {
   // Not owned; may be nullptr (no stalls).
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  // Optional per-channel health tracker fed with every scheduled request's
+  // channel-occupancy time (stall + device latency) — the AIO-side gray
+  // failure signal. Not owned; must be sized to num_channels() or wider.
+  void set_health_tracker(ChannelHealthTracker* health) { health_ = health; }
+
   // Earliest time a new request issued at `now` could start.
   SimTime EarliestStart(SimTime now) const {
     std::lock_guard<std::mutex> lock(mu_);
-    SimTime best = free_at_[0];
-    for (SimTime t : free_at_) best = t < best ? t : best;
+    const SimTime best = heap_.front().first;
     return best > now ? best : now;
   }
 
@@ -83,18 +121,53 @@ class IoScheduler {
     std::lock_guard<std::mutex> lock(mu_);
     return scheduled_ops_;
   }
+  uint64_t channel_ops(size_t channel) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return channel_ops_[channel];
+  }
+  SimTime channel_busy_us(size_t channel) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return channel_busy_us_[channel];
+  }
 
+  // Clears the channel timelines and counters AND rewinds the attached
+  // injector's stall stream: a reset scheduler replaying a request sequence
+  // is bit-identical to a fresh one (the same contract ClockPolicy::Reset
+  // honors for eviction decisions). The injector's read-fault streams are
+  // untouched — those belong to the device, not to this scheduler. The
+  // registry's io.channel.* mirrors are process-cumulative and keep
+  // counting across resets, like every other registry metric.
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     for (SimTime& t : free_at_) t = 0;
+    for (size_t i = 0; i < heap_.size(); ++i) heap_[i] = {0, i};
+    for (uint64_t& n : channel_ops_) n = 0;
+    for (SimTime& t : channel_busy_us_) t = 0;
     scheduled_ops_ = 0;
+    if (injector_ != nullptr) injector_->ResetStallStream();
   }
 
  private:
+  // std::push_heap/pop_heap build a MAX-heap on the comparator, so "a
+  // after b" (greater free time, then greater index) puts the earliest
+  // free time — lowest index on ties — at the front: the channel the old
+  // linear scan chose.
+  static bool HeapAfter(const std::pair<SimTime, size_t>& a,
+                        const std::pair<SimTime, size_t>& b) {
+    return a > b;
+  }
+
   mutable std::mutex mu_;
   std::vector<SimTime> free_at_;
+  // One (free_time, channel) entry per channel, heap-ordered by HeapAfter.
+  std::vector<std::pair<SimTime, size_t>> heap_;
+  std::vector<uint64_t> channel_ops_;
+  std::vector<SimTime> channel_busy_us_;
+  std::vector<Counter*> ops_counters_;
+  std::vector<Counter*> busy_counters_;
   uint64_t scheduled_ops_ = 0;
   FaultInjector* injector_ = nullptr;
+  ChannelHealthTracker* health_ = nullptr;
 };
 
 }  // namespace pythia

@@ -42,8 +42,9 @@ SimTime OsPageCache::RetryBackoff(PageId page, const RetryPolicy& policy,
   return ch.injector->RetryBackoff(policy, attempt);
 }
 
-Result<OsReadResult> OsPageCache::Read(PageId page) {
-  Channel& ch = *channels_[ChannelOf(page)];
+Result<OsReadResult> OsPageCache::Read(PageId page, bool hedge_eligible) {
+  const size_t channel_index = ChannelOf(page);
+  Channel& ch = *channels_[channel_index];
   std::lock_guard<std::mutex> lock(ch.mu);
 
   OsReadResult result;
@@ -90,6 +91,51 @@ Result<OsReadResult> OsPageCache::Read(PageId page) {
       PYTHIA_TRACE_INSTANT_CTX("storage", "read.corrupt", "obj",
                                page.object_id, "page", page.page_no);
       return image.status();
+    }
+  }
+
+  if (health_ != nullptr) {
+    // Feed the health window with the PRIMARY latency, even when a hedge
+    // below wins: the channel really was that slow, and the detector must
+    // keep seeing it (hedging away the pain must not hide the disease).
+    result.primary_latency_us = result.latency_us;
+    health_->RecordRead(channel_index, result.latency_us);
+    if (hedge_eligible) {
+      const SimTime deadline = health_->HedgeDeadlineUs(channel_index);
+      if (deadline > 0 && result.latency_us > deadline) {
+        const size_t target = health_->HealthiestOther(channel_index);
+        if (target != channel_index && health_->TryAcquireHedge()) {
+          // The hedge is a cold random read on the target channel, floored
+          // at that channel's own EWMA service time (hedging toward a slow
+          // channel is never modeled as cheap). It deliberately does NOT
+          // consult the target channel's fault injector or run state:
+          // channel isolation means issuing a hedge toward channel j must
+          // never perturb channel j's seeded fault stream or readahead
+          // detection.
+          const SimTime base = latency_.hedge_read_us > 0
+                                   ? latency_.hedge_read_us
+                                   : latency_.disk_random_read_us;
+          const double target_ewma = health_->Ewma(target);
+          const SimTime hedge_service =
+              target_ewma > static_cast<double>(base)
+                  ? static_cast<SimTime>(target_ewma)
+                  : base;
+          // First completion wins: the caller waited `deadline` before
+          // hedging, then the hedge takes its own service time.
+          const SimTime hedged_total = deadline + hedge_service;
+          result.hedged = true;
+          result.hedge_deadline_us = deadline;
+          result.hedge_latency_us = hedge_service;
+          result.hedge_channel = target;
+          if (hedged_total < result.latency_us) {
+            result.latency_us = hedged_total;
+            result.hedge_won = true;
+          }
+          health_->RecordHedgeOutcome(result.hedge_won);
+          PYTHIA_TRACE_INSTANT_CTX("io", "hedge", "to", target, "won",
+                                   static_cast<uint64_t>(result.hedge_won));
+        }
+      }
     }
   }
 

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "storage/channel_health.h"
 #include "storage/fault_injector.h"
 #include "storage/latency_model.h"
 #include "storage/page_id.h"
@@ -40,6 +41,17 @@ namespace pythia {
 struct OsReadResult {
   SimTime latency_us = 0;
   AccessSource source = AccessSource::kDiskRandom;
+  // --- Hedged-read outcome (zeros unless a hedge was issued) -------------
+  // With a ChannelHealthTracker attached, a hedge-eligible device read whose
+  // latency exceeds its channel's adaptive deadline issues one hedge to the
+  // healthiest other channel; the first completion wins and latency_us is
+  // min(primary, deadline + hedge service time).
+  bool hedged = false;
+  bool hedge_won = false;          // the hedge beat the primary
+  SimTime primary_latency_us = 0;  // what the primary channel charged
+  SimTime hedge_deadline_us = 0;   // deadline that triggered the hedge
+  SimTime hedge_latency_us = 0;    // hedge's own device time on the target
+  size_t hedge_channel = 0;        // channel the hedge was sent to
 };
 
 class OsPageCache {
@@ -65,8 +77,15 @@ class OsPageCache {
   // of being cached. A failed read leaves the cache contents untouched —
   // the data never arrived (or was discarded as unverifiable) — but the
   // head movement still updates the readahead run state.
-  // Thread-safe: takes only the owning channel's mutex.
-  Result<OsReadResult> Read(PageId page);
+  // With a health tracker attached, every successful device read feeds the
+  // owning channel's latency distribution; a `hedge_eligible` read (the
+  // foreground/demand path — speculative prefetch passes false, it has a
+  // cheaper remedy: drop the page) that exceeds its channel's adaptive
+  // deadline additionally issues one budget-capped hedge to the healthiest
+  // other channel, and the returned latency is whichever completed first.
+  // Thread-safe: takes only the owning channel's mutex (the tracker's
+  // cross-channel reads are lock-free atomics).
+  Result<OsReadResult> Read(PageId page, bool hedge_eligible = true);
 
   // Attaches a fault injector consulted on every disk read of EVERY
   // channel. May be nullptr (the default): reads are then infallible. Not
@@ -117,6 +136,18 @@ class OsPageCache {
   }
   bool readahead_suppressed() const {
     return readahead_suppressed_.load(std::memory_order_relaxed);
+  }
+
+  // Attaches the per-channel gray-failure tracker (see Read). Not owned;
+  // may be nullptr (no health tracking, no hedging — the default). Should
+  // be sized to num_channels(); a narrower tracker folds channels together.
+  void set_health_tracker(ChannelHealthTracker* health) { health_ = health; }
+  ChannelHealthTracker* health_tracker() const { return health_; }
+
+  // Governor hook mirroring set_readahead_suppressed: while suppressed no
+  // new hedges are issued (forwarded to the tracker; no-op without one).
+  void set_hedging_suppressed(bool suppressed) {
+    if (health_ != nullptr) health_->set_hedging_suppressed(suppressed);
   }
 
   bool Contains(PageId page) const;
@@ -173,6 +204,7 @@ class OsPageCache {
   Options options_;
   LatencyModel latency_;
   std::atomic<bool> readahead_suppressed_{false};
+  ChannelHealthTracker* health_ = nullptr;
   std::vector<std::unique_ptr<Channel>> channels_;
 };
 

@@ -76,6 +76,21 @@ struct RobustnessCounters {
   uint64_t governor_degraded_queries = 0;  // served below full-neural
   uint64_t deadline_stopped_queries = 0;   // prefetch shed by deadline budget
   uint64_t admission_rejected_queries = 0; // bounced off the full wait queue
+
+  // Gray-failure layer (storage/channel_health.h + core/channel_breaker.h):
+  // sustained slow-without-error channels, the hedged reads that route
+  // around them, and the brownout breakers that shed speculative traffic
+  // off them.
+  uint64_t injected_brownout_reads = 0;    // reads slowed by a brownout window
+  uint64_t hedged_reads = 0;               // foreground reads that hedged
+  uint64_t hedge_wins = 0;                 // hedge beat the slow primary
+  uint64_t hedge_wasted = 0;               // primary finished first anyway
+  uint64_t hedge_denied_budget = 0;        // hedges refused by the 5% budget
+  uint64_t channel_quarantines = 0;        // breaker closed->open transitions
+  uint64_t channel_probes = 0;             // half-open speculative probes
+  uint64_t channel_reinstatements = 0;     // breakers closed again
+  uint64_t brownout_dropped_prefetches = 0;// speculative reads shed off
+                                           // quarantined channels
 };
 
 // Model-file integrity counters moved behind the atomic MetricsRegistry
